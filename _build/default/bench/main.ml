@@ -1,0 +1,115 @@
+(* The benchmark harness: regenerates every table and figure of the
+   paper's evaluation (one experiment per table/figure — see DESIGN.md's
+   per-experiment index), plus Bechamel microbenchmarks of the
+   simulator's hot paths.
+
+   Usage:
+     main.exe                 run every experiment at the scaled defaults
+     main.exe table1 figure5  run selected experiments
+     main.exe --full          paper-scale parameters (slow)
+     main.exe --micro         also run the Bechamel microbenchmarks *)
+
+open Wsp_sim
+
+let usage () =
+  print_endline "usage: main.exe [--full] [--micro] [experiment...]";
+  print_endline "experiments:";
+  List.iter
+    (fun (e : Wsp_experiments.Registry.t) ->
+      Printf.printf "  %-11s %s\n" e.name e.title)
+    Wsp_experiments.Registry.all
+
+(* --- Bechamel microbenchmarks of the simulator itself -------------- *)
+
+let microbench_tests () =
+  let open Bechamel in
+  let nvram = Wsp_nvheap.Nvram.create ~size:(Units.Size.kib 64) () in
+  let nvram_rw =
+    Test.make ~name:"nvram-512-rw"
+      (Staged.stage (fun () ->
+           for i = 0 to 255 do
+             Wsp_nvheap.Nvram.write_u64 nvram ~addr:(i * 8) (Int64.of_int i)
+           done;
+           for i = 0 to 255 do
+             ignore (Wsp_nvheap.Nvram.read_u64 nvram ~addr:(i * 8))
+           done))
+  in
+  let hash_ops config name =
+    Test.make ~name
+      (Staged.stage (fun () ->
+           ignore
+             (Wsp_store.Workload.run_hash_benchmark ~entries:512 ~ops:512
+                ~buckets:1024 ~heap_size:(Units.Size.mib 8)
+                ~config ~update_prob:0.5 ~seed:1 ())))
+  in
+  let avl_insert =
+    Test.make ~name:"avl-1k-inserts"
+      (Staged.stage (fun () ->
+           let heap =
+             Wsp_nvheap.Pheap.create ~size:(Units.Size.mib 1)
+               ~log_size:(Units.Size.kib 64) ()
+           in
+           let tree = Wsp_store.Avl.create heap in
+           for i = 1 to 1000 do
+             Wsp_store.Avl.insert tree
+               ~key:(Int64.of_int (i * 7919 mod 1009))
+               ~value:(Int64.of_int i)
+           done))
+  in
+  let save_cycle =
+    Test.make ~name:"wsp-failure-cycle"
+      (Staged.stage (fun () ->
+           let sys = Wsp_core.System.create ~memory:(Units.Size.mib 1) () in
+           ignore (Wsp_core.System.run_failure_cycle sys)))
+  in
+  [
+    nvram_rw;
+    hash_ops Wsp_nvheap.Config.fof "hash-512ops-fof";
+    hash_ops Wsp_nvheap.Config.foc_stm "hash-512ops-foc-stm";
+    avl_insert;
+    save_cycle;
+  ]
+
+let run_microbenches () =
+  let open Bechamel in
+  print_newline ();
+  print_endline "Bechamel microbenchmarks (wall-clock cost of the simulator)";
+  print_endline "===========================================================";
+  let instances = [ Toolkit.Instance.monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~kde:(Some 100) () in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  List.iter
+    (fun test ->
+      let raw = Benchmark.all cfg instances test in
+      let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+      Hashtbl.iter
+        (fun name est ->
+          match Analyze.OLS.estimates est with
+          | Some (ns :: _) -> Printf.printf "  %-22s %12.0f ns/run\n" name ns
+          | Some [] | None -> Printf.printf "  %-22s (no estimate)\n" name)
+        results)
+    (microbench_tests ())
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  let full = List.mem "--full" args in
+  let micro = List.mem "--micro" args in
+  let names = List.filter (fun a -> a <> "--full" && a <> "--micro") args in
+  if List.mem "--help" names || List.mem "-h" names then usage ()
+  else begin
+    (match names with
+    | [] -> Wsp_experiments.Registry.run_all ~full
+    | names ->
+        List.iter
+          (fun name ->
+            match Wsp_experiments.Registry.find name with
+            | Some e -> e.run ~full
+            | None ->
+                Printf.printf "unknown experiment %S\n" name;
+                usage ();
+                exit 2)
+          names);
+    if micro then run_microbenches ()
+  end

@@ -1,0 +1,239 @@
+(* The wsp-sim command-line interface.
+
+   Subcommands:
+     experiment  run one or more of the paper's tables/figures
+     list        list the available experiments
+     cycle       run one end-to-end power-failure cycle and report it
+     window      measure a PSU's residual energy window
+     storm       run the cluster recovery-storm model *)
+
+open Cmdliner
+open Wsp_sim
+open Wsp_machine
+module Psu = Wsp_power.Psu
+module System = Wsp_core.System
+
+let platform_conv =
+  let parse s =
+    match Platform.by_name s with
+    | Some p -> Ok p
+    | None ->
+        Error
+          (`Msg
+            (Printf.sprintf "unknown platform %S (try: %s)" s
+               (String.concat ", "
+                  (List.map (fun p -> p.Platform.short_name) Platform.all))))
+  in
+  Arg.conv (parse, fun ppf p -> Fmt.string ppf p.Platform.short_name)
+
+let psu_conv =
+  let parse s =
+    let named = [ ("400", Psu.atx_400); ("525", Psu.atx_525); ("750", Psu.atx_750); ("1050", Psu.atx_1050) ] in
+    match List.assoc_opt s named with
+    | Some spec -> Ok spec
+    | None -> (
+        match Psu.spec_by_name s with
+        | Some spec -> Ok spec
+        | None -> Error (`Msg (Printf.sprintf "unknown PSU %S (try: 400, 525, 750, 1050)" s)))
+  in
+  Arg.conv (parse, fun ppf spec -> Fmt.string ppf spec.Psu.name)
+
+let strategy_conv =
+  let parse = function
+    | "acpi" -> Ok System.Acpi_save
+    | "reinit" -> Ok System.Restore_reinit
+    | "replay" -> Ok System.Virtualized_replay
+    | s -> Error (`Msg (Printf.sprintf "unknown strategy %S (acpi|reinit|replay)" s))
+  in
+  Arg.conv (parse, fun ppf s -> Fmt.string ppf (System.strategy_name s))
+
+let platform_arg =
+  Arg.(
+    value
+    & opt platform_conv Platform.intel_c5528
+    & info [ "platform" ] ~docv:"PLATFORM" ~doc:"Platform (c5528, x5650, amd4180, d510).")
+
+let psu_arg =
+  Arg.(
+    value
+    & opt psu_conv Psu.atx_1050
+    & info [ "psu" ] ~docv:"PSU" ~doc:"PSU rating (400, 525, 750, 1050).")
+
+let busy_arg =
+  Arg.(value & flag & info [ "busy" ] ~doc:"Run the stress (busy) load.")
+
+let seed_arg =
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"RNG seed.")
+
+let verbose_arg =
+  Arg.(
+    value & flag
+    & info [ "v"; "verbose" ] ~doc:"Trace the save/restore protocol steps.")
+
+let setup_logs verbose =
+  Logs.set_reporter (Logs_fmt.reporter ());
+  Logs.set_level (Some (if verbose then Logs.Debug else Logs.Warning))
+
+(* --- experiment ----------------------------------------------------- *)
+
+let experiment_cmd =
+  let names_arg =
+    Arg.(value & pos_all string [] & info [] ~docv:"NAME" ~doc:"Experiments to run (all if none).")
+  in
+  let full_arg =
+    Arg.(value & flag & info [ "full" ] ~doc:"Paper-scale parameters (slow).")
+  in
+  let run names full =
+    match names with
+    | [] ->
+        Wsp_experiments.Registry.run_all ~full;
+        0
+    | names ->
+        List.fold_left
+          (fun code name ->
+            match Wsp_experiments.Registry.find name with
+            | Some e ->
+                e.Wsp_experiments.Registry.run ~full;
+                code
+            | None ->
+                Printf.eprintf "unknown experiment %S\n" name;
+                2)
+          0 names
+  in
+  Cmd.v
+    (Cmd.info "experiment" ~doc:"Reproduce the paper's tables and figures")
+    Term.(const run $ names_arg $ full_arg)
+
+let list_cmd =
+  let run () =
+    List.iter
+      (fun (e : Wsp_experiments.Registry.t) ->
+        Printf.printf "%-11s %s\n" e.name e.title)
+      Wsp_experiments.Registry.all;
+    0
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List available experiments") Term.(const run $ const ())
+
+(* --- cycle ----------------------------------------------------------- *)
+
+let cycle_cmd =
+  let strategy_arg =
+    Arg.(
+      value
+      & opt strategy_conv System.Restore_reinit
+      & info [ "strategy" ] ~docv:"STRATEGY" ~doc:"Device restart strategy (acpi|reinit|replay).")
+  in
+  let run platform psu busy strategy seed verbose =
+    setup_logs verbose;
+    let sys = System.create ~platform ~psu ~busy ~strategy ~seed () in
+    let heap = System.heap sys in
+    let addr = Wsp_nvheap.Pheap.alloc heap 4096 in
+    for i = 0 to 511 do
+      Wsp_nvheap.Pheap.write_u64 heap ~addr:(addr + (8 * i)) (Int64.of_int i)
+    done;
+    Wsp_nvheap.Pheap.set_root heap addr;
+    System.inject_power_failure sys;
+    let r = System.report sys in
+    Printf.printf "platform:        %s\n" platform.Platform.name;
+    Printf.printf "psu:             %s (%s load)\n" (Psu.spec (System.psu sys)).Psu.name
+      (if busy then "busy" else "idle");
+    Printf.printf "window:          %s\n" (Time.to_string r.System.window);
+    (match System.host_save_latency r with
+    | Some t -> Printf.printf "host save:       %s\n" (Time.to_string t)
+    | None -> print_endline "host save:       did not finish before power loss");
+    Printf.printf "dirty flushed:   %d bytes\n" r.System.dirty_bytes_flushed;
+    Printf.printf "emergency save:  %b\n" r.System.emergency_save;
+    let outcome = System.power_on_and_restore sys in
+    Printf.printf "outcome:         %s\n" (System.outcome_name outcome);
+    (match outcome with
+    | System.Recovered { resume_latency; ios_failed; ios_replayed } ->
+        Printf.printf "resume latency:  %s (%d I/Os failed, %d replayed)\n"
+          (Time.to_string resume_latency) ios_failed ios_replayed;
+        let heap' = System.attach_heap sys in
+        let intact = ref true in
+        let root = Wsp_nvheap.Pheap.root heap' in
+        for i = 0 to 511 do
+          if
+            not
+              (Int64.equal
+                 (Wsp_nvheap.Pheap.read_u64 heap' ~addr:(root + (8 * i)))
+                 (Int64.of_int i))
+          then intact := false
+        done;
+        Printf.printf "data intact:     %b\n" !intact
+    | System.Invalid_marker | System.No_image ->
+        print_endline "data intact:     false (recover from the back end)");
+    0
+  in
+  Cmd.v
+    (Cmd.info "cycle" ~doc:"Run one end-to-end WSP power-failure cycle")
+    Term.(
+      const run $ platform_arg $ psu_arg $ busy_arg $ strategy_arg $ seed_arg
+      $ verbose_arg)
+
+(* --- window ----------------------------------------------------------- *)
+
+let window_cmd =
+  let runs_arg =
+    Arg.(value & opt int 3 & info [ "runs" ] ~docv:"N" ~doc:"Measurement runs.")
+  in
+  let run platform psu busy seed runs =
+    let rng = Rng.create ~seed in
+    let load = if busy then platform.Platform.power_busy else platform.Platform.power_idle in
+    for i = 1 to runs do
+      let engine = Engine.create () in
+      let p = Psu.create ~engine ~spec:psu ~load in
+      let scope = Wsp_power.Oscilloscope.create ~rng p in
+      Engine.run_until engine (Time.ms 5.0);
+      let fail_at = Engine.now engine in
+      Psu.fail_input p ~jitter:rng ();
+      let until = Time.add fail_at (Time.ms 600.0) in
+      Engine.run_until engine until;
+      match Wsp_power.Oscilloscope.measure_window scope ~fail_at ~until with
+      | Some w -> Printf.printf "run %d: %s\n" i (Time.to_string w)
+      | None -> Printf.printf "run %d: no drop within 600ms\n" i
+    done;
+    0
+  in
+  Cmd.v
+    (Cmd.info "window" ~doc:"Measure a PSU's residual energy window")
+    Term.(const run $ platform_arg $ psu_arg $ busy_arg $ seed_arg $ runs_arg)
+
+(* --- storm ------------------------------------------------------------ *)
+
+let storm_cmd =
+  let servers_arg =
+    Arg.(value & opt int 32 & info [ "servers" ] ~docv:"N" ~doc:"Fleet size.")
+  in
+  let state_arg =
+    Arg.(value & opt int 256 & info [ "state-gib" ] ~docv:"GIB" ~doc:"State per server (GiB).")
+  in
+  let outage_arg =
+    Arg.(value & opt float 30.0 & info [ "outage" ] ~docv:"SECONDS" ~doc:"Outage duration.")
+  in
+  let run servers state_gib outage =
+    let open Wsp_cluster.Recovery_storm in
+    let params =
+      {
+        default with
+        servers;
+        state_per_server = Units.Size.gib state_gib;
+        outage = Time.s outage;
+      }
+    in
+    let r = run params in
+    Fmt.pr "%a@." pp_result r;
+    0
+  in
+  Cmd.v
+    (Cmd.info "storm" ~doc:"Model a correlated recovery storm")
+    Term.(const run $ servers_arg $ state_arg $ outage_arg)
+
+let () =
+  let info =
+    Cmd.info "wsp-sim" ~version:"1.0.0"
+      ~doc:"Whole-system persistence (ASPLOS 2012) simulator and reproduction"
+  in
+  exit
+    (Cmd.eval'
+       (Cmd.group info [ experiment_cmd; list_cmd; cycle_cmd; window_cmd; storm_cmd ]))

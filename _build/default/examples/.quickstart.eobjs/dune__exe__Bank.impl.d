@@ -1,0 +1,1 @@
+examples/bank.ml: Btree Config Int64 List Pheap Printf Rng Time Units Wsp_core Wsp_nvheap Wsp_sim Wsp_store

@@ -1,0 +1,1 @@
+examples/kvstore_recovery.ml: Config Hash_table Int64 Pheap Printf Time Units Wsp_core Wsp_nvheap Wsp_sim Wsp_store

@@ -1,0 +1,1 @@
+examples/persistence_models.ml: Config List Printf Time Workload Wsp_nvheap Wsp_sim Wsp_store

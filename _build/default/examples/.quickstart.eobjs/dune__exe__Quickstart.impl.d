@@ -1,0 +1,1 @@
+examples/quickstart.ml: Hash_table Int64 Printf Time Wsp_core Wsp_sim Wsp_store

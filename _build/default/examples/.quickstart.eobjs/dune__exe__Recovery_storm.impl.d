@@ -1,0 +1,1 @@
+examples/recovery_storm.ml: Fmt List Printf Recovery_storm Replication Time Units Wsp_cluster Wsp_sim

@@ -1,0 +1,1 @@
+examples/tiered_recovery.ml: Checkpoint Hash_table Int64 Printf Time Units Wsp_core Wsp_sim Wsp_store

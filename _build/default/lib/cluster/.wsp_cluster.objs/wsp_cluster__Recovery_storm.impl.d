@@ -1,0 +1,1 @@
+lib/cluster/recovery_storm.ml: Fmt Time Units Wsp_sim

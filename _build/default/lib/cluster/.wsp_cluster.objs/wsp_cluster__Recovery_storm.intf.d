@@ -1,0 +1,1 @@
+lib/cluster/recovery_storm.mli: Format Time Units Wsp_sim

@@ -1,0 +1,1 @@
+lib/cluster/replicated_kv.ml: Hashtbl List Queue Time Units Wsp_sim

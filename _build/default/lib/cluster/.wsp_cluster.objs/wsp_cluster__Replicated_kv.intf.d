@@ -1,0 +1,1 @@
+lib/cluster/replicated_kv.mli: Time Units Wsp_sim

@@ -1,0 +1,1 @@
+lib/cluster/replication.ml: Fmt Time Units Wsp_sim

@@ -1,0 +1,1 @@
+lib/cluster/replication.mli: Format Time Units Wsp_sim

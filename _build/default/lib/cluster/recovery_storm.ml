@@ -1,0 +1,89 @@
+open Wsp_sim
+
+type params = {
+  servers : int;
+  state_per_server : Units.Size.t;
+  backend_bandwidth : Units.Bandwidth.t;
+  update_rate_per_server : Units.Bandwidth.t;
+  outage : Time.t;
+  nvdimm_restore : Time.t;
+  replay_factor : float;
+}
+
+let default =
+  {
+    servers = 32;
+    state_per_server = Units.Size.gib 256;
+    backend_bandwidth = Units.Bandwidth.gib_per_s 0.5;
+    update_rate_per_server = Units.Bandwidth.mib_per_s 8.0;
+    outage = Time.s 30.0;
+    nvdimm_restore = Time.s 9.0;
+    replay_factor = 1.3;
+  }
+
+let single_server = { default with servers = 1 }
+
+type result = {
+  params : params;
+  full_recovery : Time.t;
+  wsp_recovery : Time.t;
+  speedup : float;
+  backend_bytes_full : float;
+  backend_bytes_wsp : float;
+}
+
+let missed_bytes p =
+  Units.Bandwidth.to_bytes_per_s p.update_rate_per_server *. Time.to_s p.outage
+
+let full_bytes p =
+  float_of_int p.servers *. float_of_int (Units.Size.to_bytes p.state_per_server)
+
+let backend_transfer p bytes =
+  Time.s (bytes /. Units.Bandwidth.to_bytes_per_s p.backend_bandwidth)
+
+let run p =
+  let backend_bytes_full = full_bytes p in
+  let backend_bytes_wsp = float_of_int p.servers *. missed_bytes p in
+  let full_recovery =
+    Time.scale (backend_transfer p backend_bytes_full) p.replay_factor
+  in
+  let wsp_recovery =
+    Time.add p.nvdimm_restore
+      (Time.scale (backend_transfer p backend_bytes_wsp) p.replay_factor)
+  in
+  {
+    params = p;
+    full_recovery;
+    wsp_recovery;
+    speedup = Time.to_s full_recovery /. Time.to_s wsp_recovery;
+    backend_bytes_full;
+    backend_bytes_wsp;
+  }
+
+let recovery_timeline p ~fraction mode =
+  if fraction < 0.0 || fraction > 1.0 then
+    invalid_arg "recovery_timeline: fraction out of range";
+  let k = int_of_float (ceil (fraction *. float_of_int p.servers)) in
+  match mode with
+  | `Full ->
+      (* Servers stream their checkpoints through the shared back end in
+         sequence; the k-th is done after k full transfers. *)
+      let per_server =
+        Time.scale
+          (backend_transfer p (float_of_int (Units.Size.to_bytes p.state_per_server)))
+          p.replay_factor
+      in
+      Time.mul per_server k
+  | `Wsp ->
+      let per_server =
+        Time.scale (backend_transfer p (missed_bytes p)) p.replay_factor
+      in
+      Time.add p.nvdimm_restore (Time.mul per_server k)
+
+let pp_result ppf r =
+  Fmt.pf ppf
+    "%d servers x %a: full=%a wsp=%a (%.0fx); backend reads %.1f GiB vs %.3f GiB"
+    r.params.servers Units.Size.pp r.params.state_per_server Time.pp
+    r.full_recovery Time.pp r.wsp_recovery r.speedup
+    (r.backend_bytes_full /. (1024.0 ** 3.0))
+    (r.backend_bytes_wsp /. (1024.0 ** 3.0))

@@ -1,0 +1,52 @@
+(** The recovery-storm model motivating the paper (§1–2, §6).
+
+    A correlated power outage fells a fleet of main-memory servers; each
+    must refresh its state before serving again. Without NVRAM the whole
+    dataset is re-read from a shared back end (checkpoint read plus log
+    replay), which is I/O bound and scales with fleet size. With WSP a
+    server restores locally from its NVDIMMs and only fetches the
+    updates it missed during the outage. *)
+
+open Wsp_sim
+
+type params = {
+  servers : int;
+  state_per_server : Units.Size.t;
+  backend_bandwidth : Units.Bandwidth.t;
+      (** Aggregate read bandwidth of the storage back end. *)
+  update_rate_per_server : Units.Bandwidth.t;
+      (** Rate at which each server's state is freshly updated. *)
+  outage : Time.t;  (** How long the servers were down. *)
+  nvdimm_restore : Time.t;  (** Local flash-to-DRAM restore time. *)
+  replay_factor : float;
+      (** Log replay costs this much more than streaming the bytes
+          (CPU-bound reconstruction); 1.0 = free replay. *)
+}
+
+val default : params
+(** A 32-server rack: 256 GB per server, a 0.5 GB/s back end, 30 s
+    outage. *)
+
+val single_server : params
+(** The §2 arithmetic: one server, 256 GB at 0.5 GB/s — over 8 minutes
+    even with the whole back end to itself. *)
+
+type result = {
+  params : params;
+  full_recovery : Time.t;
+      (** All servers re-read everything from the back end. *)
+  wsp_recovery : Time.t;
+      (** Local NVDIMM restore plus missed-update catch-up. *)
+  speedup : float;
+  backend_bytes_full : float;
+  backend_bytes_wsp : float;
+}
+
+val run : params -> result
+
+val recovery_timeline :
+  params -> fraction:float -> [ `Full | `Wsp ] -> Time.t
+(** Time until the given fraction of servers is back in service
+    (servers recover in sequence as back-end bandwidth frees up). *)
+
+val pp_result : Format.formatter -> result -> unit

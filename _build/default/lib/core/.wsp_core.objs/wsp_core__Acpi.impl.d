@@ -1,0 +1,1 @@
+lib/core/acpi.ml: Device List Time Wsp_sim

@@ -1,0 +1,1 @@
+lib/core/acpi.mli: Device Time Wsp_sim

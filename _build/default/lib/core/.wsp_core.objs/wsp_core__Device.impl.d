@@ -1,0 +1,1 @@
+lib/core/device.ml: List String Time Wsp_machine Wsp_sim

@@ -1,0 +1,1 @@
+lib/core/hibernate.ml: Acpi Device Flush List Platform Printf Time Units Wsp_machine Wsp_nvdimm Wsp_sim

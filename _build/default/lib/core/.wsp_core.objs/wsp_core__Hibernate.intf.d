@@ -1,0 +1,1 @@
+lib/core/hibernate.mli: Device Time Units Wsp_machine Wsp_sim

@@ -1,0 +1,1 @@
+lib/core/process.ml: Array Bytes Cpu Int64 List Pheap Printf Time Wsp_machine Wsp_nvheap Wsp_sim

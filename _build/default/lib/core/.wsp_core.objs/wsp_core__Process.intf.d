@@ -1,0 +1,1 @@
+lib/core/process.mli: Pheap Rng Time Wsp_nvheap Wsp_sim

@@ -1,0 +1,1 @@
+lib/core/system.ml: Acpi Array Bytes Cpu Device Engine Flush Int64 List Logs Nvram Pheap Platform Rng Time Units Wsp_machine Wsp_nvdimm Wsp_nvheap Wsp_power Wsp_sim

@@ -1,0 +1,1 @@
+lib/core/system.mli: Config Cpu Device Engine Nvram Pheap Platform Time Units Wsp_machine Wsp_nvdimm Wsp_nvheap Wsp_power Wsp_sim

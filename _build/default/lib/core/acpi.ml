@@ -1,0 +1,25 @@
+open Wsp_sim
+
+let suspend_duration devices =
+  List.fold_left
+    (fun acc device -> Time.add acc (Device.suspend_duration device))
+    Time.zero devices
+
+let suspend_all devices =
+  let total = suspend_duration devices in
+  List.iter Device.suspend devices;
+  total
+
+let resume_all devices =
+  List.fold_left
+    (fun acc device ->
+      let cost =
+        match Device.state device with
+        | Device.Suspended | Device.Dead ->
+            Device.reinit device ~replay:false;
+            (* Resuming from D3 is cheaper than a cold re-init. *)
+            Time.scale (Device.spec device).Device.reinit_latency 0.5
+        | Device.Powered -> Time.zero
+      in
+      Time.add acc cost)
+    Time.zero devices

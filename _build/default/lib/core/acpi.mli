@@ -1,0 +1,19 @@
+(** The ACPI S3 "strawman" device save path (§4, §5.3).
+
+    Putting every device into D3 before cutting power is transparent but
+    serial and slow: each driver drains outstanding I/O and runs its own
+    timeouts. {!suspend_all} returns the total latency — compared in
+    Figure 9 against the residual-energy windows of Figure 7, it shows
+    why saving device state on the save path is infeasible. *)
+
+open Wsp_sim
+
+val suspend_all : Device.t list -> Time.t
+(** Suspends every device (in order) and returns the summed D3 time. *)
+
+val resume_all : Device.t list -> Time.t
+(** Resume from S3: re-initialises suspended devices; returns the summed
+    latency. *)
+
+val suspend_duration : Device.t list -> Time.t
+(** The time {!suspend_all} would take, without state changes. *)

@@ -1,0 +1,73 @@
+open Wsp_sim
+open Wsp_machine
+
+type params = {
+  memory : Units.Size.t;
+  ssd_bandwidth : Units.Bandwidth.t;
+  devices : Device.t list;
+  os_overhead : Time.t;
+}
+
+let default_params ?memory (platform : Platform.t) =
+  {
+    memory = (match memory with Some m -> m | None -> platform.Platform.memory);
+    ssd_bandwidth = Units.Bandwidth.mib_per_s 500.0;
+    devices = Device.suite_for platform;
+    os_overhead = Time.s 1.5;
+  }
+
+type comparison = {
+  hibernate_time : Time.t;
+  hibernate_powered : Time.t;
+  nvdimm_save_time : Time.t;
+  nvdimm_powered : Time.t;
+}
+
+let compare params ~nvdimm_modules =
+  let hibernate_time =
+    Time.add
+      (Time.add params.os_overhead (Acpi.suspend_duration params.devices))
+      (Units.Bandwidth.transfer_time params.ssd_bandwidth params.memory)
+  in
+  let per_module =
+    Units.Size.bytes (Units.Size.to_bytes params.memory / nvdimm_modules)
+  in
+  let platform = Platform.intel_c5528 in
+  (* System power is needed only until the NVDIMM save is initiated:
+     the WSP flush path plus two I2C commands. *)
+  let nvdimm_powered =
+    Time.add
+      (Flush.state_save_time platform
+         ~dirty_bytes:(Flush.max_dirty_bytes platform))
+      (Time.us 240.0)
+  in
+  {
+    hibernate_time;
+    hibernate_powered = hibernate_time;
+    nvdimm_save_time = Wsp_nvdimm.Nvdimm.save_duration_for ~size:per_module;
+    nvdimm_powered;
+  }
+
+let run_table ~full:_ =
+  let platform = Platform.intel_c5528 in
+  print_newline ();
+  print_endline "Hibernate to SSD vs NVDIMM save (2)";
+  print_endline "===================================";
+  Printf.printf "  %-8s %-6s %16s %18s %16s %18s\n" "Memory" "DIMMs"
+    "hibernate (s)" "powered for (s)" "NVDIMM save (s)" "powered for (ms)";
+  List.iter
+    (fun (gib, modules) ->
+      let params = default_params ~memory:(Units.Size.gib gib) platform in
+      let c = compare params ~nvdimm_modules:modules in
+      Printf.printf "  %-8s %-6d %16.1f %18.1f %16.1f %18.2f\n"
+        (Printf.sprintf "%d GiB" gib)
+        modules
+        (Time.to_s c.hibernate_time)
+        (Time.to_s c.hibernate_powered)
+        (Time.to_s c.nvdimm_save_time)
+        (Time.to_ms c.nvdimm_powered))
+    [ (4, 2); (16, 4); (48, 12); (128, 16) ];
+  print_endline
+    "  hibernation serialises everything through one I/O channel on system power;";
+  print_endline
+    "  NVDIMMs save in parallel on ultracapacitors - the system needs power for milliseconds"

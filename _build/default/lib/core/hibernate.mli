@@ -1,0 +1,34 @@
+(** Hibernation to an SSD, for contrast with NVDIMM saves (§2).
+
+    "Using flash-based NVDIMMs is not the same as saving system state
+    ('hibernating') to a flash-based SSD": hibernation must suspend
+    processes and devices, then push the entire memory image through one
+    shared memory bus and I/O channel — with the whole system powered the
+    entire time. NVDIMMs save off the critical path, in parallel, on
+    their own ultracapacitors. *)
+
+open Wsp_sim
+
+type params = {
+  memory : Units.Size.t;
+  ssd_bandwidth : Units.Bandwidth.t;  (** Sequential write bandwidth. *)
+  devices : Device.t list;  (** Must be suspended first. *)
+  os_overhead : Time.t;  (** Process freeze + image preparation. *)
+}
+
+val default_params : ?memory:Units.Size.t -> Wsp_machine.Platform.t -> params
+(** 500 MiB/s SSD, the platform's device suite, 1.5 s of OS work;
+    [memory] defaults to the platform's installed memory. *)
+
+type comparison = {
+  hibernate_time : Time.t;  (** Total, all of it on system power. *)
+  hibernate_powered : Time.t;  (** Time the PSU must survive — the same. *)
+  nvdimm_save_time : Time.t;  (** Bank save time (parallel, self-powered). *)
+  nvdimm_powered : Time.t;
+      (** System power needed: just the WSP save path (flush + I2C). *)
+}
+
+val compare : params -> nvdimm_modules:int -> comparison
+
+val run_table : full:bool -> unit
+(** The [hibernate] experiment: sweeps memory sizes on the Intel testbed. *)

@@ -1,0 +1,1 @@
+lib/experiments/ablation.ml: Array Int64 List Pheap Report Rng System Time Wsp_core Wsp_nvheap Wsp_sim

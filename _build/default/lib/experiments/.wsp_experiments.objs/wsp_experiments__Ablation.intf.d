@@ -1,0 +1,1 @@
+lib/experiments/ablation.mli: Time Wsp_core Wsp_sim

@@ -1,0 +1,1 @@
+lib/experiments/distributed.ml: Int64 List Printf Replicated_kv Report Rng Time Wsp_cluster Wsp_sim

@@ -1,0 +1,1 @@
+lib/experiments/distributed.mli: Replicated_kv Wsp_cluster

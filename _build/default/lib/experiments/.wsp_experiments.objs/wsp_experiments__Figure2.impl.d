@@ -1,0 +1,1 @@
+lib/experiments/figure2.ml: Array Engine Printf Report Time Trace Units Wsp_nvdimm Wsp_power Wsp_sim

@@ -1,0 +1,1 @@
+lib/experiments/figure2.mli: Time Trace Units Wsp_sim

@@ -1,0 +1,1 @@
+lib/experiments/figure5.ml: Config Float List Printf Report Time Workload Wsp_nvheap Wsp_sim Wsp_store

@@ -1,0 +1,1 @@
+lib/experiments/figure5.mli: Config Time Wsp_nvheap Wsp_sim

@@ -1,0 +1,1 @@
+lib/experiments/figure6.ml: Array Engine List Oscilloscope Platform Printf Psu Report Rng Time Trace Wsp_machine Wsp_power Wsp_sim

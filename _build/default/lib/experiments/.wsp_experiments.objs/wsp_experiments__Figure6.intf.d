@@ -1,0 +1,1 @@
+lib/experiments/figure6.mli: Time Trace Wsp_sim

@@ -1,0 +1,1 @@
+lib/experiments/figure7.ml: Engine List Oscilloscope Platform Psu Report Rng Time Wsp_machine Wsp_power Wsp_sim

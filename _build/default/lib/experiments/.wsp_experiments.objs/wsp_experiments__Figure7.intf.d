@@ -1,0 +1,1 @@
+lib/experiments/figure7.mli: Time Wsp_machine Wsp_power Wsp_sim

@@ -1,0 +1,1 @@
+lib/experiments/figure8.ml: Flush Fmt Hierarchy List Platform Printf Report Time Wsp_machine Wsp_sim

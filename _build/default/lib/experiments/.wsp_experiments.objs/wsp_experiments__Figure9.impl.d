@@ -1,0 +1,1 @@
+lib/experiments/figure9.ml: Acpi Device List Platform Report String Time Wsp_core Wsp_machine Wsp_sim

@@ -1,0 +1,1 @@
+lib/experiments/figure9.mli: Time Wsp_machine Wsp_sim

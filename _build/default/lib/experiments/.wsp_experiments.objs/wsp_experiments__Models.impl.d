@@ -1,0 +1,1 @@
+lib/experiments/models.ml: Config List Report Time Units Workload Wsp_nvheap Wsp_sim Wsp_store

@@ -1,0 +1,1 @@
+lib/experiments/models.mli: Time Wsp_sim

@@ -1,0 +1,1 @@
+lib/experiments/motivation.ml: Fmt List Printf Recovery_storm Replication Report Time Units Wsp_cluster Wsp_sim

@@ -1,0 +1,1 @@
+lib/experiments/process_persistence.ml: List Printf Process Report Rng System Time Wsp_cluster Wsp_core Wsp_sim

@@ -1,0 +1,1 @@
+lib/experiments/process_persistence.mli: Time Wsp_sim

@@ -1,0 +1,1 @@
+lib/experiments/protocol.ml: Array Int64 List Pheap Platform Report Rng System Time Wsp_core Wsp_machine Wsp_nvheap Wsp_power Wsp_sim

@@ -1,0 +1,1 @@
+lib/experiments/protocol.mli: Time Wsp_core Wsp_sim

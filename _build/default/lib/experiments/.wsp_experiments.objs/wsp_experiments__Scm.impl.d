@@ -1,0 +1,1 @@
+lib/experiments/scm.ml: Config Flush List Platform Printf Report Scm Time Units Workload Wsp_machine Wsp_nvheap Wsp_sim Wsp_store

@@ -1,0 +1,1 @@
+lib/experiments/scm.mli: Time Units Wsp_machine Wsp_sim

@@ -1,0 +1,1 @@
+lib/experiments/skew.ml: Config List Printf Report Time Units Workload Wsp_nvheap Wsp_sim Wsp_store

@@ -1,0 +1,1 @@
+lib/experiments/skew.mli: Time Wsp_sim

@@ -1,0 +1,1 @@
+lib/experiments/structures.mli: Time Workload Wsp_sim Wsp_store

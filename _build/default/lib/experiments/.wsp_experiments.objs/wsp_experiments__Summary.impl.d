@@ -1,0 +1,1 @@
+lib/experiments/summary.ml: Engine Float Flush List Platform Printf Psu Report Time Units Wsp_machine Wsp_power Wsp_sim

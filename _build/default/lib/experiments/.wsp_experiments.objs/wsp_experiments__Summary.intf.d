@@ -1,0 +1,1 @@
+lib/experiments/summary.mli: Time Wsp_machine Wsp_power Wsp_sim

@@ -1,0 +1,1 @@
+lib/experiments/table1.ml: Config Directory List Printf Report Wsp_nvheap Wsp_store

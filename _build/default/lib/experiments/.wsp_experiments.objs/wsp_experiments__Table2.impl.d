@@ -1,0 +1,1 @@
+lib/experiments/table2.ml: Flush List Platform Report Time Wsp_machine Wsp_sim

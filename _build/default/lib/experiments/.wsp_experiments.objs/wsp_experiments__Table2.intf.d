@@ -1,0 +1,1 @@
+lib/experiments/table2.mli: Time Wsp_machine Wsp_sim

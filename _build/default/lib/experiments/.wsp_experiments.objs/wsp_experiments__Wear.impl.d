@@ -1,0 +1,1 @@
+lib/experiments/wear.ml: List Printf Report Rng Wear_level Wsp_machine Wsp_sim

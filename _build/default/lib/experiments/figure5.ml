@@ -1,0 +1,59 @@
+open Wsp_sim
+open Wsp_nvheap
+open Wsp_store
+
+type series = { config : Config.t; points : (float * Time.t) list }
+
+let data ?(entries = 20_000) ?(ops = 100_000) ?(points = 6) ?(seed = 5) () =
+  let probs =
+    List.init points (fun i -> float_of_int i /. float_of_int (points - 1))
+  in
+  List.map
+    (fun config ->
+      let points =
+        List.map
+          (fun update_prob ->
+            let r =
+              Workload.run_hash_benchmark ~entries ~ops ~config ~update_prob
+                ~seed ()
+            in
+            (update_prob, r.Workload.per_op))
+          probs
+      in
+      { config; points })
+    Config.all
+
+let slowdown_range series =
+  let find name =
+    List.find (fun s -> s.config.Config.name = name) series
+  in
+  let foc_stm = find "FoC + STM" and fof = find "FoF" in
+  let ratios =
+    List.map2
+      (fun (_, a) (_, b) -> Time.to_ns a /. Time.to_ns b)
+      foc_stm.points fof.points
+  in
+  List.fold_left
+    (fun (lo, hi) r -> (Float.min lo r, Float.max hi r))
+    (infinity, neg_infinity) ratios
+
+let run ~full =
+  Report.heading "Figure 5: Hash table microbenchmark performance (us/op)";
+  let series =
+    if full then data ~entries:100_000 ~ops:1_000_000 ~points:11 ()
+    else data ()
+  in
+  let named =
+    List.map
+      (fun s ->
+        ( s.config.Config.name,
+          List.map (fun (p, t) -> (p, Time.to_us t)) s.points ))
+      series
+  in
+  Report.series ~xlabel:"update p" ~ylabel:"time per operation, us" named;
+  Report.chart ~xlabel:"update probability" ~ylabel:"us/op" named;
+  let lo, hi = slowdown_range series in
+  Report.note
+    (Printf.sprintf "FoC+STM is %.1f-%.1fx slower than FoF (paper: 6-13x)%s" lo
+       hi
+       (if full then "" else "; scaled run (paper: 100k entries, 1M ops; pass --full)"))

@@ -1,0 +1,54 @@
+open Wsp_sim
+open Wsp_machine
+open Wsp_core
+
+type row = {
+  platform : Platform.t;
+  busy : bool;
+  duration : Time.t;
+  paper : Time.t;
+  breakdown : (string * Time.t) list;
+}
+
+let cases =
+  [
+    (Platform.amd_4180, true, Time.ms 5310.0);
+    (Platform.amd_4180, false, Time.ms 5210.0);
+    (Platform.intel_c5528, true, Time.ms 6600.0);
+    (Platform.intel_c5528, false, Time.ms 6400.0);
+  ]
+
+let data () =
+  List.map
+    (fun (platform, busy, paper) ->
+      let devices = Device.suite_for platform in
+      List.iter (fun d -> Device.set_busy d busy) devices;
+      let breakdown =
+        List.map
+          (fun d -> ((Device.spec d).Device.name, Device.suspend_duration d))
+          devices
+      in
+      { platform; busy; duration = Acpi.suspend_duration devices; paper; breakdown })
+    cases
+
+let run ~full:_ =
+  Report.heading "Figure 9: Device state save time (ms)";
+  Report.table
+    ~header:[ "System"; "Load"; "Save time"; "Paper"; "Dominated by" ]
+    (List.map
+       (fun r ->
+         let top3 =
+           List.sort (fun (_, a) (_, b) -> Time.compare b a) r.breakdown
+           |> List.filteri (fun i _ -> i < 3)
+           |> List.map fst |> String.concat ", "
+         in
+         [
+           r.platform.Platform.name;
+           (if r.busy then "Busy" else "Idle");
+           Report.time_ms_cell r.duration;
+           Report.time_ms_cell r.paper;
+           top3;
+         ])
+       (data ()));
+  Report.note
+    "device save exceeds every Figure 7 window by orders of magnitude: restart devices on restore instead"

@@ -1,0 +1,19 @@
+(** Figure 9 — device state save time via ACPI D3.
+
+    Paper: putting all devices to sleep takes ≈5.2–5.3 s on the AMD
+    testbed and ≈6.4–6.6 s on the Intel testbed — far beyond every
+    residual energy window in Figure 7, which is why WSP must restart
+    devices on the restore path instead. *)
+
+open Wsp_sim
+
+type row = {
+  platform : Wsp_machine.Platform.t;
+  busy : bool;
+  duration : Time.t;
+  paper : Time.t;
+  breakdown : (string * Time.t) list;  (** Per-device contribution. *)
+}
+
+val data : unit -> row list
+val run : full:bool -> unit

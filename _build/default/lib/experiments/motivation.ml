@@ -1,0 +1,62 @@
+open Wsp_sim
+open Wsp_cluster
+
+let run ~full:_ =
+  Report.heading "Motivation (1-2): recovery storms, with and without WSP";
+  let single = Recovery_storm.run Recovery_storm.single_server in
+  Report.note
+    (Printf.sprintf
+       "single server, 256 GB at 0.5 GB/s: %.1f min from the back end (paper: >8 min); %.1f s with WSP"
+       (Time.to_s single.Recovery_storm.full_recovery /. 60.0)
+       (Time.to_s single.Recovery_storm.wsp_recovery));
+  let storm = Recovery_storm.run Recovery_storm.default in
+  let p = storm.Recovery_storm.params in
+  Report.table
+    ~header:[ "Scenario"; "Back-end recovery"; "WSP recovery"; "Speedup"; "Back-end reads" ]
+    [
+      [
+        Printf.sprintf "%d servers x %s rack outage" p.Recovery_storm.servers
+          (Fmt.str "%a" Units.Size.pp p.Recovery_storm.state_per_server);
+        Printf.sprintf "%.1f min" (Time.to_s storm.Recovery_storm.full_recovery /. 60.0);
+        Printf.sprintf "%.1f s" (Time.to_s storm.Recovery_storm.wsp_recovery);
+        Printf.sprintf "%.0fx" storm.Recovery_storm.speedup;
+        Printf.sprintf "%.0f GiB vs %.2f GiB"
+          (storm.Recovery_storm.backend_bytes_full /. (1024.0 ** 3.0))
+          (storm.Recovery_storm.backend_bytes_wsp /. (1024.0 ** 3.0));
+      ];
+    ];
+  Report.table
+    ~header:[ "Fleet fraction online"; "Back end"; "WSP" ]
+    (List.map
+       (fun fraction ->
+         [
+           Printf.sprintf "%.0f%%" (100.0 *. fraction);
+           Printf.sprintf "%.1f min"
+             (Time.to_s (Recovery_storm.recovery_timeline p ~fraction `Full) /. 60.0);
+           Printf.sprintf "%.1f s"
+             (Time.to_s (Recovery_storm.recovery_timeline p ~fraction `Wsp));
+         ])
+       [ 0.25; 0.5; 0.9; 1.0 ]);
+  Report.heading "Discussion (6): delaying replica re-instantiation";
+  let params = Replication.default in
+  Report.table
+    ~header:[ "Delay"; "E[back-end bytes]"; "E[exposure]"; "P[rebuild]" ]
+    (List.map
+       (fun seconds ->
+         let a = Replication.assess params ~delay:(Time.s seconds) in
+         [
+           Printf.sprintf "%.0f s" seconds;
+           Printf.sprintf "%.1f GiB"
+             (a.Replication.expected_backend_bytes /. (1024.0 ** 3.0));
+           Printf.sprintf "%.0f s" (Time.to_s a.Replication.expected_exposure);
+           Printf.sprintf "%.2f" a.Replication.rebuild_probability;
+         ])
+       [ 0.0; 30.0; 60.0; 120.0; 300.0 ]);
+  let delay, _cost =
+    Replication.optimal_delay params ~exposure_cost_per_s:0.3
+      ~byte_cost:1e-9
+  in
+  Report.note
+    (Printf.sprintf
+       "NVRAM shifts the optimum: waiting %.0f s for the machine to return minimises cost"
+       (Time.to_s delay))

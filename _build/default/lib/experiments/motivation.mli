@@ -1,0 +1,8 @@
+(** The §1–2 motivation numbers: recovery storms and back-end load.
+
+    Reproduces the arithmetic that motivates WSP — reading 256 GB at
+    0.5 GB/s takes over 8 minutes even for one server, and a correlated
+    outage multiplies it by the fleet — and the §6 replication-delay
+    tradeoff. *)
+
+val run : full:bool -> unit

@@ -1,0 +1,110 @@
+type t = { name : string; title : string; run : full:bool -> unit }
+
+let all =
+  [
+    {
+      name = "table1";
+      title = "Update throughput for OpenLDAP: Mnemosyne vs WSP";
+      run = Table1.run;
+    };
+    {
+      name = "table2";
+      title = "Cache flush times using different instructions";
+      run = Table2.run;
+    };
+    {
+      name = "figure1";
+      title = "Effect of charge-discharge cycles on ultracapacitors";
+      run = Figure1.run;
+    };
+    {
+      name = "figure2";
+      title = "Ultracapacitor voltage and power during NVDIMM save";
+      run = Figure2.run;
+    };
+    {
+      name = "figure5";
+      title = "Hash table microbenchmark performance";
+      run = Figure5.run;
+    };
+    {
+      name = "figure6";
+      title = "Residual energy window (Intel testbed)";
+      run = Figure6.run;
+    };
+    {
+      name = "figure7";
+      title = "Residual energy windows across configurations";
+      run = Figure7.run;
+    };
+    {
+      name = "figure8";
+      title = "Context save and cache flush times";
+      run = Figure8.run;
+    };
+    { name = "figure9"; title = "Device state save time"; run = Figure9.run };
+    {
+      name = "summary";
+      title = "Save time vs residual window; supercap provisioning";
+      run = Summary.run;
+    };
+    {
+      name = "motivation";
+      title = "Recovery storms and replication tradeoffs";
+      run = Motivation.run;
+    };
+    {
+      name = "protocol";
+      title = "End-to-end WSP power-failure cycles";
+      run = Protocol.run;
+    };
+    {
+      name = "models";
+      title = "Block-based vs persistent heap vs whole-system (3.2)";
+      run = Models.run;
+    };
+    {
+      name = "scm";
+      title = "Flush-on-commit vs flush-on-fail on SCMs (6)";
+      run = Scm.run;
+    };
+    {
+      name = "hibernate";
+      title = "Hibernate-to-SSD vs parallel NVDIMM save (2)";
+      run = Wsp_core.Hibernate.run_table;
+    };
+    {
+      name = "process";
+      title = "Whole-system vs process persistence (6)";
+      run = Process_persistence.run;
+    };
+    {
+      name = "structures";
+      title = "Flush-on-fail advantage across data structures (7)";
+      run = Structures.run;
+    };
+    {
+      name = "ablation";
+      title = "Design ablations: valid marker, device strategies";
+      run = Ablation.run;
+    };
+    {
+      name = "distributed";
+      title = "Replicated KV: log catch-up vs re-replication (6)";
+      run = Distributed.run;
+    };
+    {
+      name = "wear";
+      title = "PCM wear leveling under skewed writes (2)";
+      run = Wear.run;
+    };
+    {
+      name = "skew";
+      title = "FoC/FoF gap under Zipfian key popularity";
+      run = Skew.run;
+    };
+  ]
+
+let find name = List.find_opt (fun e -> e.name = name) all
+
+let run_all ~full = List.iter (fun e -> e.run ~full) all

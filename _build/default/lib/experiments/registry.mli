@@ -1,0 +1,15 @@
+(** The experiment registry: every table and figure, addressable by name
+    from the CLI and the benchmark harness. *)
+
+type t = {
+  name : string;  (** CLI identifier, e.g. ["table1"]. *)
+  title : string;
+  run : full:bool -> unit;
+}
+
+val all : t list
+(** In paper order. *)
+
+val find : string -> t option
+
+val run_all : full:bool -> unit

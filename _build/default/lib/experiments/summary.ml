@@ -1,0 +1,85 @@
+open Wsp_sim
+open Wsp_machine
+open Wsp_power
+
+type row = {
+  platform : Platform.t;
+  psu : Psu.spec;
+  busy : bool;
+  save_time : Time.t;
+  window : Time.t;
+  fraction : float;
+}
+
+let cases =
+  [
+    (Platform.amd_4180, Psu.atx_400, true);
+    (Platform.amd_4180, Psu.atx_400, false);
+    (Platform.amd_4180, Psu.atx_525, true);
+    (Platform.amd_4180, Psu.atx_525, false);
+    (Platform.intel_c5528, Psu.atx_750, true);
+    (Platform.intel_c5528, Psu.atx_750, false);
+    (Platform.intel_c5528, Psu.atx_1050, true);
+    (Platform.intel_c5528, Psu.atx_1050, false);
+  ]
+
+let data () =
+  List.map
+    (fun (platform, psu, busy) ->
+      let engine = Engine.create () in
+      let load =
+        if busy then platform.Platform.power_busy else platform.Platform.power_idle
+      in
+      let p = Psu.create ~engine ~spec:psu ~load in
+      let window = Psu.nominal_window p in
+      let save_time =
+        Flush.state_save_time platform
+          ~dirty_bytes:(Flush.max_dirty_bytes platform)
+      in
+      {
+        platform;
+        psu;
+        busy;
+        save_time;
+        window;
+        fraction = Time.to_s save_time /. Time.to_s window;
+      })
+    cases
+
+let supercap_farads (platform : Platform.t) ~safety_factor =
+  let save =
+    Time.to_s
+      (Flush.state_save_time platform
+         ~dirty_bytes:(Flush.max_dirty_bytes platform))
+  in
+  let power = Units.Power.to_watts platform.Platform.power_busy in
+  let v_charge = 12.0 and v_floor = 6.0 in
+  safety_factor *. 2.0 *. power *. save
+  /. ((v_charge *. v_charge) -. (v_floor *. v_floor))
+
+let run ~full:_ =
+  Report.heading "Summary (5.4): worst-case save time vs residual energy window";
+  let rows = data () in
+  Report.table
+    ~header:[ "System"; "PSU"; "Load"; "Save (ms)"; "Window (ms)"; "Save/window" ]
+    (List.map
+       (fun r ->
+         [
+           r.platform.Platform.name;
+           r.psu.Psu.name;
+           (if r.busy then "Busy" else "Idle");
+           Report.time_ms_cell r.save_time;
+           Report.time_ms_cell r.window;
+           Printf.sprintf "%.1f%%" (100.0 *. r.fraction);
+         ])
+       rows);
+  let worst = List.fold_left (fun acc r -> Float.max acc r.fraction) 0.0 rows in
+  Report.note
+    (Printf.sprintf
+       "worst case uses %.0f%% of the window (paper: 2-35%%); every save fits"
+       (100.0 *. worst));
+  let farads = supercap_farads Platform.intel_c5528 ~safety_factor:5.0 in
+  Report.note
+    (Printf.sprintf
+       "explicit provisioning: %.2f F supercap (12V->6V, 5x margin) powers the Intel save; paper: 0.5 F under $2"
+       farads)

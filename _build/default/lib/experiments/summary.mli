@@ -1,0 +1,26 @@
+(** §5.4 — is flush-on-fail safe within the residual energy window?
+
+    Combines Figure 7's windows with Figure 8's worst-case save times:
+    the paper finds saves complete within 2–35 % of the window (windows
+    2.5–80× larger than the save), and that explicit provisioning needs
+    only a ≈0.5 F supercapacitor costing under $2. *)
+
+open Wsp_sim
+
+type row = {
+  platform : Wsp_machine.Platform.t;
+  psu : Wsp_power.Psu.spec;
+  busy : bool;
+  save_time : Time.t;  (** Worst case: all cache lines dirty. *)
+  window : Time.t;
+  fraction : float;  (** [save_time / window]. *)
+}
+
+val data : unit -> row list
+
+val supercap_farads :
+  Wsp_machine.Platform.t -> safety_factor:float -> float
+(** Capacitance (12 V charged, 6 V usable floor) needed to power the
+    worst-case state save at busy draw, times the safety factor. *)
+
+val run : full:bool -> unit

@@ -1,0 +1,18 @@
+(** Table 2 — worst-case cache flush times per instruction.
+
+    Paper (all cache lines dirty): 2× Intel C5528 — wbinvd 2.8 ms,
+    clflush 2.3 ms, theoretical best 0.79 ms; AMD 4180 — 1.3 / 1.6 /
+    0.65 ms. *)
+
+open Wsp_sim
+
+type row = {
+  platform : Wsp_machine.Platform.t;
+  wbinvd : Time.t;
+  clflush : Time.t;
+  theoretical_best : Time.t;
+  paper : Time.t * Time.t * Time.t;
+}
+
+val data : unit -> row list
+val run : full:bool -> unit

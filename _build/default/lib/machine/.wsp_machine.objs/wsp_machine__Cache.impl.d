@@ -1,0 +1,1 @@
+lib/machine/cache.ml: Array Option Time Units Wsp_sim

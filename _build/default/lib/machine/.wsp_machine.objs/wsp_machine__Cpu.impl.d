@@ -1,0 +1,1 @@
+lib/machine/cpu.ml: Array Bytes Fmt Int64 Rng Wsp_sim

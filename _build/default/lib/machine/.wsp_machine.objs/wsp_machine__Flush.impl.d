@@ -1,0 +1,1 @@
+lib/machine/flush.ml: Platform Time Units Wsp_sim

@@ -1,0 +1,1 @@
+lib/machine/flush.mli: Platform Time Wsp_sim

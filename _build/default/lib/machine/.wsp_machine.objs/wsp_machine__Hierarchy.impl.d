@@ -1,0 +1,1 @@
+lib/machine/hierarchy.ml: Array Cache Hashtbl List Time Units Wsp_sim

@@ -1,0 +1,1 @@
+lib/machine/hierarchy.mli: Cache Time Units Wsp_sim

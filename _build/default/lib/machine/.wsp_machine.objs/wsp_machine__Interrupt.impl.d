@@ -1,0 +1,1 @@
+lib/machine/interrupt.ml: Array Cpu Engine List Time Wsp_sim

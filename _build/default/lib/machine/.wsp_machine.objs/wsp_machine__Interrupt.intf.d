@@ -1,0 +1,1 @@
+lib/machine/interrupt.mli: Cpu Engine Time Wsp_sim

@@ -1,0 +1,1 @@
+lib/machine/platform.ml: Cache Hierarchy List Option String Time Units Wsp_sim

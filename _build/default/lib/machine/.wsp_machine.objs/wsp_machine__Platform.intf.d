@@ -1,0 +1,1 @@
+lib/machine/platform.mli: Hierarchy Time Units Wsp_sim

@@ -1,0 +1,1 @@
+lib/machine/scm.ml: Hierarchy List Platform String Time Units Wsp_sim

@@ -1,0 +1,1 @@
+lib/machine/scm.mli: Hierarchy Platform Units Wsp_sim

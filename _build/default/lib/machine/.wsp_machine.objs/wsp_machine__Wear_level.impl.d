@@ -1,0 +1,1 @@
+lib/machine/wear_level.ml: Array Fmt

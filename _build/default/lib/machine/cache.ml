@@ -1,0 +1,125 @@
+open Wsp_sim
+
+type config = {
+  name : string;
+  size : Units.Size.t;
+  line_size : int;
+  associativity : int;
+  hit_latency : Time.t;
+}
+
+type way = {
+  mutable line : int;
+  mutable valid : bool;
+  mutable dirty : bool;
+  mutable age : int;  (* Larger is more recent. *)
+}
+
+type t = {
+  cfg : config;
+  sets : way array array;
+  n_sets : int;
+  mutable tick : int;
+}
+
+let create cfg =
+  let total_lines = Units.Size.to_bytes cfg.size / cfg.line_size in
+  assert (total_lines > 0 && cfg.associativity > 0);
+  assert (total_lines mod cfg.associativity = 0);
+  let n_sets = total_lines / cfg.associativity in
+  let sets =
+    Array.init n_sets (fun _ ->
+        Array.init cfg.associativity (fun _ ->
+            { line = 0; valid = false; dirty = false; age = 0 }))
+  in
+  { cfg; sets; n_sets; tick = 0 }
+
+let config t = t.cfg
+let line_count t = t.n_sets * t.cfg.associativity
+let line_of_addr t addr = addr / t.cfg.line_size
+let set_of_line t line = ((line mod t.n_sets) + t.n_sets) mod t.n_sets
+
+type victim = { line : int; dirty : bool }
+
+let find_way t line =
+  let set = t.sets.(set_of_line t line) in
+  let rec scan i =
+    if i >= Array.length set then None
+    else if set.(i).valid && set.(i).line = line then Some set.(i)
+    else scan (i + 1)
+  in
+  scan 0
+
+let touch t way =
+  t.tick <- t.tick + 1;
+  way.age <- t.tick
+
+let probe t ~line =
+  match find_way t line with
+  | Some way ->
+      touch t way;
+      true
+  | None -> false
+
+let contains t ~line = Option.is_some (find_way t line)
+
+let insert t ~line ~dirty =
+  match find_way t line with
+  | Some way ->
+      way.dirty <- way.dirty || dirty;
+      touch t way;
+      None
+  | None ->
+      let set = t.sets.(set_of_line t line) in
+      (* Prefer an invalid way; otherwise evict the least recently used. *)
+      let slot = ref set.(0) in
+      Array.iter
+        (fun way ->
+          if not way.valid then begin
+            if !slot.valid || way.age < !slot.age then slot := way
+          end
+          else if !slot.valid && way.age < !slot.age then slot := way)
+        set;
+      let victim =
+        if !slot.valid then Some { line = !slot.line; dirty = !slot.dirty }
+        else None
+      in
+      !slot.valid <- true;
+      !slot.line <- line;
+      !slot.dirty <- dirty;
+      touch t !slot;
+      victim
+
+let set_dirty t ~line =
+  match find_way t line with Some way -> way.dirty <- true | None -> ()
+
+let is_dirty t ~line =
+  match find_way t line with Some way -> way.dirty | None -> false
+
+let invalidate t ~line =
+  match find_way t line with
+  | Some way ->
+      let was_dirty = way.dirty in
+      way.valid <- false;
+      way.dirty <- false;
+      was_dirty
+  | None -> false
+
+let fold f acc t =
+  Array.fold_left
+    (fun acc set ->
+      Array.fold_left (fun acc way -> if way.valid then f acc way else acc) acc set)
+    acc t.sets
+
+let dirty_lines t =
+  fold (fun acc way -> if way.dirty then way.line :: acc else acc) [] t
+
+let dirty_count t = fold (fun acc way -> if way.dirty then acc + 1 else acc) 0 t
+let resident_count t = fold (fun acc _ -> acc + 1) 0 t
+
+let clear t =
+  Array.iter
+    (Array.iter (fun way ->
+         way.valid <- false;
+         way.dirty <- false))
+    t.sets

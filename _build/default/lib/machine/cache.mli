@@ -1,0 +1,56 @@
+(** A single set-associative cache level.
+
+    The cache tracks tag state only (presence, dirty bit, LRU age); line
+    contents live with the memory backing store, which keeps a buffer of
+    dirty-line data (see {!Wsp_nvheap.Nvram}). Addresses are byte
+    addresses; the cache works internally in line numbers
+    ([addr / line_size]). *)
+
+open Wsp_sim
+
+type config = {
+  name : string;  (** e.g. ["L1d"]. *)
+  size : Units.Size.t;
+  line_size : int;
+  associativity : int;
+  hit_latency : Time.t;
+}
+
+type t
+
+val create : config -> t
+val config : t -> config
+
+val line_count : t -> int
+(** Total capacity in lines. *)
+
+val line_of_addr : t -> int -> int
+
+type victim = { line : int; dirty : bool }
+
+val probe : t -> line:int -> bool
+(** [probe t ~line] is [true] on hit, updating LRU recency. *)
+
+val contains : t -> line:int -> bool
+(** Like {!probe} but without touching LRU state. *)
+
+val insert : t -> line:int -> dirty:bool -> victim option
+(** Allocates [line]; when the target set is full the LRU way is evicted
+    and returned. Inserting a line already present merges the dirty flag
+    instead. *)
+
+val set_dirty : t -> line:int -> unit
+(** Marks a (present) line dirty. No-op if the line is absent. *)
+
+val is_dirty : t -> line:int -> bool
+
+val invalidate : t -> line:int -> bool
+(** Drops the line if present; [true] iff it was present and dirty. *)
+
+val dirty_lines : t -> int list
+val dirty_count : t -> int
+val resident_count : t -> int
+
+val clear : t -> unit
+(** Invalidates everything without reporting write-backs; callers that
+    need write-back semantics must consume {!dirty_lines} first. *)

@@ -1,0 +1,101 @@
+open Wsp_sim
+
+module Context = struct
+  type t = {
+    regs : int64 array;
+    rip : int64;
+    rsp : int64;
+    rflags : int64;
+  }
+
+  let n_regs = 16
+  let size_bytes = (n_regs + 3) * 8
+  let fresh () = { regs = Array.make n_regs 0L; rip = 0L; rsp = 0L; rflags = 0L }
+
+  let random rng =
+    {
+      regs = Array.init n_regs (fun _ -> Rng.bits64 rng);
+      rip = Rng.bits64 rng;
+      rsp = Rng.bits64 rng;
+      rflags = Rng.bits64 rng;
+    }
+
+  let equal a b =
+    Array.for_all2 Int64.equal a.regs b.regs
+    && Int64.equal a.rip b.rip && Int64.equal a.rsp b.rsp
+    && Int64.equal a.rflags b.rflags
+
+  let write t buf ~off =
+    Array.iteri (fun i r -> Bytes.set_int64_le buf (off + (i * 8)) r) t.regs;
+    Bytes.set_int64_le buf (off + (n_regs * 8)) t.rip;
+    Bytes.set_int64_le buf (off + ((n_regs + 1) * 8)) t.rsp;
+    Bytes.set_int64_le buf (off + ((n_regs + 2) * 8)) t.rflags
+
+  let read buf ~off =
+    {
+      regs = Array.init n_regs (fun i -> Bytes.get_int64_le buf (off + (i * 8)));
+      rip = Bytes.get_int64_le buf (off + (n_regs * 8));
+      rsp = Bytes.get_int64_le buf (off + ((n_regs + 1) * 8));
+      rflags = Bytes.get_int64_le buf (off + ((n_regs + 2) * 8));
+    }
+
+  let pp ppf t = Fmt.pf ppf "rip=%Lx rsp=%Lx" t.rip t.rsp
+end
+
+module Core = struct
+  type state = Running | Halted
+
+  type t = {
+    id : int;
+    socket : int;
+    mutable state : state;
+    mutable context : Context.t;
+  }
+
+  let create ~id ~socket = { id; socket; state = Running; context = Context.fresh () }
+  let id t = t.id
+  let socket t = t.socket
+  let state t = t.state
+  let context t = t.context
+  let set_context t ctx = t.context <- ctx
+  let halt t = t.state <- Halted
+  let resume t = t.state <- Running
+  let scramble t rng = t.context <- Context.random rng
+end
+
+type t = { cores : Core.t array }
+
+let create ~sockets ~cores_per_socket ~threads_per_core =
+  let per_socket = cores_per_socket * threads_per_core in
+  let total = sockets * per_socket in
+  assert (total > 0);
+  let cores =
+    Array.init total (fun id -> Core.create ~id ~socket:(id / per_socket))
+  in
+  { cores }
+
+let cores t = t.cores
+let core_count t = Array.length t.cores
+let control t = t.cores.(0)
+let all_halted t = Array.for_all (fun c -> Core.state c = Core.Halted) t.cores
+
+let running_count t =
+  Array.fold_left
+    (fun acc c -> if Core.state c = Core.Running then acc + 1 else acc)
+    0 t.cores
+
+let halt_all t = Array.iter Core.halt t.cores
+let resume_all t = Array.iter Core.resume t.cores
+let context_area_bytes t = core_count t * Context.size_bytes
+
+let save_contexts t buf ~off =
+  Array.iteri
+    (fun i core ->
+      Context.write (Core.context core) buf ~off:(off + (i * Context.size_bytes)))
+    t.cores
+
+let restore_contexts t buf ~off =
+  Array.iteri
+    (fun i core ->
+      Core.set_context core (Context.read buf ~off:(off + (i * Context.size_bytes))))
+    t.cores

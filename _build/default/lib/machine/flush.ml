@@ -1,0 +1,32 @@
+open Wsp_sim
+
+let max_dirty_bytes (p : Platform.t) = Platform.llc_total p
+
+let transfer (p : Platform.t) bytes =
+  Units.Bandwidth.transfer_time p.memory_bandwidth bytes
+
+let wbinvd_time (p : Platform.t) ~dirty_bytes =
+  let dirty_bytes = min dirty_bytes (max_dirty_bytes p) in
+  let slots = Platform.cache_total p / p.line_size in
+  Time.add (Time.mul p.wbinvd_line_walk slots) (transfer p dirty_bytes)
+
+let clflush_time (p : Platform.t) ~region_bytes ~dirty_bytes =
+  let dirty_bytes = min dirty_bytes region_bytes in
+  let lines = (region_bytes + p.line_size - 1) / p.line_size in
+  Time.add (Time.mul p.clflush_issue lines) (transfer p dirty_bytes)
+
+let theoretical_best (p : Platform.t) ~dirty_bytes =
+  transfer p (min dirty_bytes (max_dirty_bytes p))
+
+let context_save_time (p : Platform.t) =
+  (* The control processor IPIs everyone, then all cores save their
+     contexts in parallel: one IPI delivery plus one context save. *)
+  Time.add p.ipi_latency p.context_save_latency
+
+let state_save_time (p : Platform.t) ~dirty_bytes =
+  Time.add (context_save_time p) (wbinvd_time p ~dirty_bytes)
+
+let best_instruction p ~region_bytes ~dirty_bytes =
+  let w = wbinvd_time p ~dirty_bytes in
+  let c = clflush_time p ~region_bytes ~dirty_bytes in
+  if Time.(c < w) then `Clflush else `Wbinvd

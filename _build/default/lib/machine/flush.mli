@@ -1,0 +1,33 @@
+(** Machine-wide cache-flush timing (Table 2, Figure 8).
+
+    Analytic counterpart of {!Hierarchy.flush_all}: the same cost model
+    evaluated from a {!Platform.t} without materialising the (large)
+    aggregate tag arrays. Tests cross-check the two against each other. *)
+
+open Wsp_sim
+
+val max_dirty_bytes : Platform.t -> int
+(** The most distinct dirty data the machine can cache (its total LLC —
+    hierarchies are inclusive). *)
+
+val wbinvd_time : Platform.t -> dirty_bytes:int -> Time.t
+(** Full tag walk of every cache level plus write-back of the dirty bytes
+    at memory bandwidth. Nearly flat in [dirty_bytes]. *)
+
+val clflush_time : Platform.t -> region_bytes:int -> dirty_bytes:int -> Time.t
+(** Issuing [clflush] over an address region: per-line issue cost for the
+    whole region plus write-back of the dirty bytes. Cheaper than
+    [wbinvd] only when the region is small. *)
+
+val theoretical_best : Platform.t -> dirty_bytes:int -> Time.t
+(** Lower bound: just the dirty bytes at memory bandwidth. *)
+
+val context_save_time : Platform.t -> Time.t
+(** IPI fan-out plus parallel per-core register saves. *)
+
+val state_save_time : Platform.t -> dirty_bytes:int -> Time.t
+(** The Figure 8 quantity: context save plus [wbinvd]. *)
+
+val best_instruction :
+  Platform.t -> region_bytes:int -> dirty_bytes:int -> [ `Wbinvd | `Clflush ]
+(** Which instruction flushes the given region faster. *)

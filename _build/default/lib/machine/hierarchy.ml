@@ -1,0 +1,170 @@
+open Wsp_sim
+
+type config = {
+  levels : Cache.config list;
+  memory_latency : Time.t;
+  memory_bandwidth : Units.Bandwidth.t;
+  memory_write_bandwidth : Units.Bandwidth.t;
+  nt_store_latency : Time.t;
+  fence_latency : Time.t;
+  clflush_issue : Time.t;
+  wbinvd_line_walk : Time.t;
+}
+
+type t = {
+  cfg : config;
+  levels : Cache.t array;  (* levels.(0) is L1; last is the LLC. *)
+  line_size : int;
+  mutable on_writeback : line:int -> unit;
+}
+
+let create ?(on_writeback = fun ~line:_ -> ()) (cfg : config) =
+  (match cfg.levels with
+  | [] -> invalid_arg "Hierarchy.create: no levels"
+  | first :: rest ->
+      List.iter
+        (fun (l : Cache.config) ->
+          if l.line_size <> first.line_size then
+            invalid_arg "Hierarchy.create: mismatched line sizes")
+        rest);
+  let levels = Array.of_list (List.map Cache.create cfg.levels) in
+  let line_size = (List.hd cfg.levels).Cache.line_size in
+  { cfg; levels; line_size; on_writeback }
+
+let config t = t.cfg
+let line_size t = t.line_size
+let set_on_writeback t f = t.on_writeback <- f
+let llc t = t.levels.(Array.length t.levels - 1)
+let line_of t addr = addr / t.line_size
+
+(* Evicting [victim] from level [i]: inclusion requires dropping it from
+   all upper levels too, accumulating dirtiness. If level [i] is the LLC
+   the line leaves the hierarchy and a dirty victim is written back;
+   otherwise it is demoted into level [i+1] (where inclusion normally
+   means it is already present — if not, it is re-inserted, which may
+   cascade). *)
+let rec evict_from t i (victim : Cache.victim) =
+  let dirty = ref victim.dirty in
+  for j = 0 to i - 1 do
+    if Cache.invalidate t.levels.(j) ~line:victim.line then dirty := true
+  done;
+  if i = Array.length t.levels - 1 then begin
+    if !dirty then t.on_writeback ~line:victim.line
+  end
+  else
+    let below = t.levels.(i + 1) in
+    if Cache.contains below ~line:victim.line then begin
+      if !dirty then Cache.set_dirty below ~line:victim.line
+    end
+    else
+      match Cache.insert below ~line:victim.line ~dirty:!dirty with
+      | None -> ()
+      | Some v -> evict_from t (i + 1) v
+
+(* Fills [line] into levels [0..upto], lowest level first so that
+   inclusion holds while upper-level evictions demote downwards. *)
+let fill t ~line ~upto =
+  for i = upto downto 0 do
+    if not (Cache.contains t.levels.(i) ~line) then
+      match Cache.insert t.levels.(i) ~line ~dirty:false with
+      | None -> ()
+      | Some v -> evict_from t i v
+  done
+
+(* Probes levels in order; returns (hit_level option, accumulated probe
+   latency). A hit at level k costs the sum of hit latencies of levels
+   0..k; a full miss additionally costs memory latency. *)
+let probe_chain t line =
+  let n = Array.length t.levels in
+  let rec go i latency =
+    if i >= n then (None, Time.add latency t.cfg.memory_latency)
+    else
+      let level = t.levels.(i) in
+      let latency = Time.add latency (Cache.config level).Cache.hit_latency in
+      if Cache.probe level ~line then (Some i, latency) else go (i + 1) latency
+  in
+  go 0 Time.zero
+
+let access t ~addr ~write =
+  let line = line_of t addr in
+  let hit, latency = probe_chain t line in
+  (match hit with
+  | Some k -> if k > 0 then fill t ~line ~upto:(k - 1)
+  | None -> fill t ~line ~upto:(Array.length t.levels - 1));
+  if write then Cache.set_dirty t.levels.(0) ~line;
+  latency
+
+let load t ~addr = access t ~addr ~write:false
+let store t ~addr = access t ~addr ~write:true
+
+let invalidate_line t line =
+  let dirty = ref false in
+  Array.iter
+    (fun level -> if Cache.invalidate level ~line then dirty := true)
+    t.levels;
+  !dirty
+
+let store_nt t ~addr =
+  let line = line_of t addr in
+  (* Any cached copy is flushed first so the line's pre-existing dirty
+     bytes are not lost when the caller writes directly to backing. *)
+  if invalidate_line t line then t.on_writeback ~line;
+  t.cfg.nt_store_latency
+
+let fence t = t.cfg.fence_latency
+
+let clflush t ~addr =
+  let line = line_of t addr in
+  let dirty = invalidate_line t line in
+  if dirty then t.on_writeback ~line;
+  let latency = t.cfg.clflush_issue in
+  if dirty then
+    Time.add latency
+      (Units.Bandwidth.transfer_time t.cfg.memory_write_bandwidth t.line_size)
+  else latency
+
+let flush_lines t ~addr ~len =
+  if len <= 0 then Time.zero
+  else begin
+    let first = line_of t addr and last = line_of t (addr + len - 1) in
+    let total = ref Time.zero in
+    for line = first to last do
+      let byte = line * t.line_size in
+      total := Time.add !total (clflush t ~addr:byte)
+    done;
+    !total
+  end
+
+let dirty_lines t =
+  (* The union is exact because inclusion merges dirty bits downwards;
+     still, a line can be dirty at several levels simultaneously. *)
+  let seen = Hashtbl.create 64 in
+  Array.iter
+    (fun level ->
+      List.iter
+        (fun line -> if not (Hashtbl.mem seen line) then Hashtbl.add seen line ())
+        (Cache.dirty_lines level))
+    t.levels;
+  Hashtbl.fold (fun line () acc -> line :: acc) seen []
+
+let dirty_bytes t = List.length (dirty_lines t) * t.line_size
+
+let resident_lines t =
+  (* Distinct lines present anywhere; by inclusion this is the LLC count. *)
+  Cache.resident_count (llc t)
+
+let total_line_slots t =
+  Array.fold_left (fun acc level -> acc + Cache.line_count level) 0 t.levels
+
+let flush_all t =
+  let dirty = dirty_lines t in
+  List.iter (fun line -> t.on_writeback ~line) dirty;
+  Array.iter Cache.clear t.levels;
+  let walk = Time.mul t.cfg.wbinvd_line_walk (total_line_slots t) in
+  let transfer =
+    Units.Bandwidth.transfer_time t.cfg.memory_write_bandwidth
+      (List.length dirty * t.line_size)
+  in
+  Time.add walk transfer
+
+let drop_volatile t = Array.iter Cache.clear t.levels

@@ -1,0 +1,77 @@
+(** A multi-level, inclusive, write-back cache hierarchy.
+
+    The hierarchy models *which lines are cached and which are dirty*, and
+    charges access latencies; line contents are owned by the backing store,
+    which is notified through [on_writeback] whenever a dirty line leaves
+    the hierarchy (LLC eviction, [clflush], [flush_all]). A power failure
+    is modelled by {!drop_volatile}, which discards all cache state with
+    {e no} write-back — exactly the data loss the paper's flush-on-fail
+    save path exists to prevent.
+
+    Inclusion is maintained by back-invalidating upper levels when a lower
+    level evicts, merging dirty bits downwards, so the set of dirty lines
+    reported by {!dirty_lines} is exact. *)
+
+open Wsp_sim
+
+type config = {
+  levels : Cache.config list;  (** Ordered L1 first; all share a line size. *)
+  memory_latency : Time.t;  (** Memory read latency on LLC miss. *)
+  memory_bandwidth : Units.Bandwidth.t;  (** Read/fill bandwidth. *)
+  memory_write_bandwidth : Units.Bandwidth.t;
+      (** Write-back bandwidth. Equal to [memory_bandwidth] for DRAM;
+          much lower for SCMs such as phase-change memory (§6) — see
+          {!Scm}. *)
+  nt_store_latency : Time.t;
+      (** Amortised cost of a write-combining non-temporal store of one
+          line. *)
+  fence_latency : Time.t;  (** Cost of [mfence]/WC-buffer drain. *)
+  clflush_issue : Time.t;  (** Per-line issue cost of [clflush]. *)
+  wbinvd_line_walk : Time.t;
+      (** Per-line tag-walk cost of [wbinvd] (paid for {e every} line slot,
+          dirty or not — this is what makes wbinvd time flat in the number
+          of dirty lines, cf. Figure 8). *)
+}
+
+type t
+
+val create : ?on_writeback:(line:int -> unit) -> config -> t
+
+val config : t -> config
+val line_size : t -> int
+
+val set_on_writeback : t -> (line:int -> unit) -> unit
+
+val load : t -> addr:int -> Time.t
+(** Reads one word; returns the charged latency. *)
+
+val store : t -> addr:int -> Time.t
+(** Writes one word through the cache (write-allocate), dirtying a line. *)
+
+val store_nt : t -> addr:int -> Time.t
+(** Non-temporal store: the touched line is flushed from the hierarchy if
+    present and the write goes straight to the backing store (the caller
+    performs the actual data write after this returns). *)
+
+val fence : t -> Time.t
+(** [mfence]: orders and drains write-combining buffers. *)
+
+val clflush : t -> addr:int -> Time.t
+(** Flushes one line: written back if dirty, invalidated everywhere. *)
+
+val flush_lines : t -> addr:int -> len:int -> Time.t
+(** [clflush] over every line of the byte range [\[addr, addr+len)]. *)
+
+val flush_all : t -> Time.t
+(** [wbinvd]: writes back every dirty line and invalidates every level.
+    Cost = full tag walk + dirty write-back at memory bandwidth. *)
+
+val drop_volatile : t -> unit
+(** Power failure: all cache state vanishes, nothing is written back. *)
+
+val dirty_lines : t -> int list
+(** De-duplicated union of dirty lines across levels. *)
+
+val dirty_bytes : t -> int
+val resident_lines : t -> int
+val total_line_slots : t -> int

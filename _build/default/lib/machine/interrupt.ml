@@ -1,0 +1,24 @@
+open Wsp_sim
+
+type t = { engine : Engine.t; cpu : Cpu.t; ipi_latency : Time.t }
+
+let create ~engine ~cpu ~ipi_latency = { engine; cpu; ipi_latency }
+
+let deliver t ~core ~after ~handler =
+  ignore
+    (Engine.schedule t.engine ~after (fun engine ->
+         match Cpu.Core.state core with
+         | Cpu.Core.Halted -> ()
+         | Cpu.Core.Running -> handler engine core))
+
+let raise_external t ~core ~after ~handler = deliver t ~core ~after ~handler
+
+let send_ipi t ~targets ~handler =
+  List.iter (fun core -> deliver t ~core ~after:t.ipi_latency ~handler) targets
+
+let broadcast_others t ~from ~handler =
+  let targets =
+    Array.to_list (Cpu.cores t.cpu)
+    |> List.filter (fun c -> Cpu.Core.id c <> Cpu.Core.id from)
+  in
+  send_ipi t ~targets ~handler

@@ -1,0 +1,27 @@
+(** Interrupt delivery.
+
+    Models the two interrupt paths the WSP save routine depends on: the
+    external line from the power monitor into the control processor, and
+    inter-processor interrupts fanned out by the control processor.
+    Handlers run as engine events after the configured delivery latency;
+    halted cores drop interrupts (as the real save path relies on). *)
+
+open Wsp_sim
+
+type t
+
+val create : engine:Engine.t -> cpu:Cpu.t -> ipi_latency:Time.t -> t
+
+val raise_external :
+  t -> core:Cpu.Core.t -> after:Time.t -> handler:(Engine.t -> Cpu.Core.t -> unit) -> unit
+(** Delivers an external (e.g. serial-line) interrupt to [core] after the
+    given latency. Dropped if the core is halted at delivery time. *)
+
+val send_ipi :
+  t -> targets:Cpu.Core.t list -> handler:(Engine.t -> Cpu.Core.t -> unit) -> unit
+(** Sends an IPI to each target; each delivery happens after the
+    controller's IPI latency. Halted targets drop the interrupt. *)
+
+val broadcast_others :
+  t -> from:Cpu.Core.t -> handler:(Engine.t -> Cpu.Core.t -> unit) -> unit
+(** IPI to every hardware thread except [from]. *)

@@ -1,0 +1,76 @@
+open Wsp_sim
+
+type profile = {
+  name : string;
+  read_latency_factor : float;
+  write_bandwidth_factor : float;
+  nt_store_factor : float;
+  fence_factor : float;
+  write_energy_factor : float;
+}
+
+let dram =
+  {
+    name = "DRAM";
+    read_latency_factor = 1.0;
+    write_bandwidth_factor = 1.0;
+    nt_store_factor = 1.0;
+    fence_factor = 1.0;
+    write_energy_factor = 1.0;
+  }
+
+let pcm_optimistic =
+  {
+    name = "PCM (writes 10x)";
+    read_latency_factor = 2.0;
+    write_bandwidth_factor = 0.1;
+    nt_store_factor = 8.0;
+    fence_factor = 4.0;
+    write_energy_factor = 8.0;
+  }
+
+let pcm_pessimistic =
+  {
+    name = "PCM (writes 100x)";
+    read_latency_factor = 2.0;
+    write_bandwidth_factor = 0.01;
+    nt_store_factor = 40.0;
+    fence_factor = 12.0;
+    write_energy_factor = 15.0;
+  }
+
+let memristor =
+  {
+    name = "Memristor";
+    read_latency_factor = 1.5;
+    write_bandwidth_factor = 0.25;
+    nt_store_factor = 3.0;
+    fence_factor = 2.0;
+    write_energy_factor = 3.0;
+  }
+
+let profiles = [ dram; pcm_optimistic; pcm_pessimistic; memristor ]
+
+let by_name s =
+  let s = String.lowercase_ascii s in
+  List.find_opt (fun p -> String.lowercase_ascii p.name = s) profiles
+
+let apply p (cfg : Hierarchy.config) =
+  {
+    cfg with
+    Hierarchy.memory_latency = Time.scale cfg.Hierarchy.memory_latency p.read_latency_factor;
+    memory_write_bandwidth =
+      cfg.Hierarchy.memory_write_bandwidth *. p.write_bandwidth_factor;
+    nt_store_latency = Time.scale cfg.Hierarchy.nt_store_latency p.nt_store_factor;
+    fence_latency = Time.scale cfg.Hierarchy.fence_latency p.fence_factor;
+  }
+
+(* DRAM array write energy is on the order of tens of pJ per byte once
+   row activation is amortised. *)
+let dram_write_pj_per_byte = 60.0
+
+let flush_energy p ~platform ~dirty_bytes =
+  ignore (platform : Platform.t);
+  Units.Energy.joules
+    (float_of_int dirty_bytes *. dram_write_pj_per_byte *. p.write_energy_factor
+    *. 1e-12)

@@ -1,0 +1,1 @@
+lib/nvdimm/flash.ml: Bytes Float Units Wsp_sim

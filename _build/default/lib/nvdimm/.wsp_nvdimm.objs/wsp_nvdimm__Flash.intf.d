@@ -1,0 +1,1 @@
+lib/nvdimm/flash.mli: Bytes Time Units Wsp_sim

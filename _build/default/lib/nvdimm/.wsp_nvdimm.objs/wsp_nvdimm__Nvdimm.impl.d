@@ -1,0 +1,1 @@
+lib/nvdimm/nvdimm.ml: Bytes Engine Flash Float Fmt Time Trace Units Wsp_power Wsp_sim

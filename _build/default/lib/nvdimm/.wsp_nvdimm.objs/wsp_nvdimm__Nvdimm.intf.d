@@ -1,0 +1,1 @@
+lib/nvdimm/nvdimm.mli: Bytes Engine Time Trace Units Wsp_power Wsp_sim

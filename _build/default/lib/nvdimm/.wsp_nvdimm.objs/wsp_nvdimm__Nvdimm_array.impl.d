@@ -1,0 +1,1 @@
+lib/nvdimm/nvdimm_array.ml: Engine List Nvdimm Time Units Wsp_sim

@@ -1,0 +1,1 @@
+lib/nvdimm/nvdimm_array.mli: Engine Nvdimm Time Units Wsp_sim

@@ -1,0 +1,52 @@
+open Wsp_sim
+
+let page_size = 4096
+
+type t = {
+  size : Units.Size.t;
+  write_bandwidth : Units.Bandwidth.t;
+  read_bandwidth : Units.Bandwidth.t;
+  image : Bytes.t;
+  mutable programmed : int;
+  mutable complete : bool;
+}
+
+let create ~size ~write_bandwidth ~read_bandwidth =
+  {
+    size;
+    write_bandwidth;
+    read_bandwidth;
+    image = Bytes.make (Units.Size.to_bytes size) '\x00';
+    programmed = 0;
+    complete = false;
+  }
+
+let size t = t.size
+let write_duration t bytes = Units.Bandwidth.transfer_time t.write_bandwidth bytes
+let read_duration t bytes = Units.Bandwidth.transfer_time t.read_bandwidth bytes
+
+let program t ~src ~fraction =
+  if Bytes.length src <> Units.Size.to_bytes t.size then
+    invalid_arg "Flash.program: size mismatch";
+  let fraction = Float.min 1.0 (Float.max 0.0 fraction) in
+  let bytes = int_of_float (fraction *. float_of_int (Bytes.length src)) in
+  let bytes =
+    if fraction >= 1.0 then Bytes.length src else bytes / page_size * page_size
+  in
+  Bytes.blit src 0 t.image 0 bytes;
+  t.programmed <- bytes;
+  t.complete <- fraction >= 1.0
+
+let image_complete t = t.complete
+let programmed_bytes t = t.programmed
+
+let recall t ~dst =
+  if not t.complete then invalid_arg "Flash.recall: incomplete image";
+  if Bytes.length dst <> Bytes.length t.image then
+    invalid_arg "Flash.recall: size mismatch";
+  Bytes.blit t.image 0 dst 0 (Bytes.length t.image)
+
+let erase t =
+  Bytes.fill t.image 0 (Bytes.length t.image) '\x00';
+  t.programmed <- 0;
+  t.complete <- false

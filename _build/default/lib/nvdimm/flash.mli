@@ -1,0 +1,34 @@
+(** On-module NAND flash.
+
+    The flash exists only as a backup target: it is written during an
+    NVDIMM save and read during a restore, never during normal operation.
+    Writes land page-by-page, so an interrupted save leaves a valid prefix
+    and a well-defined progress fraction. *)
+
+open Wsp_sim
+
+type t
+
+val create : size:Units.Size.t -> write_bandwidth:Units.Bandwidth.t -> read_bandwidth:Units.Bandwidth.t -> t
+
+val size : t -> Units.Size.t
+val page_size : int
+
+val write_duration : t -> Units.Size.t -> Time.t
+val read_duration : t -> Units.Size.t -> Time.t
+
+val program : t -> src:Bytes.t -> fraction:float -> unit
+(** Copies the leading [fraction] of [src] into the flash image, rounded
+    down to a page boundary; the image is marked complete only when
+    [fraction >= 1]. *)
+
+val image_complete : t -> bool
+
+val programmed_bytes : t -> int
+
+val recall : t -> dst:Bytes.t -> unit
+(** Copies the complete image back out. Raises [Invalid_argument] if the
+    image is incomplete — the NVDIMM controller refuses to restore a torn
+    image. *)
+
+val erase : t -> unit

@@ -1,0 +1,55 @@
+open Wsp_sim
+
+type t = { engine : Engine.t; modules : Nvdimm.t list; total : Units.Size.t }
+
+let create ~engine ~modules ~total () =
+  if modules <= 0 then invalid_arg "Nvdimm_array.create: no modules";
+  let per = Units.Size.to_bytes total / modules in
+  if per <= 0 then invalid_arg "Nvdimm_array.create: modules larger than memory";
+  let modules =
+    List.init modules (fun _ -> Nvdimm.create ~engine ~size:per ())
+  in
+  { engine; modules; total }
+
+let modules t = t.modules
+let module_count t = List.length t.modules
+let total_size t = t.total
+
+let save_duration t =
+  List.fold_left
+    (fun acc m -> Time.max acc (Nvdimm.save_duration m))
+    Time.zero t.modules
+
+let enter_self_refresh t = List.iter Nvdimm.enter_self_refresh t.modules
+let exit_self_refresh t = List.iter Nvdimm.exit_self_refresh t.modules
+
+(* Runs [start] on every module and calls [on_complete] once every
+   module has reported, folding the per-module results. *)
+let fan_out t ~start ~good ~on_complete =
+  let outstanding = ref (List.length t.modules) in
+  let all_good = ref true in
+  List.iter
+    (fun m ->
+      start m (fun engine result ->
+          if not (good result) then all_good := false;
+          decr outstanding;
+          if !outstanding = 0 then on_complete engine !all_good))
+    t.modules
+
+let initiate_save t ~on_complete =
+  fan_out t
+    ~start:(fun m k -> Nvdimm.initiate_save m ~on_complete:k)
+    ~good:(fun r -> r = `Saved)
+    ~on_complete:(fun engine ok ->
+      on_complete engine (if ok then `Saved else `Save_failed))
+
+let initiate_restore t ~on_complete =
+  fan_out t
+    ~start:(fun m k -> Nvdimm.initiate_restore m ~on_complete:k)
+    ~good:(fun r -> r = `Restored)
+    ~on_complete:(fun engine ok ->
+      on_complete engine (if ok then `Restored else `No_image))
+
+let host_power_lost t = List.iter Nvdimm.host_power_lost t.modules
+let recharge t = List.iter Nvdimm.recharge t.modules
+let all_images_complete t = List.for_all Nvdimm.image_complete t.modules

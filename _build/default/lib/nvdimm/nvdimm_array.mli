@@ -1,0 +1,37 @@
+(** A bank of NVDIMMs saved and restored in parallel (§2).
+
+    NVDIMMs share no resources — each module has its own flash and its
+    own ultracapacitors — so a whole bank saves in the time of one
+    module, regardless of total memory size. This is the decisive
+    contrast with hibernation to an SSD, where everything funnels through
+    one I/O channel (see {!Wsp_core.Hibernate}). *)
+
+open Wsp_sim
+
+type t
+
+val create : engine:Engine.t -> modules:int -> total:Units.Size.t -> unit -> t
+(** [total] bytes of memory striped over [modules] equal NVDIMMs. *)
+
+val modules : t -> Nvdimm.t list
+val module_count : t -> int
+val total_size : t -> Units.Size.t
+
+val save_duration : t -> Time.t
+(** Wall time for the whole bank: the slowest module (they run in
+    parallel). *)
+
+val enter_self_refresh : t -> unit
+val exit_self_refresh : t -> unit
+
+val initiate_save :
+  t -> on_complete:(Engine.t -> [ `Saved | `Save_failed ] -> unit) -> unit
+(** Starts every module's save; completes when all have finished.
+    [`Save_failed] if any module tore. *)
+
+val initiate_restore :
+  t -> on_complete:(Engine.t -> [ `Restored | `No_image ] -> unit) -> unit
+
+val host_power_lost : t -> unit
+val recharge : t -> unit
+val all_images_complete : t -> bool

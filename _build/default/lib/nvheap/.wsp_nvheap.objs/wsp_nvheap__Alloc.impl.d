@@ -1,0 +1,1 @@
+lib/nvheap/alloc.ml: Fmt Int64 List Nvram

@@ -1,0 +1,1 @@
+lib/nvheap/alloc.mli: Nvram

@@ -1,0 +1,1 @@
+lib/nvheap/blockstore.ml: Bytes Nvram Time Wsp_sim

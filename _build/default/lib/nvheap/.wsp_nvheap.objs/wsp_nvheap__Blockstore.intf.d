@@ -1,0 +1,1 @@
+lib/nvheap/blockstore.mli: Bytes Nvram Time Wsp_sim

@@ -1,0 +1,1 @@
+lib/nvheap/config.ml: List String Time Wsp_sim

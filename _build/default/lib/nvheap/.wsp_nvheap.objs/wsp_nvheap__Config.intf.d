@@ -1,0 +1,1 @@
+lib/nvheap/config.mli: Time Wsp_sim

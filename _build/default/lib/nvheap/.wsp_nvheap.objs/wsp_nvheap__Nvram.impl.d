@@ -1,0 +1,1 @@
+lib/nvheap/nvram.ml: Bytes Char Fmt Hashtbl Queue Time Units Wsp_machine Wsp_sim

@@ -1,0 +1,1 @@
+lib/nvheap/nvram.mli: Bytes Time Units Wsp_machine Wsp_sim

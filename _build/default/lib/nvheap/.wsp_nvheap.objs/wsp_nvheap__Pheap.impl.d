@@ -1,0 +1,1 @@
+lib/nvheap/pheap.ml: Alloc Config Int64 Nvram Rawlog Txn Units Wsp_sim

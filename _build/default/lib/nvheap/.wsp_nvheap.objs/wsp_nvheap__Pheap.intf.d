@@ -1,0 +1,1 @@
+lib/nvheap/pheap.mli: Alloc Config Nvram Time Txn Units Wsp_machine Wsp_sim

@@ -1,0 +1,1 @@
+lib/nvheap/rawlog.ml: Array Int32 Int64 List Nvram

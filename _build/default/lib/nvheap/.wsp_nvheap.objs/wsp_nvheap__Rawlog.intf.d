@@ -1,0 +1,1 @@
+lib/nvheap/rawlog.mli: Nvram

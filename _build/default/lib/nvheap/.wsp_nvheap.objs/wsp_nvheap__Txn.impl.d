@@ -1,0 +1,1 @@
+lib/nvheap/txn.ml: Array Config Hashtbl Int64 List Nvram Option Rawlog Time Wsp_sim

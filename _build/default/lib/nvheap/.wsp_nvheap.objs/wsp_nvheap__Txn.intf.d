@@ -1,0 +1,1 @@
+lib/nvheap/txn.mli: Config Nvram Rawlog

@@ -1,0 +1,52 @@
+(** A first-fit free-list allocator over an NVRAM region.
+
+    Block headers live in NVRAM (one 64-bit word per block holding the
+    payload size and a used bit), so the heap structure itself survives a
+    crash; a volatile free-list index is rebuilt by {!recover} after one.
+    Payloads are 8-byte aligned.
+
+    Allocator metadata writes go through the NVRAM's cached path and are
+    therefore subject to the same crash semantics as everything else:
+    transactional configurations must log them (the {!Pheap} facade does
+    this automatically). *)
+
+type t
+
+val create : Nvram.t -> base:int -> len:int -> t
+(** Formats the region as one large free block. *)
+
+val attach : Nvram.t -> base:int -> len:int -> t
+(** Adopts an already-formatted region without reinitialising it, e.g.
+    after a crash; equivalent to {!recover} on a fresh handle. *)
+
+val base : t -> int
+val limit : t -> int
+
+val alloc : t -> ?on_header_write:(addr:int -> unit) -> int -> int
+(** [alloc t n] returns the address of an [n]-byte payload ([n > 0];
+    rounded up to 8-byte multiples). [on_header_write] is invoked with
+    the address of every header word the allocation mutates {e before}
+    the mutation, letting transactions undo-log allocator metadata.
+    Raises [Out_of_memory] when no block fits. *)
+
+val free : t -> ?on_header_write:(addr:int -> unit) -> int -> unit
+(** Returns a payload to the free list, coalescing with a free right
+    neighbour. Freeing an unallocated address raises
+    [Invalid_argument]. *)
+
+val payload_size : t -> int -> int
+(** Size of the payload allocated at the given address. *)
+
+val is_allocated : t -> int -> bool
+
+val recover : t -> unit
+(** Rebuilds the volatile free-list index by scanning headers — the
+    post-crash path. *)
+
+val allocated_bytes : t -> int
+val free_bytes : t -> int
+
+val check_invariants : t -> (unit, string) result
+(** Walks the region verifying header chaining; used by tests. *)
+
+val iter_allocated : t -> (addr:int -> size:int -> unit) -> unit

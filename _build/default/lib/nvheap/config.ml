@@ -1,0 +1,47 @@
+open Wsp_sim
+
+type logging = No_log | Undo | Redo
+
+type t = {
+  name : string;
+  logging : logging;
+  stm : bool;
+  flush_on_commit : bool;
+}
+
+let foc_stm = { name = "FoC + STM"; logging = Redo; stm = true; flush_on_commit = true }
+let foc_ul = { name = "FoC + UL"; logging = Undo; stm = false; flush_on_commit = true }
+let fof_stm = { name = "FoF + STM"; logging = Redo; stm = true; flush_on_commit = false }
+let fof_ul = { name = "FoF + UL"; logging = Undo; stm = false; flush_on_commit = false }
+let fof = { name = "FoF"; logging = No_log; stm = false; flush_on_commit = false }
+let all = [ foc_stm; foc_ul; fof_stm; fof_ul; fof ]
+
+let normalize s =
+  String.lowercase_ascii (String.concat "" (String.split_on_char ' ' s))
+
+let by_name s =
+  let s = normalize s in
+  List.find_opt (fun c -> normalize c.name = s) all
+
+let is_durable_without_wsp t = t.flush_on_commit
+
+module Costs = struct
+  type costs = {
+    tx_begin : Time.t;
+    tx_commit_base : Time.t;
+    stm_read : Time.t;
+    stm_write : Time.t;
+    stm_validate : Time.t;
+    log_word_cpu : Time.t;
+  }
+
+  let default =
+    {
+      tx_begin = Time.ns 40.0;
+      tx_commit_base = Time.ns 25.0;
+      stm_read = Time.ns 55.0;
+      stm_write = Time.ns 48.0;
+      stm_validate = Time.ns 8.0;
+      log_word_cpu = Time.ns 4.0;
+    }
+end

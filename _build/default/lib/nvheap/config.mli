@@ -1,0 +1,63 @@
+(** The five persistence configurations of Figure 5.
+
+    Two axes: {e when} transient state reaches NVRAM (flush-on-commit at
+    every transaction, vs. flush-on-fail once at power failure), and
+    {e what bookkeeping} runs during execution (full STM instrumentation
+    with redo logging, plain undo logging, or nothing). *)
+
+open Wsp_sim
+
+type logging = No_log | Undo | Redo
+
+type t = {
+  name : string;
+  logging : logging;
+  stm : bool;  (** Read/write-set instrumentation and validation. *)
+  flush_on_commit : bool;
+      (** Synchronous durability at commit: fenced non-temporal log
+          appends plus cache-line flushes of updated data. *)
+}
+
+val foc_stm : t
+(** Flush-on-commit + STM: the default Mnemosyne configuration. *)
+
+val foc_ul : t
+(** Flush-on-commit + undo logging, no STM (the authors' minimal
+    NV-heap). *)
+
+val fof_stm : t
+(** Flush-on-fail + STM: instrumentation and logging stay in-cache. *)
+
+val fof_ul : t
+(** Flush-on-fail + undo logging, in-cache. *)
+
+val fof : t
+(** Flush-on-fail, no transactions or logging: plain WSP operation. *)
+
+val all : t list
+(** In the paper's legend order. *)
+
+val by_name : string -> t option
+
+val is_durable_without_wsp : t -> bool
+(** Whether committed transactions survive a power failure {e without}
+    the WSP cache flush (true only for flush-on-commit configurations). *)
+
+(** {1 Cost model}
+
+    CPU-side costs of the transactional machinery, charged on top of the
+    memory-system latencies the NVRAM model accounts for. Values are
+    calibrated against Figure 5 (see DESIGN.md §4 and EXPERIMENTS.md). *)
+
+module Costs : sig
+  type costs = {
+    tx_begin : Time.t;  (** Creating a transactional context. *)
+    tx_commit_base : Time.t;
+    stm_read : Time.t;  (** Per instrumented read. *)
+    stm_write : Time.t;  (** Per write-set insertion. *)
+    stm_validate : Time.t;  (** Per read-set entry validated at commit. *)
+    log_word_cpu : Time.t;  (** Formatting one log word. *)
+  }
+
+  val default : costs
+end

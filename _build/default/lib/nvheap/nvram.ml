@@ -1,0 +1,179 @@
+open Wsp_sim
+module Hierarchy = Wsp_machine.Hierarchy
+
+type t = {
+  backing : Bytes.t;  (* Persistent contents: survives crash. *)
+  dirty : (int, Bytes.t) Hashtbl.t;  (* line number -> volatile line copy *)
+  wc_pending : (int * int64) Queue.t;  (* undrained non-temporal stores *)
+  hierarchy : Hierarchy.t;
+  line_size : int;
+  mutable clock : Time.t;
+}
+
+let default_hierarchy () =
+  Wsp_machine.Platform.core_hierarchy Wsp_machine.Platform.intel_c5528
+
+let create ?hierarchy ?backing ~size () =
+  let cfg = match hierarchy with Some h -> h | None -> default_hierarchy () in
+  let h = Hierarchy.create cfg in
+  let backing =
+    match backing with
+    | None -> Bytes.make (Units.Size.to_bytes size) '\x00'
+    | Some b ->
+        if Bytes.length b < Units.Size.to_bytes size then
+          invalid_arg "Nvram.create: backing smaller than size";
+        b
+  in
+  let t =
+    {
+      backing;
+      dirty = Hashtbl.create 1024;
+      wc_pending = Queue.create ();
+      hierarchy = h;
+      line_size = Hierarchy.line_size h;
+      clock = Time.zero;
+    }
+  in
+  Hierarchy.set_on_writeback h (fun ~line ->
+      match Hashtbl.find_opt t.dirty line with
+      | None -> ()
+      | Some data ->
+          Bytes.blit data 0 t.backing (line * t.line_size) t.line_size;
+          Hashtbl.remove t.dirty line);
+  t
+
+let size t = Bytes.length t.backing
+let line_size t = t.line_size
+let clock t = t.clock
+let reset_clock t = t.clock <- Time.zero
+let charge t span = t.clock <- Time.add t.clock span
+
+let check_range t addr len =
+  if addr < 0 || len < 0 || addr + len > Bytes.length t.backing then
+    invalid_arg (Fmt.str "Nvram: address range [%d,%d) out of bounds" addr (addr + len))
+
+(* The volatile copy of [line], creating it from backing on first write. *)
+let dirty_line t line =
+  match Hashtbl.find_opt t.dirty line with
+  | Some data -> data
+  | None ->
+      let data = Bytes.create t.line_size in
+      Bytes.blit t.backing (line * t.line_size) data 0 t.line_size;
+      Hashtbl.add t.dirty line data;
+      data
+
+let read_byte_raw t addr =
+  let line = addr / t.line_size in
+  match Hashtbl.find_opt t.dirty line with
+  | Some data -> Bytes.get data (addr mod t.line_size)
+  | None -> Bytes.get t.backing addr
+
+(* Charges one hierarchy access per line the range touches. *)
+let charge_access t ~addr ~len ~write =
+  let first = addr / t.line_size and last = (addr + len - 1) / t.line_size in
+  for line = first to last do
+    let latency =
+      if write then Hierarchy.store t.hierarchy ~addr:(line * t.line_size)
+      else Hierarchy.load t.hierarchy ~addr:(line * t.line_size)
+    in
+    charge t latency
+  done
+
+(* Writes a byte range, interleaving the hierarchy access and the data
+   write per line: charging first for the whole range could evict a
+   just-dirtied line of the same range before its buffer exists, losing
+   the write and desynchronising the dirty table from the hierarchy. *)
+let write_range t ~addr src ~src_off ~len =
+  let first = addr / t.line_size and last = (addr + len - 1) / t.line_size in
+  for line = first to last do
+    charge t (Hierarchy.store t.hierarchy ~addr:(line * t.line_size));
+    let line_start = max addr (line * t.line_size) in
+    let line_end = min (addr + len) ((line + 1) * t.line_size) in
+    let data = dirty_line t line in
+    for byte = line_start to line_end - 1 do
+      Bytes.set data (byte mod t.line_size)
+        (Bytes.get src (src_off + byte - addr))
+    done
+  done
+
+let read_u64 t ~addr =
+  check_range t addr 8;
+  charge_access t ~addr ~len:8 ~write:false;
+  let b = Bytes.create 8 in
+  for i = 0 to 7 do
+    Bytes.set b i (read_byte_raw t (addr + i))
+  done;
+  Bytes.get_int64_le b 0
+
+let write_u64 t ~addr v =
+  check_range t addr 8;
+  let b = Bytes.create 8 in
+  Bytes.set_int64_le b 0 v;
+  write_range t ~addr b ~src_off:0 ~len:8
+
+let read_u8 t ~addr =
+  check_range t addr 1;
+  charge_access t ~addr ~len:1 ~write:false;
+  Char.code (read_byte_raw t addr)
+
+let write_u8 t ~addr v =
+  check_range t addr 1;
+  write_range t ~addr (Bytes.make 1 (Char.chr (v land 0xff))) ~src_off:0 ~len:1
+
+let read_bytes t ~addr ~len =
+  check_range t addr len;
+  if len > 0 then charge_access t ~addr ~len ~write:false;
+  Bytes.init len (fun i -> read_byte_raw t (addr + i))
+
+let write_bytes t ~addr src =
+  let len = Bytes.length src in
+  check_range t addr len;
+  if len > 0 then write_range t ~addr src ~src_off:0 ~len
+
+let write_u64_nt t ~addr v =
+  check_range t addr 8;
+  charge t (Hierarchy.store_nt t.hierarchy ~addr);
+  Queue.add (addr, v) t.wc_pending
+
+let fence t =
+  charge t (Hierarchy.fence t.hierarchy);
+  Queue.iter
+    (fun (addr, v) ->
+      let b = Bytes.create 8 in
+      Bytes.set_int64_le b 0 v;
+      Bytes.blit b 0 t.backing addr 8)
+    t.wc_pending;
+  Queue.clear t.wc_pending
+
+let pending_nt_bytes t = 8 * Queue.length t.wc_pending
+
+let clflush t ~addr =
+  check_range t addr 1;
+  charge t (Hierarchy.clflush t.hierarchy ~addr)
+
+let flush_range t ~addr ~len =
+  check_range t addr len;
+  charge t (Hierarchy.flush_lines t.hierarchy ~addr ~len)
+
+let wbinvd t =
+  charge t (Hierarchy.flush_all t.hierarchy);
+  (* Flushing also drains write-combining buffers. *)
+  Queue.iter
+    (fun (addr, v) ->
+      let b = Bytes.create 8 in
+      Bytes.set_int64_le b 0 v;
+      Bytes.blit b 0 t.backing addr 8)
+    t.wc_pending;
+  Queue.clear t.wc_pending;
+  assert (Hashtbl.length t.dirty = 0)
+
+let crash t =
+  Hierarchy.drop_volatile t.hierarchy;
+  Hashtbl.reset t.dirty;
+  Queue.clear t.wc_pending;
+  t.clock <- Time.zero
+
+let dirty_bytes t = Hierarchy.dirty_bytes t.hierarchy
+let dirty_lines t = Hierarchy.dirty_lines t.hierarchy
+let persistent_image t = Bytes.copy t.backing
+let peek_u64 t ~addr = Bytes.get_int64_le t.backing addr

@@ -1,0 +1,85 @@
+(** Byte-addressable simulated NVRAM behind a write-back cache hierarchy.
+
+    This is the mechanism that makes crash experiments honest: ordinary
+    stores update a volatile dirty-line buffer and only reach the
+    persistent backing bytes on cache eviction, [clflush], [wbinvd], or a
+    drained non-temporal store. {!crash} discards the dirty buffer and any
+    undrained write-combining data — afterwards readers see exactly what
+    had actually reached NVRAM, which is what recovery code must cope
+    with.
+
+    Every operation charges simulated time to the NVRAM's clock, giving
+    the performance side of the evaluation. Addresses are byte offsets in
+    [\[0, size)]. *)
+
+open Wsp_sim
+
+type t
+
+val create :
+  ?hierarchy:Wsp_machine.Hierarchy.config ->
+  ?backing:Bytes.t ->
+  size:Units.Size.t ->
+  unit ->
+  t
+(** The default hierarchy is one hardware thread of the paper's Intel
+    C5528 testbed. When [backing] is given it becomes the persistent
+    store (it must be at least [size] bytes) — this is how a machine
+    aliases its NVRAM onto an NVDIMM's DRAM, so that an NVDIMM save
+    persists exactly what cache write-backs and flushes have reached. *)
+
+val size : t -> int
+val line_size : t -> int
+
+val clock : t -> Time.t
+(** Simulated time consumed by memory operations so far. *)
+
+val reset_clock : t -> unit
+
+val charge : t -> Time.t -> unit
+(** Adds non-memory work (computation, bookkeeping) to the clock. *)
+
+(** {1 Cached accesses} *)
+
+val read_u64 : t -> addr:int -> int64
+val write_u64 : t -> addr:int -> int64 -> unit
+val read_u8 : t -> addr:int -> int
+val write_u8 : t -> addr:int -> int -> unit
+val read_bytes : t -> addr:int -> len:int -> Bytes.t
+val write_bytes : t -> addr:int -> Bytes.t -> unit
+
+(** {1 Non-temporal path}
+
+    Non-temporal stores bypass the cache through write-combining buffers.
+    They are {e not} durable until a {!fence} drains them: a crash before
+    the fence discards undrained data. *)
+
+val write_u64_nt : t -> addr:int -> int64 -> unit
+val fence : t -> unit
+val pending_nt_bytes : t -> int
+
+(** {1 Flushes} *)
+
+val clflush : t -> addr:int -> unit
+(** Synchronously writes back and invalidates one line (latency-bound:
+    issue cost plus a memory write round-trip when dirty). *)
+
+val flush_range : t -> addr:int -> len:int -> unit
+val wbinvd : t -> unit
+
+(** {1 Failure} *)
+
+val crash : t -> unit
+(** Power failure: dirty lines and undrained non-temporal data vanish;
+    the clock resets (a new execution begins at restore). *)
+
+val dirty_bytes : t -> int
+val dirty_lines : t -> int list
+
+val persistent_image : t -> Bytes.t
+(** A copy of the backing bytes only — what would survive a crash right
+    now. Test instrumentation; charges no time. *)
+
+val peek_u64 : t -> addr:int -> int64
+(** Reads the {e backing store} directly, ignoring cached dirty data.
+    Test instrumentation; charges no time. *)

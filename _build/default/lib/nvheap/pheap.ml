@@ -1,0 +1,83 @@
+open Wsp_sim
+
+(* Region layout: [base, base+root_area) root/metadata,
+   then the log, then the allocator's heap. *)
+let root_area = 64
+let root_slot = 8
+
+type t = {
+  nvram : Nvram.t;
+  log : Rawlog.t;
+  txn : Txn.t;
+  allocator : Alloc.t;
+  base : int;
+  heap_base : int;
+  heap_size : int;
+}
+
+let layout ~base ~len ~log_bytes =
+  let heap_base = base + root_area + log_bytes in
+  if base + len - heap_base < 1024 then invalid_arg "Pheap: region too small";
+  heap_base
+
+let create_in ?(config = Config.fof) ?costs ?(log_size = Units.Size.mib 4)
+    ~nvram ~base ~len () =
+  let log_bytes = Units.Size.to_bytes log_size in
+  let heap_base = layout ~base ~len ~log_bytes in
+  let log = Rawlog.create nvram ~base:(base + root_area) ~len:log_bytes in
+  let txn = Txn.create ?costs ~nvram ~config ~log () in
+  let allocator = Alloc.create nvram ~base:heap_base ~len:(base + len - heap_base) in
+  { nvram; log; txn; allocator; base; heap_base; heap_size = base + len - heap_base }
+
+let attach_in ?(config = Config.fof) ?costs ?(log_size = Units.Size.mib 4)
+    ~nvram ~base ~len () =
+  let log_bytes = Units.Size.to_bytes log_size in
+  let heap_base = layout ~base ~len ~log_bytes in
+  let log = Rawlog.attach nvram ~base:(base + root_area) ~len:log_bytes in
+  let txn = Txn.attach ?costs ~nvram ~config ~log () in
+  let allocator = Alloc.attach nvram ~base:heap_base ~len:(base + len - heap_base) in
+  { nvram; log; txn; allocator; base; heap_base; heap_size = base + len - heap_base }
+
+let create ?hierarchy ?config ?costs ?log_size ~size () =
+  let nvram = Nvram.create ?hierarchy ~size () in
+  create_in ?config ?costs ?log_size ~nvram ~base:0
+    ~len:(Units.Size.to_bytes size) ()
+
+let nvram t = t.nvram
+let txn t = t.txn
+let allocator t = t.allocator
+let config t = Txn.config t.txn
+let clock t = Nvram.clock t.nvram
+let reset_clock t = Nvram.reset_clock t.nvram
+
+let alloc t n =
+  Alloc.alloc t.allocator
+    ~on_header_write:(fun ~addr -> Txn.log_header_write t.txn ~addr)
+    n
+
+let free t addr =
+  Alloc.free t.allocator
+    ~on_header_write:(fun ~addr -> Txn.log_header_write t.txn ~addr)
+    addr
+
+let read_u64 t ~addr = Txn.read_u64 t.txn ~addr
+let write_u64 t ~addr v = Txn.write_u64 t.txn ~addr v
+let with_tx t f = Txn.with_tx t.txn f
+let begin_tx t = Txn.begin_tx t.txn
+let commit t = Txn.commit t.txn
+let abort t = Txn.abort t.txn
+let set_root t addr = write_u64 t ~addr:(t.base + root_slot) (Int64.of_int addr)
+let root t = Int64.to_int (read_u64 t ~addr:(t.base + root_slot))
+let crash t =
+  Nvram.crash t.nvram;
+  Txn.on_crash t.txn
+let wsp_flush t = Nvram.wbinvd t.nvram
+
+let recover t =
+  Txn.recover t.txn;
+  Alloc.recover t.allocator
+
+let heap_base t = t.heap_base
+let heap_size t = t.heap_size
+let base t = t.base
+let region_len t = t.heap_base + t.heap_size - t.base

@@ -1,0 +1,109 @@
+(** The persistent heap facade.
+
+    Bundles an NVRAM region, its allocator, its raw log and a transaction
+    manager under one of the five persistence configurations. Region
+    layout: a small root/metadata area, then the log, then the heap.
+
+    This is the API the paper's workloads are written against: the same
+    data-structure code runs unchanged under Mnemosyne-style
+    flush-on-commit STM, undo logging, or plain WSP operation — only the
+    configuration changes, exactly as in §5.1. *)
+
+open Wsp_sim
+
+type t
+
+val create :
+  ?hierarchy:Wsp_machine.Hierarchy.config ->
+  ?config:Config.t ->
+  ?costs:Config.Costs.costs ->
+  ?log_size:Units.Size.t ->
+  size:Units.Size.t ->
+  unit ->
+  t
+(** Defaults: the {!Config.fof} configuration, a 4 MiB log, and the
+    Intel C5528 single-thread hierarchy. *)
+
+val create_in :
+  ?config:Config.t ->
+  ?costs:Config.Costs.costs ->
+  ?log_size:Units.Size.t ->
+  nvram:Nvram.t ->
+  base:int ->
+  len:int ->
+  unit ->
+  t
+(** Formats a heap inside an existing NVRAM region [\[base, base+len)] —
+    how an application heap is carved out of a machine's NVDIMM-backed
+    memory, leaving the low addresses to the WSP save area. *)
+
+val attach_in :
+  ?config:Config.t ->
+  ?costs:Config.Costs.costs ->
+  ?log_size:Units.Size.t ->
+  nvram:Nvram.t ->
+  base:int ->
+  len:int ->
+  unit ->
+  t
+(** Re-adopts a previously formatted region after a crash/restore and
+    runs recovery. [log_size] must match the value used at format time. *)
+
+val nvram : t -> Nvram.t
+val txn : t -> Txn.t
+val allocator : t -> Alloc.t
+val config : t -> Config.t
+
+val clock : t -> Time.t
+(** Total simulated time charged by this heap's operations. *)
+
+val reset_clock : t -> unit
+
+(** {1 Allocation} *)
+
+val alloc : t -> int -> int
+(** Allocates [n] bytes; metadata writes are transaction-logged when a
+    transaction is open. *)
+
+val free : t -> int -> unit
+
+(** {1 Data access} — dispatched through the transaction manager. *)
+
+val read_u64 : t -> addr:int -> int64
+val write_u64 : t -> addr:int -> int64 -> unit
+
+(** {1 Transactions} *)
+
+val with_tx : t -> (unit -> 'a) -> 'a
+val begin_tx : t -> unit
+val commit : t -> unit
+val abort : t -> unit
+
+(** {1 Root object} *)
+
+val set_root : t -> int -> unit
+(** Publishes the address applications start recovery from (0 = none). *)
+
+val root : t -> int
+
+(** {1 Failure and recovery} *)
+
+val crash : t -> unit
+(** Power failure without a WSP save: all cached state is lost. *)
+
+val wsp_flush : t -> unit
+(** What the WSP save path does for this heap: flush every cache line to
+    NVRAM (flush-on-fail). After this, {!crash} loses nothing. *)
+
+val recover : t -> unit
+(** Post-crash software recovery: transaction log repair, then allocator
+    index rebuild. *)
+
+val heap_base : t -> int
+val heap_size : t -> int
+
+val base : t -> int
+(** First byte of the heap's whole region (root area). *)
+
+val region_len : t -> int
+(** Total bytes of the region: root area + log + heap. *)

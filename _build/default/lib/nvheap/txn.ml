@@ -1,0 +1,302 @@
+open Wsp_sim
+
+let k_begin = 1
+let k_undo = 2
+let k_redo = 3
+let k_commit = 4
+
+(* FoC redo logs are truncated (with data flushes) every this many
+   commits, amortising the truncation-time flush the paper describes. *)
+let redo_truncate_interval = 64
+
+type tx = {
+  txid : int64;
+  write_set : (int, int64) Hashtbl.t;
+  mutable write_order : int list;  (* newest first; reversed at commit *)
+  mutable read_set : int;
+  undo_logged : (int, int64) Hashtbl.t;  (* addr -> old value *)
+  mutable undo_order : (int * int64) list;  (* newest first *)
+  written_lines : (int, unit) Hashtbl.t;
+  mutable began_in_log : bool;  (* Begin record written (lazy) *)
+}
+
+type t = {
+  nvram : Nvram.t;
+  log : Rawlog.t;
+  config : Config.t;
+  costs : Config.Costs.costs;
+  mutable next_txid : int64;
+  mutable active : tx option;
+  scratch : tx;  (* reused across transactions to avoid allocation churn *)
+  mutable commits_since_truncate : int;
+  unflushed : (int, unit) Hashtbl.t;  (* line-aligned addresses (FoC redo) *)
+  mutable committed : int;
+  mutable aborted : int;
+}
+
+let log_mode t : Rawlog.mode =
+  if t.config.Config.flush_on_commit then Rawlog.Durable else Rawlog.Cached
+
+let charge_log_words t n =
+  Nvram.charge t.nvram (Time.mul t.costs.Config.Costs.log_word_cpu n)
+
+let append t ~kind values =
+  charge_log_words t (1 + (2 * Array.length values));
+  Rawlog.append t.log ~mode:(log_mode t) ~kind values
+
+(* The Begin record is written lazily, just before the transaction's
+   first log record: read-only transactions log nothing at all. *)
+let ensure_began t tx =
+  if not tx.began_in_log then begin
+    tx.began_in_log <- true;
+    append t ~kind:k_begin [| tx.txid |]
+  end
+
+let fresh_scratch () =
+  {
+    txid = 0L;
+    write_set = Hashtbl.create 64;
+    write_order = [];
+    read_set = 0;
+    undo_logged = Hashtbl.create 64;
+    undo_order = [];
+    written_lines = Hashtbl.create 64;
+    began_in_log = false;
+  }
+
+let create ?(costs = Config.Costs.default) ~nvram ~config ~log () =
+  {
+    nvram;
+    log;
+    config;
+    costs;
+    next_txid = 1L;
+    active = None;
+    scratch = fresh_scratch ();
+    commits_since_truncate = 0;
+    unflushed = Hashtbl.create 256;
+    committed = 0;
+    aborted = 0;
+  }
+
+let config t = t.config
+let nvram t = t.nvram
+let in_tx t = Option.is_some t.active
+
+let line_base t addr =
+  let ls = Nvram.line_size t.nvram in
+  addr / ls * ls
+
+let begin_tx t =
+  if in_tx t then invalid_arg "Txn.begin_tx: transaction already open";
+  if t.config.Config.logging = Config.No_log then ()
+  else begin
+    Nvram.charge t.nvram t.costs.Config.Costs.tx_begin;
+    let txid = t.next_txid in
+    t.next_txid <- Int64.add txid 1L;
+    let tx = t.scratch in
+    Hashtbl.clear tx.write_set;
+    tx.write_order <- [];
+    tx.read_set <- 0;
+    Hashtbl.clear tx.undo_logged;
+    tx.undo_order <- [];
+    Hashtbl.clear tx.written_lines;
+    tx.began_in_log <- false;
+    t.active <- Some { tx with txid }
+  end
+
+let active t =
+  match t.active with
+  | Some tx -> tx
+  | None -> invalid_arg "Txn: no open transaction"
+
+let read_u64 t ~addr =
+  match t.active with
+  | Some tx when t.config.Config.stm -> begin
+      Nvram.charge t.nvram t.costs.Config.Costs.stm_read;
+      match Hashtbl.find_opt tx.write_set addr with
+      | Some v -> v
+      | None ->
+          tx.read_set <- tx.read_set + 1;
+          Nvram.read_u64 t.nvram ~addr
+    end
+  | _ -> Nvram.read_u64 t.nvram ~addr
+
+let undo_log_write t tx ~addr =
+  if not (Hashtbl.mem tx.undo_logged addr) then begin
+    ensure_began t tx;
+    let old = Nvram.read_u64 t.nvram ~addr in
+    Hashtbl.add tx.undo_logged addr old;
+    tx.undo_order <- (addr, old) :: tx.undo_order;
+    append t ~kind:k_undo [| Int64.of_int addr; old |]
+  end
+
+let write_u64 t ~addr v =
+  match t.active with
+  | None -> Nvram.write_u64 t.nvram ~addr v
+  | Some tx -> (
+      match t.config.Config.logging with
+      | Config.No_log -> Nvram.write_u64 t.nvram ~addr v
+      | Config.Undo ->
+          undo_log_write t tx ~addr;
+          Hashtbl.replace tx.written_lines (line_base t addr) ();
+          Nvram.write_u64 t.nvram ~addr v
+      | Config.Redo ->
+          Nvram.charge t.nvram t.costs.Config.Costs.stm_write;
+          if not (Hashtbl.mem tx.write_set addr) then
+            tx.write_order <- addr :: tx.write_order;
+          Hashtbl.replace tx.write_set addr v)
+
+let log_header_write t ~addr =
+  match t.active with
+  | Some tx when t.config.Config.logging = Config.Undo ->
+      undo_log_write t tx ~addr;
+      Hashtbl.replace tx.written_lines (line_base t addr) ()
+  | _ -> ()
+
+let flush_written_lines t lines =
+  Hashtbl.iter (fun line () -> Nvram.clflush t.nvram ~addr:line) lines;
+  Nvram.fence t.nvram
+
+let commit t =
+  match t.config.Config.logging with
+  | Config.No_log -> t.committed <- t.committed + 1
+  | Config.Undo ->
+      let tx = active t in
+      Nvram.charge t.nvram t.costs.Config.Costs.tx_commit_base;
+      if tx.began_in_log then begin
+        (* Undo protocol: written data must be durable before the undo
+           records protecting it can be discarded. *)
+        if t.config.Config.flush_on_commit then
+          flush_written_lines t tx.written_lines;
+        append t ~kind:k_commit [| tx.txid |];
+        Rawlog.truncate t.log ~mode:(log_mode t)
+      end;
+      t.active <- None;
+      t.committed <- t.committed + 1
+  | Config.Redo ->
+      let tx = active t in
+      Nvram.charge t.nvram t.costs.Config.Costs.tx_commit_base;
+      Nvram.charge t.nvram
+        (Time.mul t.costs.Config.Costs.stm_validate tx.read_set);
+      (if tx.write_order <> [] then begin
+         let writes = List.rev tx.write_order in
+         ensure_began t tx;
+         List.iter
+           (fun addr ->
+             let v = Hashtbl.find tx.write_set addr in
+             append t ~kind:k_redo [| Int64.of_int addr; v |])
+           writes;
+         append t ~kind:k_commit [| tx.txid |];
+         (* In-place apply; the redo log already made the values durable
+            (FoC), so these stores can stay cached. *)
+         List.iter
+           (fun addr ->
+             let v = Hashtbl.find tx.write_set addr in
+             Nvram.write_u64 t.nvram ~addr v;
+             if t.config.Config.flush_on_commit then
+               Hashtbl.replace t.unflushed (line_base t addr) ())
+           writes;
+         t.commits_since_truncate <- t.commits_since_truncate + 1;
+         if t.commits_since_truncate >= redo_truncate_interval then begin
+           (* Log truncation: applied data must be flushed before the
+              redo records protecting it are discarded. *)
+           if t.config.Config.flush_on_commit then
+             flush_written_lines t t.unflushed;
+           Hashtbl.reset t.unflushed;
+           Rawlog.truncate t.log ~mode:(log_mode t);
+           t.commits_since_truncate <- 0
+         end
+       end
+       else if t.config.Config.flush_on_commit then
+         (* Mnemosyne's commit fences even when nothing was written:
+            tearing down a durable transaction context orders the log. *)
+         Nvram.fence t.nvram);
+      t.active <- None;
+      t.committed <- t.committed + 1
+
+let abort t =
+  match t.config.Config.logging with
+  | Config.No_log -> t.aborted <- t.aborted + 1
+  | Config.Undo ->
+      let tx = active t in
+      (* Roll back, newest write first. *)
+      List.iter (fun (addr, old) -> Nvram.write_u64 t.nvram ~addr old) tx.undo_order;
+      if tx.began_in_log then Rawlog.truncate t.log ~mode:(log_mode t);
+      t.active <- None;
+      t.aborted <- t.aborted + 1
+  | Config.Redo ->
+      let _ = active t in
+      t.active <- None;
+      t.aborted <- t.aborted + 1
+
+let with_tx t f =
+  begin_tx t;
+  match f () with
+  | result ->
+      commit t;
+      result
+  | exception exn ->
+      if in_tx t then abort t;
+      raise exn
+
+let on_crash t =
+  (* The process died with the power: any open transaction and all
+     volatile bookkeeping evaporate. The log decides what recovery
+     does about it. *)
+  t.active <- None;
+  Hashtbl.reset t.unflushed;
+  t.commits_since_truncate <- 0
+
+let recover t =
+  if in_tx t then invalid_arg "Txn.recover: transaction open";
+  let records = Rawlog.scan t.log in
+  (match t.config.Config.logging with
+  | Config.No_log -> ()
+  | Config.Undo ->
+      (* The log holds at most one transaction (commit truncates). If a
+         commit record is present the transaction was durable; otherwise
+         roll its undo records back, newest first. *)
+      let committed = List.exists (fun (kind, _) -> kind = k_commit) records in
+      if not committed then
+        List.rev records
+        |> List.iter (fun (kind, values) ->
+               if kind = k_undo then
+                 match values with
+                 | [| addr; old |] ->
+                     Nvram.write_u64 t.nvram ~addr:(Int64.to_int addr) old
+                 | _ -> ())
+  | Config.Redo ->
+      (* Replay redo records of committed transactions in log order. *)
+      let committed_txids = Hashtbl.create 16 in
+      List.iter
+        (fun (kind, values) ->
+          if kind = k_commit then
+            match values with
+            | [| txid |] -> Hashtbl.replace committed_txids txid ()
+            | _ -> ())
+        records;
+      let current = ref None in
+      List.iter
+        (fun (kind, values) ->
+          if kind = k_begin then
+            match values with
+            | [| txid |] -> current := Some txid
+            | _ -> ()
+          else if kind = k_redo then
+            match (!current, values) with
+            | Some txid, [| addr; v |] when Hashtbl.mem committed_txids txid ->
+                Nvram.write_u64 t.nvram ~addr:(Int64.to_int addr) v
+            | _ -> ())
+        records);
+  Hashtbl.reset t.unflushed;
+  t.commits_since_truncate <- 0;
+  Rawlog.truncate t.log ~mode:Rawlog.Durable
+
+let attach ?costs ~nvram ~config ~log () =
+  let t = create ?costs ~nvram ~config ~log () in
+  recover t;
+  t
+
+let committed_count t = t.committed
+let aborted_count t = t.aborted

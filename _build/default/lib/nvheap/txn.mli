@@ -1,0 +1,71 @@
+(** Transactional access to NVRAM under a persistence configuration.
+
+    One manager owns an NVRAM region's log and dispatches every data
+    access according to its {!Config.t}:
+
+    - {b Undo logging}: the old value is logged before the first in-place
+      write to each address; commit (under flush-on-commit) flushes the
+      written lines and truncates the log. Recovery rolls back
+      uncommitted transactions.
+    - {b Redo STM}: reads are instrumented against a read set, writes are
+      buffered in a write set; commit logs redo records, then applies the
+      writes in place. Recovery replays committed transactions and drops
+      uncommitted ones.
+    - {b No logging}: plain loads and stores (the WSP configuration).
+
+    Transactions are single-threaded (the paper's benchmarks are too);
+    the STM machinery still performs read-set validation so its costs are
+    charged faithfully. *)
+
+
+type t
+
+val create :
+  ?costs:Config.Costs.costs ->
+  nvram:Nvram.t ->
+  config:Config.t ->
+  log:Rawlog.t ->
+  unit ->
+  t
+
+val attach :
+  ?costs:Config.Costs.costs ->
+  nvram:Nvram.t ->
+  config:Config.t ->
+  log:Rawlog.t ->
+  unit ->
+  t
+(** Like {!create} but runs {!recover} first — the post-crash path. *)
+
+val config : t -> Config.t
+val nvram : t -> Nvram.t
+val in_tx : t -> bool
+
+val begin_tx : t -> unit
+(** Raises [Invalid_argument] if a transaction is already open. *)
+
+val commit : t -> unit
+val abort : t -> unit
+
+val with_tx : t -> (unit -> 'a) -> 'a
+(** Runs the function inside a transaction; commits on return, aborts and
+    re-raises on exception. *)
+
+val read_u64 : t -> addr:int -> int64
+val write_u64 : t -> addr:int -> int64 -> unit
+
+val log_header_write : t -> addr:int -> unit
+(** Hook for allocator metadata: undo-logs the word about to change when
+    undo logging is active (no-op otherwise). Pass as [on_header_write]
+    to {!Alloc.alloc}/{!Alloc.free}. *)
+
+val on_crash : t -> unit
+(** Discards volatile transaction state — the process died with the
+    power. Called by {!Pheap.crash}; {!recover} then repairs NVRAM. *)
+
+val recover : t -> unit
+(** Post-crash repair: rolls back (undo) or replays (redo) according to
+    the log, then truncates it. Safe to call on a clean heap. *)
+
+val committed_count : t -> int
+val aborted_count : t -> int

@@ -1,0 +1,1 @@
+lib/power/oscilloscope.ml: List Psu Rng Time Trace Wsp_sim

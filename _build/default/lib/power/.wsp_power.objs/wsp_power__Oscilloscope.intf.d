@@ -1,0 +1,1 @@
+lib/power/oscilloscope.mli: Psu Rng Time Trace Wsp_sim

@@ -1,0 +1,1 @@
+lib/power/power_monitor.ml: Engine List Psu Time Wsp_sim

@@ -1,0 +1,1 @@
+lib/power/power_monitor.mli: Engine Psu Time Wsp_sim

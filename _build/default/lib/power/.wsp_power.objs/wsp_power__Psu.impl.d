@@ -1,0 +1,1 @@
+lib/power/psu.ml: Engine List Option Rng String Time Units Wsp_sim

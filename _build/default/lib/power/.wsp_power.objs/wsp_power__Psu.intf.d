@@ -1,0 +1,1 @@
+lib/power/psu.mli: Engine Rng Time Units Wsp_sim

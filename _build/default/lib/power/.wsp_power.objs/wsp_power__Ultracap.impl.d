@@ -1,0 +1,1 @@
+lib/power/ultracap.ml: Float Time Units Wsp_sim

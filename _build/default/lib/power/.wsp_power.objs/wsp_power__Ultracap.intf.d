@@ -1,0 +1,1 @@
+lib/power/ultracap.mli: Time Units Wsp_sim

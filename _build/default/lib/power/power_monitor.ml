@@ -1,0 +1,27 @@
+open Wsp_sim
+
+type t = {
+  engine : Engine.t;
+  i2c_latency : Time.t;
+  mutable handlers : (Engine.t -> unit) list;
+  mutable triggered : bool;
+}
+
+let create ~engine ~psu ?(detect_latency = Time.us 10.0)
+    ?(serial_latency = Time.us 90.0) ?(i2c_latency = Time.us 120.0) () =
+  let t = { engine; i2c_latency; handlers = []; triggered = false } in
+  Psu.on_pwr_ok_drop psu (fun engine ->
+      t.triggered <- true;
+      List.iter
+        (fun handler ->
+          ignore
+            (Engine.schedule engine
+               ~after:(Time.add detect_latency serial_latency)
+               handler))
+        t.handlers);
+  t
+
+let on_power_fail t handler = t.handlers <- t.handlers @ [ handler ]
+let i2c_latency t = t.i2c_latency
+let send_i2c t f = ignore (Engine.schedule t.engine ~after:t.i2c_latency f)
+let triggered t = t.triggered

@@ -1,0 +1,34 @@
+(** The NetDuino-style power monitor.
+
+    A microcontroller that watches the PSU's [PWR_OK] line and, when it
+    drops, raises an interrupt on the host control processor over a serial
+    line and forwards save/restore commands to the NVDIMMs over I2C. Its
+    two latencies — detection polling and serial-line delivery — sit on
+    the critical path of the WSP save routine. *)
+
+open Wsp_sim
+
+type t
+
+val create :
+  engine:Engine.t ->
+  psu:Psu.t ->
+  ?detect_latency:Time.t ->
+  ?serial_latency:Time.t ->
+  ?i2c_latency:Time.t ->
+  unit ->
+  t
+(** Defaults: 10 µs detection, 90 µs serial, 120 µs per I2C command. *)
+
+val on_power_fail : t -> (Engine.t -> unit) -> unit
+(** Registers the host's serial-line interrupt handler; it fires
+    [detect_latency + serial_latency] after [PWR_OK] drops. *)
+
+val i2c_latency : t -> Time.t
+
+val send_i2c : t -> (Engine.t -> unit) -> unit
+(** Forwards one command to the NVDIMM bus, completing after the I2C
+    latency. *)
+
+val triggered : t -> bool
+(** Whether the monitor has seen a power failure. *)

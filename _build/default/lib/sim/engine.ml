@@ -1,0 +1,52 @@
+type t = { mutable clock : Time.t; queue : (t -> unit) Event_queue.t }
+type event_id = Event_queue.id
+
+let create ?(now = Time.zero) () = { clock = now; queue = Event_queue.create () }
+let now t = t.clock
+
+let schedule_at t ~at f =
+  if Time.(at < t.clock) then
+    invalid_arg
+      (Fmt.str "Engine.schedule_at: %a is before now (%a)" Time.pp at Time.pp
+         t.clock);
+  Event_queue.push t.queue ~at f
+
+let schedule t ~after f =
+  if Time.is_negative after then invalid_arg "Engine.schedule: negative delay";
+  schedule_at t ~at:(Time.add t.clock after) f
+
+let cancel t id = Event_queue.cancel t.queue id
+let pending t = Event_queue.length t.queue
+
+let step t =
+  match Event_queue.pop t.queue with
+  | None -> false
+  | Some (at, f) ->
+      t.clock <- at;
+      f t;
+      true
+
+let run t =
+  while step t do
+    ()
+  done
+
+let run_until t deadline =
+  let rec loop () =
+    match Event_queue.peek_time t.queue with
+    | Some at when Time.(at <= deadline) ->
+        ignore (step t);
+        loop ()
+    | _ -> ()
+  in
+  loop ();
+  if Time.(deadline > t.clock) then t.clock <- deadline
+
+let advance t span =
+  if Time.is_negative span then invalid_arg "Engine.advance: negative span";
+  let target = Time.add t.clock span in
+  (match Event_queue.peek_time t.queue with
+  | Some at when Time.(at < target) ->
+      invalid_arg "Engine.advance: would skip a pending event"
+  | _ -> ());
+  t.clock <- target

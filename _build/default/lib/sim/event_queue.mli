@@ -1,0 +1,28 @@
+(** A priority queue of timed events.
+
+    Events at equal timestamps are delivered in insertion order, which
+    keeps simulations deterministic. Cancellation is O(1) (lazy deletion:
+    cancelled entries are dropped when they surface). *)
+
+type 'a t
+
+type id
+(** A handle naming a scheduled event, usable for cancellation. *)
+
+val create : unit -> 'a t
+val is_empty : 'a t -> bool
+
+val length : 'a t -> int
+(** Number of live (non-cancelled) events. *)
+
+val push : 'a t -> at:Time.t -> 'a -> id
+
+val cancel : 'a t -> id -> unit
+(** Cancelling an already-delivered or already-cancelled event is a
+    no-op. *)
+
+val peek_time : 'a t -> Time.t option
+(** Timestamp of the next live event, if any. *)
+
+val pop : 'a t -> (Time.t * 'a) option
+(** Removes and returns the earliest live event. *)

@@ -1,0 +1,57 @@
+(** Simulated time.
+
+    Time is a count of picoseconds stored in an [int64]. Picosecond
+    resolution keeps sub-nanosecond cache latencies exact while still
+    representing over 100 days of simulated time, far beyond any
+    experiment in this repository. Values are totally ordered and support
+    saturating-free exact arithmetic (overflow is a programming error and
+    trips an assertion in debug builds). *)
+
+type t = int64
+(** A point in, or span of, simulated time, in picoseconds. *)
+
+val zero : t
+
+val ps : int -> t
+(** [ps n] is [n] picoseconds. *)
+
+val ns : float -> t
+(** [ns x] is [x] nanoseconds, rounded to the nearest picosecond. *)
+
+val us : float -> t
+(** [us x] is [x] microseconds. *)
+
+val ms : float -> t
+(** [ms x] is [x] milliseconds. *)
+
+val s : float -> t
+(** [s x] is [x] seconds. *)
+
+val to_ns : t -> float
+val to_us : t -> float
+val to_ms : t -> float
+val to_s : t -> float
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> int -> t
+val div : t -> int -> t
+
+val scale : t -> float -> t
+(** [scale t f] is [t] multiplied by the (non-negative) factor [f]. *)
+
+val min : t -> t -> t
+val max : t -> t -> t
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val ( < ) : t -> t -> bool
+val ( <= ) : t -> t -> bool
+val ( > ) : t -> t -> bool
+val ( >= ) : t -> t -> bool
+
+val is_negative : t -> bool
+
+val pp : Format.formatter -> t -> unit
+(** Pretty-prints with an auto-selected unit, e.g. ["33.0ms"]. *)
+
+val to_string : t -> string

@@ -1,0 +1,1 @@
+lib/store/avl.ml: Fmt Int64 List Option Pheap Wsp_nvheap

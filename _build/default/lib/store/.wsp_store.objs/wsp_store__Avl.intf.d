@@ -1,0 +1,1 @@
+lib/store/avl.mli: Pheap Wsp_nvheap

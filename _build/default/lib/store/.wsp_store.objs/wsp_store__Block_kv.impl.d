@@ -1,0 +1,1 @@
+lib/store/block_kv.ml: Blockstore Bytes Hash_table Int64 Wsp_nvheap

@@ -1,0 +1,1 @@
+lib/store/block_kv.mli: Blockstore Pheap Wsp_nvheap

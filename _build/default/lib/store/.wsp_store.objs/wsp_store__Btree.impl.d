@@ -1,0 +1,1 @@
+lib/store/btree.ml: Int64 List Option Pheap Wsp_nvheap

@@ -1,0 +1,1 @@
+lib/store/checkpoint.ml: Bytes List Nvram Pheap Units Wsp_nvheap Wsp_sim

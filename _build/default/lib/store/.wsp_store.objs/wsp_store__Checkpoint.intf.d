@@ -1,0 +1,1 @@
+lib/store/checkpoint.mli: Pheap Time Units Wsp_nvheap Wsp_sim

@@ -1,0 +1,1 @@
+lib/store/directory.ml: Array Avl Config Fmt Hash_table Int64 Nvram Pheap Rng Stdlib Time Units Wsp_nvheap Wsp_sim

@@ -1,0 +1,1 @@
+lib/store/directory.mli: Config Format Pheap Rng Time Units Wsp_nvheap Wsp_sim

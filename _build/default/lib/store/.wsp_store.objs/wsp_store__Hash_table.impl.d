@@ -1,0 +1,1 @@
+lib/store/hash_table.ml: Fmt Int64 List Option Pheap Wsp_nvheap

@@ -1,0 +1,1 @@
+lib/store/hash_table.mli: Pheap Wsp_nvheap

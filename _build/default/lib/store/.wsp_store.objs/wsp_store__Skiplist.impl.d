@@ -1,0 +1,1 @@
+lib/store/skiplist.ml: Array Fmt Hashtbl Int64 List Option Pheap Rng Wsp_nvheap Wsp_sim

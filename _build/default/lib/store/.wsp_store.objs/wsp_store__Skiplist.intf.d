@@ -1,0 +1,1 @@
+lib/store/skiplist.mli: Pheap Rng Wsp_nvheap Wsp_sim

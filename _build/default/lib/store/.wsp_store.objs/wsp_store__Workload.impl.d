@@ -1,0 +1,1 @@
+lib/store/workload.ml: Array Avl Block_kv Blockstore Btree Config Fmt Hash_table Hashtbl Int64 Nvram Pheap Rng Skiplist Time Units Wsp_nvheap Wsp_sim

@@ -1,0 +1,1 @@
+lib/store/workload.mli: Config Format Rng Time Units Wsp_machine Wsp_nvheap Wsp_sim

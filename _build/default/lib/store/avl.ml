@@ -1,0 +1,235 @@
+open Wsp_nvheap
+
+(* Node field offsets. *)
+let f_key = 0
+let f_value = 8
+let f_left = 16
+let f_right = 24
+let f_height = 32
+let node_size = 40
+let nil = 0L
+
+type t = { heap : Pheap.t; root_cell : int }
+
+let create heap =
+  let root_cell = Pheap.alloc heap 8 in
+  Pheap.write_u64 heap ~addr:root_cell nil;
+  Pheap.set_root heap root_cell;
+  { heap; root_cell }
+
+let attach_at heap ~addr =
+  if addr = 0 then invalid_arg "Avl.attach_at: null root cell";
+  { heap; root_cell = addr }
+
+let attach heap =
+  let root_cell = Pheap.root heap in
+  if root_cell = 0 then invalid_arg "Avl.attach: heap has no root";
+  { heap; root_cell }
+
+let heap t = t.heap
+let read t addr off = Pheap.read_u64 t.heap ~addr:(addr + off)
+let write t addr off v = Pheap.write_u64 t.heap ~addr:(addr + off) v
+let get_root t = Int64.to_int (Pheap.read_u64 t.heap ~addr:t.root_cell)
+let set_root t node = Pheap.write_u64 t.heap ~addr:t.root_cell (Int64.of_int node)
+
+let height_of t node = if node = 0 then 0 else Int64.to_int (read t node f_height)
+
+let update_height t node =
+  let hl = height_of t (Int64.to_int (read t node f_left)) in
+  let hr = height_of t (Int64.to_int (read t node f_right)) in
+  write t node f_height (Int64.of_int (1 + max hl hr))
+
+let balance_factor t node =
+  height_of t (Int64.to_int (read t node f_left))
+  - height_of t (Int64.to_int (read t node f_right))
+
+(* Right rotation around [y]: returns the new subtree root. *)
+let rotate_right t y =
+  let x = Int64.to_int (read t y f_left) in
+  let x_right = read t x f_right in
+  write t y f_left x_right;
+  write t x f_right (Int64.of_int y);
+  update_height t y;
+  update_height t x;
+  x
+
+let rotate_left t x =
+  let y = Int64.to_int (read t x f_right) in
+  let y_left = read t y f_left in
+  write t x f_right y_left;
+  write t y f_left (Int64.of_int x);
+  update_height t x;
+  update_height t y;
+  y
+
+let rebalance t node =
+  update_height t node;
+  let bf = balance_factor t node in
+  if bf > 1 then begin
+    let left = Int64.to_int (read t node f_left) in
+    if balance_factor t left < 0 then
+      write t node f_left (Int64.of_int (rotate_left t left));
+    rotate_right t node
+  end
+  else if bf < -1 then begin
+    let right = Int64.to_int (read t node f_right) in
+    if balance_factor t right > 0 then
+      write t node f_right (Int64.of_int (rotate_right t right));
+    rotate_left t node
+  end
+  else node
+
+let new_node t ~key ~value =
+  let node = Pheap.alloc t.heap node_size in
+  write t node f_key key;
+  write t node f_value value;
+  write t node f_left nil;
+  write t node f_right nil;
+  write t node f_height 1L;
+  node
+
+let insert t ~key ~value =
+  let rec go node =
+    if node = 0 then new_node t ~key ~value
+    else
+      let k = read t node f_key in
+      let c = Int64.compare key k in
+      if c = 0 then begin
+        write t node f_value value;
+        node
+      end
+      else if c < 0 then begin
+        let left' = go (Int64.to_int (read t node f_left)) in
+        write t node f_left (Int64.of_int left');
+        rebalance t node
+      end
+      else begin
+        let right' = go (Int64.to_int (read t node f_right)) in
+        write t node f_right (Int64.of_int right');
+        rebalance t node
+      end
+  in
+  set_root t (go (get_root t))
+
+let find t key =
+  let rec go node =
+    if node = 0 then None
+    else
+      let k = read t node f_key in
+      let c = Int64.compare key k in
+      if c = 0 then Some (read t node f_value)
+      else if c < 0 then go (Int64.to_int (read t node f_left))
+      else go (Int64.to_int (read t node f_right))
+  in
+  go (get_root t)
+
+let mem t key = Option.is_some (find t key)
+
+(* Removes the minimum node of [node]'s subtree, returning
+   (new subtree root, removed node address). *)
+let rec take_min t node =
+  let left = Int64.to_int (read t node f_left) in
+  if left = 0 then (Int64.to_int (read t node f_right), node)
+  else begin
+    let left', removed = take_min t left in
+    write t node f_left (Int64.of_int left');
+    (rebalance t node, removed)
+  end
+
+let delete t key =
+  let removed = ref false in
+  let rec go node =
+    if node = 0 then 0
+    else
+      let k = read t node f_key in
+      let c = Int64.compare key k in
+      if c < 0 then begin
+        let left' = go (Int64.to_int (read t node f_left)) in
+        write t node f_left (Int64.of_int left');
+        rebalance t node
+      end
+      else if c > 0 then begin
+        let right' = go (Int64.to_int (read t node f_right)) in
+        write t node f_right (Int64.of_int right');
+        rebalance t node
+      end
+      else begin
+        removed := true;
+        let left = Int64.to_int (read t node f_left) in
+        let right = Int64.to_int (read t node f_right) in
+        let replacement =
+          if left = 0 then right
+          else if right = 0 then left
+          else begin
+            (* Promote the in-order successor. *)
+            let right', succ = take_min t right in
+            write t succ f_left (Int64.of_int left);
+            write t succ f_right (Int64.of_int right');
+            rebalance t succ
+          end
+        in
+        Pheap.free t.heap node;
+        replacement
+      end
+  in
+  set_root t (go (get_root t));
+  !removed
+
+let fold t f acc =
+  let rec go node acc =
+    if node = 0 then acc
+    else
+      let acc = go (Int64.to_int (read t node f_left)) acc in
+      let acc = f acc (read t node f_key) (read t node f_value) in
+      go (Int64.to_int (read t node f_right)) acc
+  in
+  go (get_root t) acc
+
+let size t = fold t (fun acc _ _ -> acc + 1) 0
+let height t = height_of t (get_root t)
+let to_list t = List.rev (fold t (fun acc k v -> (k, v) :: acc) [])
+
+let min_key t =
+  let rec go node best =
+    if node = 0 then best
+    else go (Int64.to_int (read t node f_left)) (Some (read t node f_key))
+  in
+  go (get_root t) None
+
+let max_key t =
+  let rec go node best =
+    if node = 0 then best
+    else go (Int64.to_int (read t node f_right)) (Some (read t node f_key))
+  in
+  go (get_root t) None
+
+let check t =
+  let exception Bad of string in
+  (* Returns (height, min, max) of the subtree. *)
+  let rec go node =
+    if node = 0 then (0, None, None)
+    else begin
+      let k = read t node f_key in
+      let hl, minl, maxl = go (Int64.to_int (read t node f_left)) in
+      let hr, minr, maxr = go (Int64.to_int (read t node f_right)) in
+      (match maxl with
+      | Some m when Int64.compare m k >= 0 ->
+          raise (Bad (Fmt.str "order violation left of key %Ld" k))
+      | _ -> ());
+      (match minr with
+      | Some m when Int64.compare m k <= 0 ->
+          raise (Bad (Fmt.str "order violation right of key %Ld" k))
+      | _ -> ());
+      if abs (hl - hr) > 1 then
+        raise (Bad (Fmt.str "imbalance at key %Ld: %d vs %d" k hl hr));
+      let h = 1 + max hl hr in
+      if h <> height_of t node then
+        raise (Bad (Fmt.str "stale height at key %Ld" k));
+      let mn = match minl with Some m -> Some m | None -> Some k in
+      let mx = match maxr with Some m -> Some m | None -> Some k in
+      (h, mn, mx)
+    end
+  in
+  match go (get_root t) with
+  | _ -> Ok ()
+  | exception Bad msg -> Error msg

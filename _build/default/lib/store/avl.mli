@@ -1,0 +1,51 @@
+(** An AVL tree stored entirely in a persistent heap.
+
+    This is the data structure the paper's OpenLDAP benchmark keeps in
+    the Mnemosyne NV-heap in place of Berkeley DB (§5.1). Every node
+    field is a 64-bit word accessed through the heap's transactional
+    dispatch, so the same tree code pays Mnemosyne costs, undo-log costs
+    or nothing depending on the heap's configuration.
+
+    Keys and values are [int64]; node layout is
+    [key, value, left, right, height] (40 bytes). The tree's root pointer
+    lives in an 8-byte heap cell so it can be re-found after recovery. *)
+
+open Wsp_nvheap
+
+type t
+
+val create : Pheap.t -> t
+(** Allocates the root cell and publishes it as the heap root. *)
+
+val attach : Pheap.t -> t
+(** Re-adopts the tree published as the heap root (post-recovery).
+    Raises [Invalid_argument] if the heap has no root. *)
+
+val attach_at : Pheap.t -> addr:int -> t
+(** Re-adopts a tree by its root-cell address — for applications that
+    keep several structures behind one root descriptor. *)
+
+val heap : t -> Pheap.t
+
+val insert : t -> key:int64 -> value:int64 -> unit
+(** Inserts or overwrites. *)
+
+val find : t -> int64 -> int64 option
+val mem : t -> int64 -> bool
+
+val delete : t -> int64 -> bool
+(** [true] if the key was present. *)
+
+val size : t -> int
+(** Node count, by traversal. *)
+
+val height : t -> int
+
+val to_list : t -> (int64 * int64) list
+(** Key-ordered contents. *)
+
+val min_key : t -> int64 option
+val max_key : t -> int64 option
+
+val check : t -> (unit, string) result
+(** Verifies BST ordering, AVL balance and height bookkeeping. *)

@@ -1,0 +1,1 @@
+test/suite_cluster.ml: Alcotest Int64 List QCheck2 QCheck_alcotest Recovery_storm Replicated_kv Replication Time Units Wsp_cluster Wsp_sim

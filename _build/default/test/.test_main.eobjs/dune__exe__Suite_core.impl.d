@@ -1,0 +1,1 @@
+test/suite_core.ml: Acpi Alcotest Array Device Engine Int64 List Nvram Pheap Platform Printf QCheck2 QCheck_alcotest Rng System Time Wsp_core Wsp_machine Wsp_nvdimm Wsp_nvheap Wsp_power Wsp_sim

@@ -1,0 +1,1 @@
+test/suite_nvdimm.ml: Alcotest Array Bytes Char Engine Time Trace Units Wsp_nvdimm Wsp_power Wsp_sim

@@ -1,0 +1,1 @@
+test/suite_nvheap.ml: Alcotest Alloc Array Bytes Config Hashtbl Int64 List Nvram Pheap Printf QCheck2 QCheck_alcotest Rawlog Time Txn Units Wsp_nvheap Wsp_sim

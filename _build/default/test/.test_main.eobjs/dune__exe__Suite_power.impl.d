@@ -1,0 +1,1 @@
+test/suite_power.ml: Alcotest Engine List Oscilloscope Power_monitor Psu Rng Time Trace Ultracap Wsp_power Wsp_sim

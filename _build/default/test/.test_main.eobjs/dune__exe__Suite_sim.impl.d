@@ -1,0 +1,1 @@
+test/suite_sim.ml: Alcotest Array Engine Event_queue Int64 List QCheck2 QCheck_alcotest Rng Stats Time Trace Units Wsp_sim

@@ -1,0 +1,1 @@
+test/suite_store.ml: Alcotest Alloc Avl Config Directory Hash_table Hashtbl Int64 List Map Pheap QCheck2 QCheck_alcotest Rng Time Units Workload Wsp_nvheap Wsp_sim Wsp_store

@@ -1,0 +1,1 @@
+test/suite_structures.ml: Alcotest Alloc Btree Config Int64 List Map Pheap QCheck2 QCheck_alcotest Skiplist Units Wsp_nvheap Wsp_sim Wsp_store

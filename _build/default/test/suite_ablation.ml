@@ -1,0 +1,203 @@
+(* Tests for the extension experiments (shapes) and cross-cutting
+   invariant properties: data-structure transparency, the marker
+   ablation, and transactional conservation under crash injection. *)
+
+open Wsp_sim
+open Wsp_nvheap
+open Wsp_store
+open Wsp_experiments
+
+let structures_tests =
+  [
+    Alcotest.test_case "FoC is slower than WSP for every structure" `Slow
+      (fun () ->
+        List.iter
+          (fun (r : Structures.row) ->
+            Alcotest.(check bool)
+              (Workload.structure_name r.Structures.structure)
+              true
+              (r.Structures.slowdown > 3.0))
+          (Structures.data ~entries:1000 ~ops:4000 ()));
+    Alcotest.test_case "structure benchmark preserves entry counts" `Quick
+      (fun () ->
+        List.iter
+          (fun structure ->
+            let r =
+              Workload.run_structure_benchmark ~entries:500 ~ops:2000
+                ~heap_size:(Units.Size.mib 16) ~structure
+                ~config:Config.fof ~update_prob:1.0 ~seed:8 ()
+            in
+            Alcotest.(check bool)
+              (Workload.structure_name structure ^ " count sane")
+              true
+              (abs (r.Workload.final_count - 500) < 200))
+          Workload.structures);
+  ]
+
+let marker_ablation_tests =
+  [
+    Alcotest.test_case "marker off turns detected loss into silent corruption"
+      `Slow (fun () ->
+        match Ablation.marker_data () with
+        | [ with_marker; without_marker ] ->
+            Alcotest.(check bool) "on: detected" false
+              with_marker.Ablation.claimed_recovery;
+            Alcotest.(check bool) "off: claimed" true
+              without_marker.Ablation.claimed_recovery;
+            Alcotest.(check bool) "off: corrupt" false
+              without_marker.Ablation.data_correct
+        | _ -> Alcotest.fail "expected two rows");
+    Alcotest.test_case "only the ACPI strategy blows the save path" `Slow
+      (fun () ->
+        List.iter
+          (fun (r : Ablation.strategy_row) ->
+            match r.Ablation.strategy with
+            | Wsp_core.System.Acpi_save ->
+                Alcotest.(check bool) "acpi fails" false r.Ablation.survived
+            | Wsp_core.System.Restore_reinit
+            | Wsp_core.System.Virtualized_replay ->
+                Alcotest.(check bool) "survives" true r.Ablation.survived)
+          (Ablation.strategy_data ()));
+  ]
+
+(* Conservation under crash: random transfers between accounts in a
+   FoC+UL B-tree; crash at a random point (with a random subset of lines
+   flushed by cache pressure); after recovery the total balance must be
+   exactly [accounts * initial] — a committed-atomicity property across
+   multi-key transactions. *)
+let conservation_prop =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name:"bank conservation under crash injection"
+       ~count:25
+       QCheck2.Gen.(
+         pair small_int
+           (list_size (int_range 1 25) (triple (int_range 0 19) (int_range 0 19) (int_range 1 50))))
+       (fun (flush_seed, transfers) ->
+         let accounts = 20 in
+         let initial = 100L in
+         let heap =
+           Pheap.create ~config:Config.foc_ul ~size:(Units.Size.mib 8)
+             ~log_size:(Units.Size.mib 1) ()
+         in
+         let bank = Pheap.with_tx heap (fun () -> Btree.create heap) in
+         for i = 0 to accounts - 1 do
+           Pheap.with_tx heap (fun () ->
+               Btree.insert bank ~key:(Int64.of_int i) ~value:initial)
+         done;
+         let flush_rng = Rng.create ~seed:flush_seed in
+         (* Run all but the last transfer committed; leave the last one
+            open at the crash. *)
+         let rec apply = function
+           | [] -> ()
+           | [ (a, _b, amt) ] ->
+               Pheap.begin_tx heap;
+               (match Btree.find bank (Int64.of_int a) with
+               | Some bal ->
+                   Btree.insert bank ~key:(Int64.of_int a)
+                     ~value:(Int64.sub bal (Int64.of_int amt));
+                   (* Crash strikes between the debit and the credit —
+                      the worst possible instant. *)
+                   ()
+               | None -> ())
+           | (a, b, amt) :: rest ->
+               Pheap.with_tx heap (fun () ->
+                   match
+                     (Btree.find bank (Int64.of_int a), Btree.find bank (Int64.of_int b))
+                   with
+                   | Some ba, Some bb when a <> b ->
+                       Btree.insert bank ~key:(Int64.of_int a)
+                         ~value:(Int64.sub ba (Int64.of_int amt));
+                       Btree.insert bank ~key:(Int64.of_int b)
+                         ~value:(Int64.add bb (Int64.of_int amt))
+                   | _ -> ());
+               (* Random cache pressure: flush a few arbitrary lines so
+                  the persistent image is a torn mix. *)
+               if Rng.bool flush_rng then
+                 Nvram.clflush (Pheap.nvram heap)
+                   ~addr:(Rng.int flush_rng (Units.Size.mib 7));
+               apply rest
+         in
+         apply transfers;
+         Pheap.crash heap;
+         Pheap.recover heap;
+         let bank = Btree.attach heap in
+         let total =
+           List.fold_left
+             (fun acc (_, v) -> Int64.add acc v)
+             0L (Btree.to_list bank)
+         in
+         Btree.check bank = Ok ()
+         && Int64.equal total (Int64.mul (Int64.of_int accounts) initial)))
+
+let extension_shape_tests =
+  [
+    Alcotest.test_case "scm: slowdown grows as writes slow" `Slow (fun () ->
+        let rows = Scm.data ~entries:1000 ~ops:4000 () in
+        let find name =
+          List.find
+            (fun (r : Scm.row) -> r.Scm.profile.Wsp_machine.Scm.name = name)
+            rows
+        in
+        let dram = find "DRAM" and pcm10 = find "PCM (writes 10x)" in
+        let pcm100 = find "PCM (writes 100x)" in
+        Alcotest.(check bool) "ordering" true
+          (dram.Scm.slowdown < pcm10.Scm.slowdown
+          && pcm10.Scm.slowdown < pcm100.Scm.slowdown);
+        (* FoF itself barely changes: runtime cost is cache-bound. *)
+        Alcotest.(check bool) "fof stable" true
+          (Time.to_ns pcm100.Scm.fof /. Time.to_ns dram.Scm.fof < 1.5));
+    Alcotest.test_case "models: block-based is the worst update path" `Slow
+      (fun () ->
+        let rows = Models.data ~entries:1000 ~ops:4000 () in
+        match rows with
+        | block :: rest ->
+            List.iter
+              (fun (r : Models.row) ->
+                Alcotest.(check bool) "block slowest" true
+                  Time.(block.Models.per_op_update > r.Models.per_op_update))
+              rest;
+            Alcotest.(check bool) "state duplicated" true
+              (block.Models.footprint_factor > 1.5)
+        | [] -> Alcotest.fail "no rows");
+    Alcotest.test_case "distributed: catch-up until retention, then full"
+      `Slow (fun () ->
+        let rows = Distributed.data ~keys:5000 ~log_retention:4000 () in
+        List.iter
+          (fun (r : Distributed.row) ->
+            let expected_full = r.Distributed.missed_updates > 4000 in
+            let is_full = r.Distributed.recovery.Wsp_cluster.Replicated_kv.mode = `Full_transfer in
+            Alcotest.(check bool)
+              (Printf.sprintf "%d missed" r.Distributed.missed_updates)
+              expected_full is_full)
+          rows);
+    Alcotest.test_case "wear: leveling monotonically improves lifetime" `Slow
+      (fun () ->
+        match Wear.data ~lines:256 ~writes:500_000 () with
+        | [ none; psi1000; psi100; psi10 ] ->
+            Alcotest.(check bool) "none worst" true
+              (none.Wear.lifetime_fraction <= psi1000.Wear.lifetime_fraction +. 0.01);
+            Alcotest.(check bool) "psi100 better" true
+              (psi1000.Wear.lifetime_fraction < psi100.Wear.lifetime_fraction);
+            Alcotest.(check bool) "psi10 best" true
+              (psi100.Wear.lifetime_fraction < psi10.Wear.lifetime_fraction);
+            Alcotest.(check bool) "overhead = 1/psi" true
+              (abs_float (psi100.Wear.write_overhead -. 0.01) < 0.001)
+        | _ -> Alcotest.fail "expected four rows");
+    Alcotest.test_case "skew: zipfian traffic helps WSP, not FoC" `Slow
+      (fun () ->
+        match Skew.data ~entries:20_000 ~ops:20_000 () with
+        | uniform :: _ :: [ zipf99 ] ->
+            Alcotest.(check bool) "gap widens" true
+              (zipf99.Skew.slowdown > uniform.Skew.slowdown);
+            Alcotest.(check bool) "wsp faster under skew" true
+              Time.(zipf99.Skew.fof < uniform.Skew.fof)
+        | _ -> Alcotest.fail "expected three rows");
+  ]
+
+let suite =
+  [
+    ("experiments.structures", structures_tests);
+    ("experiments.ablation", marker_ablation_tests);
+    ("experiments.extensions", extension_shape_tests);
+    ("invariants.conservation", [ conservation_prop ]);
+  ]

@@ -1,0 +1,202 @@
+(* Tests for wsp_cluster: recovery storms and replication tradeoffs. *)
+
+open Wsp_sim
+open Wsp_cluster
+
+let storm_tests =
+  [
+    Alcotest.test_case "single server matches the paper's arithmetic" `Quick
+      (fun () ->
+        (* 256 GB at 0.5 GB/s is over 8 minutes even before replay. *)
+        let r = Recovery_storm.run Recovery_storm.single_server in
+        Alcotest.(check bool) "over 8 min" true
+          (Time.to_s r.Recovery_storm.full_recovery > 8.0 *. 60.0);
+        Alcotest.(check bool) "wsp under a minute" true
+          (Time.to_s r.Recovery_storm.wsp_recovery < 60.0));
+    Alcotest.test_case "full recovery scales with fleet size" `Quick (fun () ->
+        let run n =
+          Recovery_storm.run { Recovery_storm.default with servers = n }
+        in
+        let r8 = run 8 and r32 = run 32 in
+        Alcotest.(check (float 1e-6)) "4x servers, 4x time"
+          (4.0 *. Time.to_s r8.Recovery_storm.full_recovery)
+          (Time.to_s r32.Recovery_storm.full_recovery));
+    Alcotest.test_case "wsp backend bytes scale with outage length" `Quick
+      (fun () ->
+        let run outage =
+          Recovery_storm.run { Recovery_storm.default with outage = Time.s outage }
+        in
+        let short = run 10.0 and long = run 100.0 in
+        Alcotest.(check bool) "10x outage, 10x missed bytes" true
+          (abs_float
+             ((10.0 *. short.Recovery_storm.backend_bytes_wsp)
+             -. long.Recovery_storm.backend_bytes_wsp)
+          < 1.0));
+    Alcotest.test_case "speedup is large and wsp always wins" `Quick (fun () ->
+        let r = Recovery_storm.run Recovery_storm.default in
+        Alcotest.(check bool) "speedup > 100x" true (r.Recovery_storm.speedup > 100.0));
+    Alcotest.test_case "timeline is monotone in the fraction" `Quick (fun () ->
+        let p = Recovery_storm.default in
+        let t f mode = Time.to_s (Recovery_storm.recovery_timeline p ~fraction:f mode) in
+        Alcotest.(check bool) "full monotone" true (t 0.5 `Full <= t 1.0 `Full);
+        Alcotest.(check bool) "wsp monotone" true (t 0.5 `Wsp <= t 1.0 `Wsp);
+        Alcotest.(check bool) "wsp beats full at every fraction" true
+          (List.for_all (fun f -> t f `Wsp < t f `Full) [ 0.1; 0.5; 1.0 ]));
+  ]
+
+let replication_tests =
+  [
+    Alcotest.test_case "zero delay always rebuilds" `Quick (fun () ->
+        let a = Replication.assess Replication.default ~delay:Time.zero in
+        Alcotest.(check (float 1e-9)) "p rebuild" 1.0 a.Replication.rebuild_probability;
+        Alcotest.(check (float 1.0)) "full state"
+          (float_of_int (Units.Size.to_bytes Replication.default.Replication.state))
+          a.Replication.expected_backend_bytes);
+    Alcotest.test_case "longer delays transfer fewer expected bytes" `Quick
+      (fun () ->
+        let bytes d =
+          (Replication.assess Replication.default ~delay:(Time.s d))
+            .Replication.expected_backend_bytes
+        in
+        Alcotest.(check bool) "monotone" true
+          (bytes 0.0 > bytes 30.0 && bytes 30.0 > bytes 120.0));
+    Alcotest.test_case "permanent failures bound the benefit" `Quick (fun () ->
+        let params = { Replication.default with permanent_failure_prob = 1.0 } in
+        let a = Replication.assess params ~delay:(Time.s 600.0) in
+        (* The machine never comes back: we always rebuild. *)
+        Alcotest.(check (float 1e-9)) "p rebuild" 1.0 a.Replication.rebuild_probability);
+    Alcotest.test_case "optimal delay balances bytes against exposure" `Quick
+      (fun () ->
+        (* When exposure is free, waiting longer is always better. *)
+        let d_free, _ =
+          Replication.optimal_delay Replication.default ~exposure_cost_per_s:0.0
+            ~byte_cost:1e-9
+        in
+        (* When exposure is everything, rebuild immediately. *)
+        let d_costly, _ =
+          Replication.optimal_delay Replication.default
+            ~exposure_cost_per_s:1e12 ~byte_cost:1e-12
+        in
+        Alcotest.(check bool) "free exposure waits longer" true
+          Time.(d_free > d_costly));
+  ]
+
+let replicated_kv_tests =
+  [
+    Alcotest.test_case "puts replicate to every live node" `Quick (fun () ->
+        let c = Replicated_kv.create ~replicas:3 () in
+        Replicated_kv.put c ~key:1L ~value:10L;
+        Replicated_kv.put c ~key:2L ~value:20L;
+        Replicated_kv.delete c 1L;
+        List.iter
+          (fun n ->
+            Alcotest.(check (option int64)) "deleted" None
+              (Replicated_kv.Node.get n 1L);
+            Alcotest.(check (option int64)) "present" (Some 20L)
+              (Replicated_kv.Node.get n 2L))
+          (Replicated_kv.nodes c);
+        Alcotest.(check bool) "consistent" true (Replicated_kv.consistent c));
+    Alcotest.test_case "failed node freezes; catch-up resynchronises" `Quick
+      (fun () ->
+        let c = Replicated_kv.create ~replicas:3 () in
+        Replicated_kv.put c ~key:1L ~value:10L;
+        Replicated_kv.fail_node c 1;
+        Replicated_kv.put c ~key:1L ~value:11L;
+        Replicated_kv.put c ~key:2L ~value:22L;
+        let frozen = List.nth (Replicated_kv.nodes c) 1 in
+        Alcotest.(check (option int64)) "stale" (Some 10L)
+          (Replicated_kv.Node.get frozen 1L);
+        let r = Replicated_kv.recover_node c 1 in
+        Alcotest.(check bool) "log catch-up" true
+          (r.Replicated_kv.mode = `Log_catch_up);
+        Alcotest.(check int) "two missed" 2 r.Replicated_kv.missed_updates;
+        Alcotest.(check (option int64)) "fresh" (Some 11L)
+          (Replicated_kv.Node.get frozen 1L);
+        Alcotest.(check bool) "consistent" true (Replicated_kv.consistent c));
+    Alcotest.test_case "outage beyond log retention forces a full transfer"
+      `Quick (fun () ->
+        let c = Replicated_kv.create ~replicas:2 ~log_retention:10 () in
+        for i = 1 to 5 do
+          Replicated_kv.put c ~key:(Int64.of_int i) ~value:0L
+        done;
+        Replicated_kv.fail_node c 1;
+        for i = 1 to 50 do
+          Replicated_kv.put c ~key:(Int64.of_int i) ~value:1L
+        done;
+        let r = Replicated_kv.recover_node c 1 in
+        Alcotest.(check bool) "full transfer" true
+          (r.Replicated_kv.mode = `Full_transfer);
+        Alcotest.(check bool) "consistent" true (Replicated_kv.consistent c));
+    Alcotest.test_case "catch-up ships less than a full transfer" `Quick
+      (fun () ->
+        let c = Replicated_kv.create ~replicas:2 () in
+        for i = 1 to 10_000 do
+          Replicated_kv.put c ~key:(Int64.of_int i) ~value:0L
+        done;
+        Replicated_kv.fail_node c 1;
+        for i = 1 to 100 do
+          Replicated_kv.put c ~key:(Int64.of_int i) ~value:1L
+        done;
+        let live = List.hd (Replicated_kv.live_nodes c) in
+        let full = Replicated_kv.Node.state_bytes live in
+        let r = Replicated_kv.recover_node c 1 in
+        Alcotest.(check bool) "cheaper" true
+          (r.Replicated_kv.transferred_bytes * 10 < full));
+    Alcotest.test_case "recovering a live node is rejected" `Quick (fun () ->
+        let c = Replicated_kv.create () in
+        Replicated_kv.put c ~key:1L ~value:1L;
+        Alcotest.(check bool) "raises" true
+          (try
+             ignore (Replicated_kv.recover_node c 0);
+             false
+           with Invalid_argument _ -> true));
+  ]
+
+let replicated_kv_props =
+  [
+    QCheck_alcotest.to_alcotest
+      (QCheck2.Test.make
+         ~name:"any fail/update/recover interleaving ends consistent" ~count:60
+         QCheck2.Gen.(
+           list_size (int_range 1 80) (pair (int_range 0 9) (int_range 0 30)))
+         (fun ops ->
+           let c = Replicated_kv.create ~replicas:3 ~log_retention:20 () in
+           let failed = ref [] in
+           List.iter
+             (fun (action, k) ->
+               match action with
+               | 0 | 1 when List.length !failed < 2 ->
+                   (* Fail one live non-primary-critical node. *)
+                   let candidates =
+                     List.filter
+                       (fun n -> not (List.mem (Replicated_kv.Node.id n) !failed))
+                       (Replicated_kv.live_nodes c)
+                   in
+                   (match candidates with
+                   | _ :: second :: _ ->
+                       let id = Replicated_kv.Node.id second in
+                       Replicated_kv.fail_node c id;
+                       failed := id :: !failed
+                   | _ -> ())
+               | 2 -> (
+                   match !failed with
+                   | id :: rest ->
+                       ignore (Replicated_kv.recover_node c id);
+                       failed := rest
+                   | [] -> ())
+               | _ ->
+                   Replicated_kv.put c ~key:(Int64.of_int k)
+                     ~value:(Int64.of_int k))
+             ops;
+           List.iter
+             (fun id -> ignore (Replicated_kv.recover_node c id))
+             !failed;
+           Replicated_kv.consistent c));
+  ]
+
+let suite =
+  [
+    ("cluster.recovery_storm", storm_tests);
+    ("cluster.replication", replication_tests);
+    ("cluster.replicated_kv", replicated_kv_tests @ replicated_kv_props);
+  ]

@@ -1,0 +1,289 @@
+(* Shape tests for the experiment harness: every table/figure must
+   reproduce the paper's qualitative result (orderings, ratios within
+   bands, monotonicity) at test-friendly scales. *)
+
+open Wsp_sim
+open Wsp_experiments
+
+let close ?(tolerance = 0.10) a b = abs_float (a -. b) /. b <= tolerance
+
+let table1_tests =
+  [
+    Alcotest.test_case "WSP beats Mnemosyne by roughly 2.4x" `Slow (fun () ->
+        let rows = Table1.data ~entries:3000 () in
+        let speedup = Table1.speedup rows in
+        Alcotest.(check bool)
+          (Printf.sprintf "speedup %.2f in [1.8, 3.2]" speedup)
+          true
+          (speedup >= 1.8 && speedup <= 3.2));
+  ]
+
+let table2_tests =
+  [
+    Alcotest.test_case "flush times land within 10% of the paper" `Quick
+      (fun () ->
+        List.iter
+          (fun (r : Table2.row) ->
+            let pw, pc, pb = r.Table2.paper in
+            Alcotest.(check bool) "wbinvd" true
+              (close (Time.to_ms r.Table2.wbinvd) (Time.to_ms pw));
+            Alcotest.(check bool) "clflush" true
+              (close (Time.to_ms r.Table2.clflush) (Time.to_ms pc));
+            Alcotest.(check bool) "best" true
+              (close (Time.to_ms r.Table2.theoretical_best) (Time.to_ms pb)))
+          (Table2.data ()));
+  ]
+
+let figure1_tests =
+  [
+    Alcotest.test_case "ultracaps >=90%, batteries collapse" `Quick (fun () ->
+        let points = Figure1.data () in
+        let last = List.nth points (List.length points - 1) in
+        Alcotest.(check int) "sweep reaches 100k" 100_000 last.Figure1.cycles;
+        Alcotest.(check bool) "worst >= 0.9" true (last.Figure1.worst >= 0.9 -. 1e-9);
+        Alcotest.(check bool) "best above worst" true
+          (last.Figure1.best > last.Figure1.worst);
+        Alcotest.(check bool) "battery dead" true (last.Figure1.battery < 0.01));
+  ]
+
+let figure2_tests =
+  [
+    Alcotest.test_case "save under 10 s with >=2x ultracap margin" `Quick
+      (fun () ->
+        let r = Figure2.data () in
+        Alcotest.(check bool) "save" true Time.(r.Figure2.save_time < Time.s 10.0);
+        Alcotest.(check bool) "margin" true (r.Figure2.margin >= 2.0);
+        (* The published trace starts around 8.5 V. *)
+        match Trace.samples r.Figure2.voltage with
+        | [||] -> Alcotest.fail "empty trace"
+        | samples ->
+            Alcotest.(check bool) "initial voltage" true
+              (abs_float (snd samples.(0) -. 8.5) < 0.1));
+  ]
+
+let figure5_tests =
+  [
+    Alcotest.test_case "configuration ordering and slowdown band" `Slow
+      (fun () ->
+        let series = Figure5.data ~entries:2000 ~ops:8000 ~points:3 () in
+        let at name p =
+          let s =
+            List.find
+              (fun (s : Figure5.series) -> s.Figure5.config.Wsp_nvheap.Config.name = name)
+              series
+          in
+          Time.to_ns (List.assoc p s.Figure5.points)
+        in
+        (* At every point: FoC+STM slowest, FoF fastest. *)
+        List.iter
+          (fun p ->
+            Alcotest.(check bool) "foc_stm slowest vs fof" true
+              (at "FoC + STM" p > at "FoF" p);
+            Alcotest.(check bool) "fof fastest vs fof_ul" true
+              (at "FoF + UL" p > at "FoF" p);
+            Alcotest.(check bool) "foc_ul above fof_ul" true
+              (at "FoC + UL" p >= at "FoF + UL" p))
+          [ 0.0; 0.5; 1.0 ];
+        (* The overall slowdown band should bracket the paper's 6-13x. *)
+        let lo, hi = Figure5.slowdown_range series in
+        Alcotest.(check bool)
+          (Printf.sprintf "band [%.1f, %.1f] sane" lo hi)
+          true
+          (lo >= 3.0 && lo <= 8.0 && hi >= 10.0 && hi <= 18.0);
+        (* Costs rise with the update probability for every config. *)
+        List.iter
+          (fun (s : Figure5.series) ->
+            match List.map snd s.Figure5.points with
+            | [ a; b; c ] ->
+                Alcotest.(check bool) "monotone" true Time.(a <= b && b <= c)
+            | _ -> Alcotest.fail "expected 3 points")
+          series);
+  ]
+
+let figure6_tests =
+  [
+    Alcotest.test_case "measured window within 1.5 ms of 33 ms" `Quick (fun () ->
+        let r = Figure6.data () in
+        match r.Figure6.measured_window with
+        | Some w ->
+            Alcotest.(check bool) "close" true
+              (abs_float (Time.to_ms w -. 33.0) < 1.5)
+        | None -> Alcotest.fail "no window detected");
+  ]
+
+let figure7_tests =
+  [
+    Alcotest.test_case "every window within 35% of the paper's" `Quick
+      (fun () ->
+        List.iter
+          (fun (r : Figure7.row) ->
+            Alcotest.(check bool)
+              (Printf.sprintf "%s %s" r.Figure7.psu.Wsp_power.Psu.name
+                 (if r.Figure7.busy then "busy" else "idle"))
+              true
+              (close ~tolerance:0.35 (Time.to_ms r.Figure7.window)
+                 (Time.to_ms r.Figure7.paper)))
+          (Figure7.data ());
+        (* Busy windows never exceed idle ones for the same PSU. *)
+        let rows = Figure7.data () in
+        List.iter
+          (fun (busy_row : Figure7.row) ->
+            if busy_row.Figure7.busy then
+              match
+                List.find_opt
+                  (fun (r : Figure7.row) ->
+                    (not r.Figure7.busy)
+                    && r.Figure7.psu.Wsp_power.Psu.name
+                       = busy_row.Figure7.psu.Wsp_power.Psu.name)
+                  rows
+              with
+              | Some idle_row ->
+                  Alcotest.(check bool) "busy <= idle * 1.1" true
+                    (Time.to_ms busy_row.Figure7.window
+                    <= 1.1 *. Time.to_ms idle_row.Figure7.window)
+              | None -> ())
+          rows);
+  ]
+
+let figure8_tests =
+  [
+    Alcotest.test_case "save under 5 ms everywhere, under 3 ms on testbeds"
+      `Quick (fun () ->
+        List.iter
+          (fun (s : Figure8.series) ->
+            let worst =
+              List.fold_left (fun acc (_, t) -> Time.max acc t) Time.zero
+                s.Figure8.points
+            in
+            Alcotest.(check bool) "under 5 ms" true Time.(worst < Time.ms 5.0);
+            if
+              List.memq s.Figure8.platform
+                [ Wsp_machine.Platform.intel_c5528; Wsp_machine.Platform.amd_4180 ]
+            then
+              Alcotest.(check bool) "testbed under 3 ms" true
+                Time.(worst < Time.ms 3.0))
+          (Figure8.data ()));
+    Alcotest.test_case "wbinvd save time is nearly flat in dirty bytes" `Quick
+      (fun () ->
+        List.iter
+          (fun (s : Figure8.series) ->
+            match (List.hd s.Figure8.points, List.rev s.Figure8.points) with
+            | (_, t_min), (_, t_max) :: _ ->
+                Alcotest.(check bool) "max/min < 2" true
+                  (Time.to_ns t_max /. Time.to_ns t_min < 2.0)
+            | _ -> Alcotest.fail "no points")
+          (Figure8.data ()));
+  ]
+
+let figure9_tests =
+  [
+    Alcotest.test_case "device save times within 5% of the paper" `Quick
+      (fun () ->
+        List.iter
+          (fun (r : Figure9.row) ->
+            Alcotest.(check bool) "close" true
+              (close ~tolerance:0.05 (Time.to_ms r.Figure9.duration)
+                 (Time.to_ms r.Figure9.paper)))
+          (Figure9.data ()));
+    Alcotest.test_case "busy saves take longer than idle ones" `Quick (fun () ->
+        let rows = Figure9.data () in
+        List.iter
+          (fun (r : Figure9.row) ->
+            if r.Figure9.busy then
+              let idle =
+                List.find
+                  (fun (i : Figure9.row) ->
+                    (not i.Figure9.busy) && i.Figure9.platform == r.Figure9.platform)
+                  rows
+              in
+              Alcotest.(check bool) "busy > idle" true
+                Time.(r.Figure9.duration > idle.Figure9.duration))
+          rows);
+  ]
+
+let summary_tests =
+  [
+    Alcotest.test_case "every save fits its residual window" `Quick (fun () ->
+        List.iter
+          (fun (r : Summary.row) ->
+            Alcotest.(check bool) "fraction < 1" true (r.Summary.fraction < 1.0))
+          (Summary.data ()));
+    Alcotest.test_case "a sub-farad supercap suffices" `Quick (fun () ->
+        let f =
+          Summary.supercap_farads Wsp_machine.Platform.intel_c5528
+            ~safety_factor:5.0
+        in
+        Alcotest.(check bool) "under 0.5 F" true (f < 0.5 && f > 0.0));
+  ]
+
+let protocol_tests =
+  [
+    Alcotest.test_case "all sane configurations recover; ACPI strawman fails"
+      `Slow (fun () ->
+        let rows = Protocol.data () in
+        Alcotest.(check int) "five scenarios" 5 (List.length rows);
+        List.iter
+          (fun (r : Protocol.row) ->
+            let is_acpi =
+              String.length r.Protocol.label > 0
+              && String.contains r.Protocol.label 'A'
+              && String.length r.Protocol.label > 30
+            in
+            if is_acpi then begin
+              Alcotest.(check bool) "acpi fails" false r.Protocol.data_intact;
+              match r.Protocol.outcome with
+              | Wsp_core.System.Invalid_marker -> ()
+              | o ->
+                  Alcotest.failf "acpi outcome %s" (Wsp_core.System.outcome_name o)
+            end
+            else begin
+              Alcotest.(check bool) (r.Protocol.label ^ " intact") true
+                r.Protocol.data_intact;
+              match r.Protocol.host_save with
+              | Some t ->
+                  Alcotest.(check bool) "fits window" true
+                    Time.(t < r.Protocol.window)
+              | None -> Alcotest.fail "save did not finish"
+            end)
+          rows);
+  ]
+
+let registry_tests =
+  [
+    Alcotest.test_case "all names resolvable and unique" `Quick (fun () ->
+        let names =
+          List.map (fun (e : Registry.t) -> e.Registry.name) Registry.all
+        in
+        Alcotest.(check int) "unique" (List.length names)
+          (List.length (List.sort_uniq compare names));
+        List.iter
+          (fun name ->
+            Alcotest.(check bool) name true (Registry.find name <> None))
+          names;
+        Alcotest.(check bool) "unknown" true (Registry.find "figure42" = None));
+    Alcotest.test_case "covers every table and figure in the evaluation" `Quick
+      (fun () ->
+        List.iter
+          (fun name ->
+            Alcotest.(check bool) name true (Registry.find name <> None))
+          [
+            "table1"; "table2"; "figure1"; "figure2"; "figure5"; "figure6";
+            "figure7"; "figure8"; "figure9"; "summary"; "motivation"; "protocol";
+          ]);
+  ]
+
+let suite =
+  [
+    ("experiments.table1", table1_tests);
+    ("experiments.table2", table2_tests);
+    ("experiments.figure1", figure1_tests);
+    ("experiments.figure2", figure2_tests);
+    ("experiments.figure5", figure5_tests);
+    ("experiments.figure6", figure6_tests);
+    ("experiments.figure7", figure7_tests);
+    ("experiments.figure8", figure8_tests);
+    ("experiments.figure9", figure9_tests);
+    ("experiments.summary", summary_tests);
+    ("experiments.protocol", protocol_tests);
+    ("experiments.registry", registry_tests);
+  ]

@@ -1,0 +1,486 @@
+(* Tests for wsp_machine: caches, the hierarchy, CPUs, interrupts,
+   platforms and the flush cost model. *)
+
+open Wsp_sim
+open Wsp_machine
+
+let check_time = Alcotest.testable Time.pp Time.equal
+
+let small_cache ?(name = "L1") ?(size = Units.Size.bytes 1024) ?(assoc = 2) () =
+  Cache.create
+    {
+      Cache.name;
+      size;
+      line_size = 64;
+      associativity = assoc;
+      hit_latency = Time.ns 2.0;
+    }
+
+(* --- Cache -------------------------------------------------------------- *)
+
+let cache_tests =
+  [
+    Alcotest.test_case "miss then hit" `Quick (fun () ->
+        let c = small_cache () in
+        Alcotest.(check bool) "cold miss" false (Cache.probe c ~line:3);
+        ignore (Cache.insert c ~line:3 ~dirty:false);
+        Alcotest.(check bool) "hit" true (Cache.probe c ~line:3));
+    Alcotest.test_case "line count" `Quick (fun () ->
+        Alcotest.(check int) "16 lines" 16 (Cache.line_count (small_cache ())));
+    Alcotest.test_case "LRU eviction within a set" `Quick (fun () ->
+        let c = small_cache () in
+        (* 8 sets, 2 ways; lines 0, 8, 16 all map to set 0. *)
+        ignore (Cache.insert c ~line:0 ~dirty:false);
+        ignore (Cache.insert c ~line:8 ~dirty:false);
+        ignore (Cache.probe c ~line:0);
+        (* 8 is now LRU *)
+        match Cache.insert c ~line:16 ~dirty:false with
+        | Some victim ->
+            Alcotest.(check int) "victim is LRU" 8 victim.Cache.line;
+            Alcotest.(check bool) "0 stays" true (Cache.contains c ~line:0)
+        | None -> Alcotest.fail "expected an eviction");
+    Alcotest.test_case "dirty eviction reported" `Quick (fun () ->
+        let c = small_cache () in
+        ignore (Cache.insert c ~line:0 ~dirty:true);
+        ignore (Cache.insert c ~line:8 ~dirty:false);
+        match Cache.insert c ~line:16 ~dirty:false with
+        | Some victim -> Alcotest.(check bool) "dirty" true victim.Cache.dirty
+        | None -> Alcotest.fail "expected an eviction");
+    Alcotest.test_case "insert merges dirty flag" `Quick (fun () ->
+        let c = small_cache () in
+        ignore (Cache.insert c ~line:1 ~dirty:true);
+        ignore (Cache.insert c ~line:1 ~dirty:false);
+        Alcotest.(check bool) "still dirty" true (Cache.is_dirty c ~line:1));
+    Alcotest.test_case "invalidate returns dirtiness" `Quick (fun () ->
+        let c = small_cache () in
+        ignore (Cache.insert c ~line:1 ~dirty:true);
+        Alcotest.(check bool) "was dirty" true (Cache.invalidate c ~line:1);
+        Alcotest.(check bool) "gone" false (Cache.contains c ~line:1);
+        Alcotest.(check bool) "second invalidate" false (Cache.invalidate c ~line:1));
+    Alcotest.test_case "dirty accounting" `Quick (fun () ->
+        let c = small_cache () in
+        ignore (Cache.insert c ~line:1 ~dirty:true);
+        ignore (Cache.insert c ~line:2 ~dirty:false);
+        Cache.set_dirty c ~line:2;
+        ignore (Cache.insert c ~line:3 ~dirty:false);
+        Alcotest.(check int) "dirty count" 2 (Cache.dirty_count c);
+        Alcotest.(check int) "resident" 3 (Cache.resident_count c);
+        let dirty = List.sort compare (Cache.dirty_lines c) in
+        Alcotest.(check (list int)) "dirty lines" [ 1; 2 ] dirty);
+    Alcotest.test_case "clear wipes everything" `Quick (fun () ->
+        let c = small_cache () in
+        ignore (Cache.insert c ~line:1 ~dirty:true);
+        Cache.clear c;
+        Alcotest.(check int) "resident" 0 (Cache.resident_count c);
+        Alcotest.(check int) "dirty" 0 (Cache.dirty_count c));
+  ]
+
+let cache_props =
+  [
+    QCheck_alcotest.to_alcotest
+      (QCheck2.Test.make ~name:"resident never exceeds capacity" ~count:100
+         QCheck2.Gen.(list_size (int_range 0 200) (int_range 0 1000))
+         (fun lines ->
+           let c = small_cache () in
+           List.iter (fun line -> ignore (Cache.insert c ~line ~dirty:false)) lines;
+           Cache.resident_count c <= Cache.line_count c));
+    QCheck_alcotest.to_alcotest
+      (QCheck2.Test.make ~name:"inserted line is present until evicted"
+         ~count:100
+         QCheck2.Gen.(list_size (int_range 1 100) (int_range 0 100))
+         (fun lines ->
+           let c = small_cache () in
+           List.for_all
+             (fun line ->
+               ignore (Cache.insert c ~line ~dirty:false);
+               Cache.contains c ~line)
+             lines));
+  ]
+
+(* --- Hierarchy ----------------------------------------------------------- *)
+
+let tiny_hierarchy ?(on_writeback = fun ~line:_ -> ()) () =
+  Hierarchy.create ~on_writeback
+    {
+      Hierarchy.levels =
+        [
+          {
+            Cache.name = "L1";
+            size = Units.Size.bytes 512;
+            line_size = 64;
+            associativity = 2;
+            hit_latency = Time.ns 1.0;
+          };
+          {
+            Cache.name = "L2";
+            size = Units.Size.bytes 2048;
+            line_size = 64;
+            associativity = 4;
+            hit_latency = Time.ns 4.0;
+          };
+        ];
+      memory_latency = Time.ns 60.0;
+      memory_bandwidth = Units.Bandwidth.gib_per_s 10.0;
+      memory_write_bandwidth = Units.Bandwidth.gib_per_s 10.0;
+      nt_store_latency = Time.ns 20.0;
+      fence_latency = Time.ns 50.0;
+      clflush_issue = Time.ns 6.0;
+      wbinvd_line_walk = Time.ns 7.0;
+    }
+
+let hierarchy_tests =
+  [
+    Alcotest.test_case "load latencies by hit level" `Quick (fun () ->
+        let h = tiny_hierarchy () in
+        (* Cold miss probes L1+L2 then memory. *)
+        Alcotest.check check_time "cold" (Time.ns 65.0) (Hierarchy.load h ~addr:0);
+        (* Now an L1 hit. *)
+        Alcotest.check check_time "L1 hit" (Time.ns 1.0) (Hierarchy.load h ~addr:0));
+    Alcotest.test_case "L2 hit after L1 eviction" `Quick (fun () ->
+        let h = tiny_hierarchy () in
+        (* L1: 4 sets x 2 ways. Lines 0,4,8 map to L1 set 0; filling 0,4
+           then 8 evicts line 0 from L1 but it stays in L2. *)
+        ignore (Hierarchy.load h ~addr:0);
+        ignore (Hierarchy.load h ~addr:(4 * 64));
+        ignore (Hierarchy.load h ~addr:(8 * 64));
+        Alcotest.check check_time "L2 hit" (Time.ns 5.0) (Hierarchy.load h ~addr:0));
+    Alcotest.test_case "store dirties exactly one line" `Quick (fun () ->
+        let h = tiny_hierarchy () in
+        ignore (Hierarchy.store h ~addr:100);
+        Alcotest.(check (list int)) "dirty" [ 1 ] (Hierarchy.dirty_lines h);
+        Alcotest.(check int) "bytes" 64 (Hierarchy.dirty_bytes h));
+    Alcotest.test_case "LLC eviction of dirty line writes back" `Quick (fun () ->
+        let written = ref [] in
+        let h = tiny_hierarchy ~on_writeback:(fun ~line -> written := line :: !written) () in
+        (* L2: 8 sets x 4 ways; lines 0,8,16,24,32 map to L2 set 0. *)
+        ignore (Hierarchy.store h ~addr:0);
+        List.iter
+          (fun l -> ignore (Hierarchy.load h ~addr:(l * 64)))
+          [ 8; 16; 24; 32 ];
+        Alcotest.(check (list int)) "wrote back line 0" [ 0 ] !written;
+        Alcotest.(check (list int)) "no longer dirty" [] (Hierarchy.dirty_lines h));
+    Alcotest.test_case "clflush writes back and invalidates" `Quick (fun () ->
+        let written = ref [] in
+        let h = tiny_hierarchy ~on_writeback:(fun ~line -> written := line :: !written) () in
+        ignore (Hierarchy.store h ~addr:130);
+        let cost = Hierarchy.clflush h ~addr:130 in
+        Alcotest.(check (list int)) "written" [ 2 ] !written;
+        Alcotest.(check (list int)) "clean" [] (Hierarchy.dirty_lines h);
+        Alcotest.(check bool) "charged more than issue" true
+          Time.(cost > Time.ns 6.0);
+        (* Flushing a clean line costs only the issue. *)
+        Alcotest.check check_time "clean flush" (Time.ns 6.0)
+          (Hierarchy.clflush h ~addr:130));
+    Alcotest.test_case "flush_all cleans everything and walks all slots" `Quick
+      (fun () ->
+        let written = ref 0 in
+        let h = tiny_hierarchy ~on_writeback:(fun ~line:_ -> incr written) () in
+        for i = 0 to 9 do
+          ignore (Hierarchy.store h ~addr:(i * 64))
+        done;
+        let dirty_before = List.length (Hierarchy.dirty_lines h) in
+        let cost = Hierarchy.flush_all h in
+        Alcotest.(check int) "all written back" dirty_before !written;
+        Alcotest.(check (list int)) "clean" [] (Hierarchy.dirty_lines h);
+        Alcotest.(check int) "nothing resident" 0 (Hierarchy.resident_lines h);
+        (* Walk: 40 slots x 7 ns = 280 ns minimum. *)
+        Alcotest.(check bool) "cost includes walk" true Time.(cost >= Time.ns 280.0));
+    Alcotest.test_case "drop_volatile loses dirty data silently" `Quick (fun () ->
+        let written = ref 0 in
+        let h = tiny_hierarchy ~on_writeback:(fun ~line:_ -> incr written) () in
+        ignore (Hierarchy.store h ~addr:0);
+        Hierarchy.drop_volatile h;
+        Alcotest.(check int) "no write-back" 0 !written;
+        Alcotest.(check (list int)) "nothing dirty" [] (Hierarchy.dirty_lines h));
+    Alcotest.test_case "store_nt flushes a dirty cached line first" `Quick
+      (fun () ->
+        let written = ref [] in
+        let h = tiny_hierarchy ~on_writeback:(fun ~line -> written := line :: !written) () in
+        ignore (Hierarchy.store h ~addr:0);
+        ignore (Hierarchy.store_nt h ~addr:8);
+        Alcotest.(check (list int)) "line 0 written back" [ 0 ] !written);
+    Alcotest.test_case "total_line_slots" `Quick (fun () ->
+        let h = tiny_hierarchy () in
+        Alcotest.(check int) "slots" (8 + 32) (Hierarchy.total_line_slots h));
+  ]
+
+let hierarchy_props =
+  [
+    QCheck_alcotest.to_alcotest
+      (QCheck2.Test.make
+         ~name:"inclusion: every upper-level line is resident in the LLC"
+         ~count:100
+         QCheck2.Gen.(
+           list_size (int_range 0 150) (pair (int_range 0 80) (int_range 0 1)))
+         (fun ops ->
+           (* Inclusive hierarchies must never hold a line in L1 that the
+              LLC has dropped — back-invalidation keeps this exact, which
+              is what makes dirty_lines trustworthy. We verify through
+              the latency oracle: an L1 hit (1 ns) after an LLC
+              invalidation would betray a violation, so instead we check
+              the resident count equals the number of distinct lines the
+              LLC reports and flush_all leaves nothing anywhere. *)
+           let h = tiny_hierarchy () in
+           List.iter
+             (fun (line, write) ->
+               let addr = line * 64 in
+               if write = 1 then ignore (Hierarchy.store h ~addr)
+               else ignore (Hierarchy.load h ~addr))
+             ops;
+           let resident = Hierarchy.resident_lines h in
+           let dirty = List.length (Hierarchy.dirty_lines h) in
+           ignore (Hierarchy.flush_all h);
+           dirty <= resident
+           && Hierarchy.resident_lines h = 0
+           && Hierarchy.dirty_lines h = []));
+    QCheck_alcotest.to_alcotest
+      (QCheck2.Test.make
+         ~name:"dirty lines = stored lines minus written-back lines" ~count:100
+         QCheck2.Gen.(list_size (int_range 0 120) (int_range 0 60))
+         (fun lines ->
+           let written = Hashtbl.create 16 in
+           let h =
+             tiny_hierarchy
+               ~on_writeback:(fun ~line -> Hashtbl.replace written line ())
+               ()
+           in
+           List.iter (fun l -> ignore (Hierarchy.store h ~addr:(l * 64))) lines;
+           let dirty = Hierarchy.dirty_lines h in
+           let stored = List.sort_uniq compare lines in
+           (* Every stored line is either still dirty in cache or was
+              written back (possibly both if re-stored after eviction). *)
+           List.for_all
+             (fun l -> List.mem l dirty || Hashtbl.mem written l)
+             stored
+           && List.for_all (fun l -> List.mem l stored) dirty));
+  ]
+
+(* --- Cpu ------------------------------------------------------------------ *)
+
+let cpu_tests =
+  [
+    Alcotest.test_case "context serialisation round-trips" `Quick (fun () ->
+        let rng = Rng.create ~seed:1 in
+        let ctx = Cpu.Context.random rng in
+        let buf = Bytes.create Cpu.Context.size_bytes in
+        Cpu.Context.write ctx buf ~off:0;
+        Alcotest.(check bool) "equal" true
+          (Cpu.Context.equal ctx (Cpu.Context.read buf ~off:0)));
+    Alcotest.test_case "topology" `Quick (fun () ->
+        let cpu = Cpu.create ~sockets:2 ~cores_per_socket:4 ~threads_per_core:2 in
+        Alcotest.(check int) "16 threads" 16 (Cpu.core_count cpu);
+        Alcotest.(check int) "control id" 0 (Cpu.Core.id (Cpu.control cpu));
+        Alcotest.(check int) "socket of thread 8" 1
+          (Cpu.Core.socket (Cpu.cores cpu).(8)));
+    Alcotest.test_case "halt and resume" `Quick (fun () ->
+        let cpu = Cpu.create ~sockets:1 ~cores_per_socket:2 ~threads_per_core:1 in
+        Alcotest.(check int) "all running" 2 (Cpu.running_count cpu);
+        Cpu.halt_all cpu;
+        Alcotest.(check bool) "halted" true (Cpu.all_halted cpu);
+        Cpu.resume_all cpu;
+        Alcotest.(check int) "running again" 2 (Cpu.running_count cpu));
+    Alcotest.test_case "save/restore all contexts through memory" `Quick
+      (fun () ->
+        let rng = Rng.create ~seed:2 in
+        let cpu = Cpu.create ~sockets:1 ~cores_per_socket:4 ~threads_per_core:1 in
+        Array.iter (fun c -> Cpu.Core.scramble c rng) (Cpu.cores cpu);
+        let saved = Array.map Cpu.Core.context (Cpu.cores cpu) in
+        let buf = Bytes.create (Cpu.context_area_bytes cpu) in
+        Cpu.save_contexts cpu buf ~off:0;
+        Array.iter (fun c -> Cpu.Core.scramble c rng) (Cpu.cores cpu);
+        Cpu.restore_contexts cpu buf ~off:0;
+        Array.iteri
+          (fun i c ->
+            Alcotest.(check bool)
+              (Printf.sprintf "core %d" i)
+              true
+              (Cpu.Context.equal saved.(i) (Cpu.Core.context c)))
+          (Cpu.cores cpu));
+  ]
+
+(* --- Interrupts ------------------------------------------------------------ *)
+
+let interrupt_tests =
+  [
+    Alcotest.test_case "IPIs reach all other cores after the latency" `Quick
+      (fun () ->
+        let engine = Engine.create () in
+        let cpu = Cpu.create ~sockets:1 ~cores_per_socket:4 ~threads_per_core:1 in
+        let ic = Interrupt.create ~engine ~cpu ~ipi_latency:(Time.us 2.0) in
+        let hit = ref [] in
+        Interrupt.broadcast_others ic ~from:(Cpu.control cpu)
+          ~handler:(fun engine core ->
+            hit := (Cpu.Core.id core, Engine.now engine) :: !hit);
+        Engine.run engine;
+        let ids = List.sort compare (List.map fst !hit) in
+        Alcotest.(check (list int)) "cores 1-3" [ 1; 2; 3 ] ids;
+        List.iter
+          (fun (_, at) -> Alcotest.check check_time "latency" (Time.us 2.0) at)
+          !hit);
+    Alcotest.test_case "halted cores drop interrupts" `Quick (fun () ->
+        let engine = Engine.create () in
+        let cpu = Cpu.create ~sockets:1 ~cores_per_socket:2 ~threads_per_core:1 in
+        let ic = Interrupt.create ~engine ~cpu ~ipi_latency:(Time.us 1.0) in
+        Cpu.Core.halt (Cpu.cores cpu).(1);
+        let hit = ref 0 in
+        Interrupt.broadcast_others ic ~from:(Cpu.control cpu)
+          ~handler:(fun _ _ -> incr hit);
+        Engine.run engine;
+        Alcotest.(check int) "dropped" 0 !hit);
+  ]
+
+(* --- Platform & Flush -------------------------------------------------------- *)
+
+let platform_tests =
+  [
+    Alcotest.test_case "catalog lookup" `Quick (fun () ->
+        Alcotest.(check bool) "c5528" true (Platform.by_name "c5528" <> None);
+        Alcotest.(check bool) "by full name" true
+          (Platform.by_name "AMD 4180" <> None);
+        Alcotest.(check bool) "unknown" true (Platform.by_name "i386" = None));
+    Alcotest.test_case "LLC totals" `Quick (fun () ->
+        Alcotest.(check int) "c5528: 2 x 8 MiB" (Units.Size.mib 16)
+          (Platform.llc_total Platform.intel_c5528);
+        Alcotest.(check int) "d510: L2 as LLC" (Units.Size.mib 1)
+          (Platform.llc_total Platform.intel_d510));
+    Alcotest.test_case "hierarchies line up with the catalog" `Quick (fun () ->
+        let p = Platform.intel_c5528 in
+        let core = Platform.core_hierarchy p in
+        Alcotest.(check int) "core levels" 3 (List.length core.Hierarchy.levels);
+        let agg = Platform.aggregate_hierarchy p in
+        let agg_l1 = (List.hd agg.Hierarchy.levels).Cache.size in
+        Alcotest.(check int) "aggregate L1 = 8 cores x 32 KiB"
+          (Units.Size.kib 256) agg_l1);
+    Alcotest.test_case "cycles at the platform clock" `Quick (fun () ->
+        let p = Platform.intel_c5528 in
+        (* 2.13 GHz: 213 cycles = 100 ns. *)
+        Alcotest.check check_time "100ns" (Time.ns 100.0) (Platform.cycles p 213.0));
+  ]
+
+let flush_tests =
+  [
+    Alcotest.test_case "wbinvd nearly flat in dirty bytes" `Quick (fun () ->
+        let p = Platform.intel_c5528 in
+        let t0 = Flush.wbinvd_time p ~dirty_bytes:0 in
+        let t1 = Flush.wbinvd_time p ~dirty_bytes:(Flush.max_dirty_bytes p) in
+        let ratio = Time.to_ns t1 /. Time.to_ns t0 in
+        Alcotest.(check bool) "within 1.5x" true (ratio < 1.5 && ratio >= 1.0));
+    Alcotest.test_case "clflush beats wbinvd on small regions" `Quick (fun () ->
+        let p = Platform.intel_c5528 in
+        Alcotest.(check bool) "small region" true
+          (Flush.best_instruction p ~region_bytes:4096 ~dirty_bytes:4096 = `Clflush);
+        let whole = Flush.max_dirty_bytes p in
+        (* Worst case on the Intel testbed the paper measured clflush as
+           slightly faster; the AMD part has it the other way. *)
+        Alcotest.(check bool) "amd whole cache" true
+          (Flush.best_instruction Platform.amd_4180
+             ~region_bytes:(Flush.max_dirty_bytes Platform.amd_4180)
+             ~dirty_bytes:(Flush.max_dirty_bytes Platform.amd_4180)
+          = `Wbinvd);
+        ignore whole);
+    Alcotest.test_case "theoretical best is a lower bound" `Quick (fun () ->
+        List.iter
+          (fun p ->
+            let d = Flush.max_dirty_bytes p in
+            Alcotest.(check bool) "best <= clflush" true
+              Time.(
+                Flush.theoretical_best p ~dirty_bytes:d
+                <= Flush.clflush_time p ~region_bytes:d ~dirty_bytes:d);
+            Alcotest.(check bool) "best <= wbinvd" true
+              Time.(
+                Flush.theoretical_best p ~dirty_bytes:d
+                <= Flush.wbinvd_time p ~dirty_bytes:d))
+          Platform.all);
+    Alcotest.test_case "state save under 5 ms on every platform" `Quick
+      (fun () ->
+        List.iter
+          (fun p ->
+            let t =
+              Flush.state_save_time p ~dirty_bytes:(Flush.max_dirty_bytes p)
+            in
+            Alcotest.(check bool)
+              (p.Platform.name ^ " under 5 ms")
+              true
+              Time.(t < Time.ms 5.0))
+          Platform.all);
+    Alcotest.test_case "analytic model matches the mechanistic hierarchy" `Quick
+      (fun () ->
+        (* Dirty a known number of lines in the real aggregate hierarchy
+           of the smallest platform and compare flush_all's cost with
+           the analytic wbinvd_time. *)
+        let p = Platform.intel_d510 in
+        let dirty_bytes = 64 * 1024 in
+        let analytic = Flush.wbinvd_time p ~dirty_bytes in
+        let mech =
+          Wsp_experiments.Figure8.mechanistic_check p ~dirty_bytes
+        in
+        let mech = Time.sub mech (Flush.context_save_time p) in
+        let delta = abs_float (Time.to_ns mech -. Time.to_ns analytic) in
+        Alcotest.(check bool) "within 1%" true
+          (delta /. Time.to_ns analytic < 0.01));
+  ]
+
+let wear_tests =
+  [
+    Alcotest.test_case "identity mapping before any gap move" `Quick (fun () ->
+        let wl = Wear_level.create ~lines:8 () in
+        for i = 0 to 7 do
+          Alcotest.(check int) "identity" i (Wear_level.translate wl i)
+        done;
+        Alcotest.(check bool) "bijective" true (Wear_level.check wl = Ok ()));
+    Alcotest.test_case "gap moves rotate the mapping, reads stay consistent"
+      `Quick (fun () ->
+        let wl = Wear_level.create ~gap_interval:1 ~lines:8 () in
+        (* Every write moves the gap; after 9 moves a full cycle. *)
+        for _ = 1 to 50 do
+          Wear_level.record_write wl 3
+        done;
+        Alcotest.(check int) "50 gap moves" 50 (Wear_level.gap_moves wl);
+        Alcotest.(check bool) "still bijective" true (Wear_level.check wl = Ok ());
+        (* All 8 logical lines still map to 8 distinct slots. *)
+        let slots = List.init 8 (Wear_level.translate wl) in
+        Alcotest.(check int) "distinct" 8
+          (List.length (List.sort_uniq compare slots)));
+    Alcotest.test_case "hot line wear spreads across slots" `Quick (fun () ->
+        let no_level = Wear_level.create ~gap_interval:max_int ~lines:64 () in
+        let level = Wear_level.create ~gap_interval:4 ~lines:64 () in
+        for _ = 1 to 20_000 do
+          Wear_level.record_write no_level 7;
+          Wear_level.record_write level 7
+        done;
+        Alcotest.(check bool) "unlevelled ratio = slot count" true
+          (Wear_level.wear_ratio no_level > 60.0);
+        (* Residency discretisation leaves some slots with two stays of
+           the hot line per sweep, so the floor is ~2x, not 1x. *)
+        Alcotest.(check bool) "levelled ratio small" true
+          (Wear_level.wear_ratio level < 2.0));
+    Alcotest.test_case "gap-move copies are charged as wear" `Quick (fun () ->
+        let wl = Wear_level.create ~gap_interval:2 ~lines:4 () in
+        for _ = 1 to 10 do
+          Wear_level.record_write wl 0
+        done;
+        let total_recorded = Array.fold_left ( + ) 0 (Wear_level.wear wl) in
+        (* 10 data writes + one copy per gap move that displaced data. *)
+        Alcotest.(check bool) "includes copies" true (total_recorded >= 10);
+        Alcotest.(check int) "moves" 5 (Wear_level.gap_moves wl));
+    Alcotest.test_case "uniform traffic is near-ideal even unlevelled" `Quick
+      (fun () ->
+        let wl = Wear_level.create ~gap_interval:max_int ~lines:32 () in
+        for i = 0 to 31_999 do
+          Wear_level.record_write wl (i mod 32)
+        done;
+        (* mean counts the empty gap slot, so the ratio floor is
+           slots/lines. *)
+        Alcotest.(check bool) "near 1" true (Wear_level.wear_ratio wl < 1.2));
+  ]
+
+let suite =
+  [
+    ("machine.cache", cache_tests @ cache_props);
+    ("machine.wear_level", wear_tests);
+    ("machine.hierarchy", hierarchy_tests @ hierarchy_props);
+    ("machine.cpu", cpu_tests);
+    ("machine.interrupt", interrupt_tests);
+    ("machine.platform", platform_tests);
+    ("machine.flush", flush_tests);
+  ]

@@ -1,0 +1,664 @@
+(* Tests for wsp_nvheap: NVRAM crash semantics, the allocator, the
+   torn-tolerant raw log, transactions with crash injection, and the
+   heap facade. *)
+
+open Wsp_sim
+open Wsp_nvheap
+
+let mk_nvram ?(size = Units.Size.kib 256) () = Nvram.create ~size ()
+
+(* --- Nvram ---------------------------------------------------------------- *)
+
+let nvram_tests =
+  [
+    Alcotest.test_case "read your writes" `Quick (fun () ->
+        let nv = mk_nvram () in
+        Nvram.write_u64 nv ~addr:128 0xDEADBEEFL;
+        Alcotest.(check int64) "value" 0xDEADBEEFL (Nvram.read_u64 nv ~addr:128));
+    Alcotest.test_case "bytes round-trip" `Quick (fun () ->
+        let nv = mk_nvram () in
+        let data = Bytes.of_string "whole-system persistence" in
+        Nvram.write_bytes nv ~addr:1000 data;
+        Alcotest.(check bytes) "round trip" data
+          (Nvram.read_bytes nv ~addr:1000 ~len:(Bytes.length data)));
+    Alcotest.test_case "unflushed writes do not reach the backing store" `Quick
+      (fun () ->
+        let nv = mk_nvram () in
+        Nvram.write_u64 nv ~addr:0 42L;
+        Alcotest.(check int64) "backing still zero" 0L (Nvram.peek_u64 nv ~addr:0);
+        Alcotest.(check bool) "line dirty" true (Nvram.dirty_bytes nv > 0));
+    Alcotest.test_case "crash loses dirty data" `Quick (fun () ->
+        let nv = mk_nvram () in
+        Nvram.write_u64 nv ~addr:0 42L;
+        Nvram.crash nv;
+        Alcotest.(check int64) "gone" 0L (Nvram.read_u64 nv ~addr:0);
+        Alcotest.(check int) "nothing dirty" 0 (Nvram.dirty_bytes nv));
+    Alcotest.test_case "clflush makes one line durable" `Quick (fun () ->
+        let nv = mk_nvram () in
+        Nvram.write_u64 nv ~addr:64 7L;
+        Nvram.write_u64 nv ~addr:256 9L;
+        Nvram.clflush nv ~addr:64;
+        Nvram.crash nv;
+        Alcotest.(check int64) "flushed survives" 7L (Nvram.read_u64 nv ~addr:64);
+        Alcotest.(check int64) "other lost" 0L (Nvram.read_u64 nv ~addr:256));
+    Alcotest.test_case "wbinvd makes everything durable" `Quick (fun () ->
+        let nv = mk_nvram () in
+        for i = 0 to 63 do
+          Nvram.write_u64 nv ~addr:(i * 8) (Int64.of_int i)
+        done;
+        Nvram.wbinvd nv;
+        Nvram.crash nv;
+        for i = 0 to 63 do
+          Alcotest.(check int64) "survives" (Int64.of_int i)
+            (Nvram.read_u64 nv ~addr:(i * 8))
+        done);
+    Alcotest.test_case "non-temporal stores need a fence to be durable" `Quick
+      (fun () ->
+        let nv = mk_nvram () in
+        Nvram.write_u64_nt nv ~addr:0 1L;
+        Alcotest.(check int) "pending" 8 (Nvram.pending_nt_bytes nv);
+        Nvram.write_u64_nt nv ~addr:8 2L;
+        Nvram.fence nv;
+        Nvram.write_u64_nt nv ~addr:16 3L;  (* never fenced *)
+        Nvram.crash nv;
+        Alcotest.(check int64) "fenced 1" 1L (Nvram.read_u64 nv ~addr:0);
+        Alcotest.(check int64) "fenced 2" 2L (Nvram.read_u64 nv ~addr:8);
+        Alcotest.(check int64) "unfenced lost" 0L (Nvram.read_u64 nv ~addr:16));
+    Alcotest.test_case "nt store preserves other dirty bytes of the line" `Quick
+      (fun () ->
+        let nv = mk_nvram () in
+        Nvram.write_u64 nv ~addr:0 11L;  (* cached, dirty *)
+        Nvram.write_u64_nt nv ~addr:8 22L;  (* same line: flushes it first *)
+        Nvram.fence nv;
+        Nvram.crash nv;
+        Alcotest.(check int64) "cached neighbour survived" 11L
+          (Nvram.read_u64 nv ~addr:0);
+        Alcotest.(check int64) "nt value" 22L (Nvram.read_u64 nv ~addr:8));
+    Alcotest.test_case "clock accumulates and resets" `Quick (fun () ->
+        let nv = mk_nvram () in
+        ignore (Nvram.read_u64 nv ~addr:0);
+        Alcotest.(check bool) "charged" true Time.(Nvram.clock nv > Time.zero);
+        Nvram.reset_clock nv;
+        Alcotest.(check bool) "reset" true (Time.equal (Nvram.clock nv) Time.zero));
+    Alcotest.test_case "out-of-bounds access rejected" `Quick (fun () ->
+        let nv = mk_nvram ~size:(Units.Size.kib 1) () in
+        Alcotest.(check bool) "raises" true
+          (try
+             Nvram.write_u64 nv ~addr:1020 1L;
+             false
+           with Invalid_argument _ -> true));
+    Alcotest.test_case "eviction persists data without an explicit flush" `Quick
+      (fun () ->
+        (* Write far more lines than the hierarchy can hold: early lines
+           must have been written back to the backing store. *)
+        let nv = Nvram.create ~size:(Units.Size.mib 64) () in
+        let lines = 400_000 in
+        for i = 0 to lines - 1 do
+          Nvram.write_u64 nv ~addr:(i * 64) (Int64.of_int i)
+        done;
+        Alcotest.(check bool) "line 0 reached backing" true
+          (Int64.equal (Nvram.peek_u64 nv ~addr:0) 0L
+          && Nvram.dirty_bytes nv < lines * 64));
+  ]
+
+let nvram_props =
+  [
+    QCheck_alcotest.to_alcotest
+      (QCheck2.Test.make
+         ~name:"persistent image = writes that were flushed or evicted"
+         ~count:50
+         QCheck2.Gen.(list_size (int_range 1 100) (pair (int_range 0 500) (int_range 0 1)))
+         (fun ops ->
+           let nv = mk_nvram () in
+           let model = Hashtbl.create 64 in
+           List.iteri
+             (fun i (slot, flush) ->
+               let addr = slot * 8 in
+               let v = Int64.of_int i in
+               Nvram.write_u64 nv ~addr v;
+               Hashtbl.replace model addr (v, flush = 1);
+               if flush = 1 then Nvram.clflush nv ~addr)
+             ops;
+           Nvram.crash nv;
+           (* Every write whose last version was flushed must be visible. *)
+           Hashtbl.fold
+             (fun addr (v, flushed) ok ->
+               ok
+               &&
+               if flushed then Int64.equal (Nvram.read_u64 nv ~addr) v
+               else true)
+             model true));
+    QCheck_alcotest.to_alcotest
+      (QCheck2.Test.make ~name:"wbinvd then crash preserves all writes"
+         ~count:50
+         QCheck2.Gen.(list_size (int_range 1 100) (int_range 0 500))
+         (fun slots ->
+           let nv = mk_nvram () in
+           List.iteri
+             (fun i slot -> Nvram.write_u64 nv ~addr:(slot * 8) (Int64.of_int i))
+             slots;
+           let expected =
+             List.mapi (fun i slot -> (slot * 8, Int64.of_int i)) slots
+             |> List.rev
+             |> List.fold_left
+                  (fun acc (addr, v) ->
+                    if List.mem_assoc addr acc then acc else (addr, v) :: acc)
+                  []
+           in
+           Nvram.wbinvd nv;
+           Nvram.crash nv;
+           List.for_all
+             (fun (addr, v) -> Int64.equal (Nvram.read_u64 nv ~addr) v)
+             expected));
+  ]
+
+(* --- Alloc ---------------------------------------------------------------- *)
+
+let mk_alloc ?(len = Units.Size.kib 8) () =
+  let nv = mk_nvram () in
+  (nv, Alloc.create nv ~base:0 ~len)
+
+let alloc_tests =
+  [
+    Alcotest.test_case "allocations are aligned and disjoint" `Quick (fun () ->
+        let _, a = mk_alloc () in
+        let p1 = Alloc.alloc a 24 in
+        let p2 = Alloc.alloc a 100 in
+        Alcotest.(check int) "aligned 1" 0 (p1 mod 8);
+        Alcotest.(check int) "aligned 2" 0 (p2 mod 8);
+        Alcotest.(check bool) "disjoint" true
+          (p2 >= p1 + 24 || p1 >= p2 + 104));
+    Alcotest.test_case "free and reuse" `Quick (fun () ->
+        let _, a = mk_alloc () in
+        let p1 = Alloc.alloc a 64 in
+        Alloc.free a p1;
+        let p2 = Alloc.alloc a 64 in
+        Alcotest.(check int) "reused" p1 p2);
+    Alcotest.test_case "payload_size reports the rounded size" `Quick (fun () ->
+        let _, a = mk_alloc () in
+        let p = Alloc.alloc a 20 in
+        Alcotest.(check int) "rounded" 24 (Alloc.payload_size a p));
+    Alcotest.test_case "double free rejected" `Quick (fun () ->
+        let _, a = mk_alloc () in
+        let p = Alloc.alloc a 16 in
+        Alloc.free a p;
+        Alcotest.(check bool) "raises" true
+          (try
+             Alloc.free a p;
+             false
+           with Invalid_argument _ -> true));
+    Alcotest.test_case "out of memory raises" `Quick (fun () ->
+        let _, a = mk_alloc ~len:256 () in
+        Alcotest.(check bool) "raises" true
+          (try
+             ignore (Alloc.alloc a 1024);
+             false
+           with Out_of_memory -> true));
+    Alcotest.test_case "coalescing lets a large block come back" `Quick
+      (fun () ->
+        let _, a = mk_alloc ~len:1024 () in
+        (* Fill the region with small blocks, free them newest-first so
+           each free coalesces with its right neighbour, then allocate
+           one large block. *)
+        let ps = List.init 8 (fun _ -> Alloc.alloc a 64) in
+        List.iter (Alloc.free a) (List.rev ps);
+        let big = Alloc.alloc a 700 in
+        Alcotest.(check bool) "fits" true (big > 0));
+    Alcotest.test_case "accounting adds up" `Quick (fun () ->
+        let _, a = mk_alloc ~len:1024 () in
+        let _ = Alloc.alloc a 64 in
+        let _ = Alloc.alloc a 128 in
+        Alcotest.(check int) "allocated" (64 + 128) (Alloc.allocated_bytes a);
+        Alcotest.(check bool) "invariants" true
+          (Alloc.check_invariants a = Ok ()));
+    Alcotest.test_case "recover rebuilds the free index after a flushed crash"
+      `Quick (fun () ->
+        let nv, a = mk_alloc () in
+        let p1 = Alloc.alloc a 64 in
+        let _p2 = Alloc.alloc a 64 in
+        Alloc.free a p1;
+        Nvram.wbinvd nv;
+        Nvram.crash nv;
+        let a' = Alloc.attach nv ~base:0 ~len:(Units.Size.kib 8) in
+        Alcotest.(check bool) "invariants hold" true
+          (Alloc.check_invariants a' = Ok ());
+        Alcotest.(check int) "allocated bytes match" 64 (Alloc.allocated_bytes a');
+        (* The freed block is allocatable again. *)
+        let p3 = Alloc.alloc a' 64 in
+        Alcotest.(check int) "reuses the freed block" p1 p3);
+    Alcotest.test_case "iter_allocated visits exactly the live blocks" `Quick
+      (fun () ->
+        let _, a = mk_alloc () in
+        let p1 = Alloc.alloc a 16 in
+        let p2 = Alloc.alloc a 32 in
+        Alloc.free a p1;
+        let seen = ref [] in
+        Alloc.iter_allocated a (fun ~addr ~size -> seen := (addr, size) :: !seen);
+        Alcotest.(check (list (pair int int))) "live" [ (p2, 32) ] !seen);
+  ]
+
+let alloc_props =
+  [
+    QCheck_alcotest.to_alcotest
+      (QCheck2.Test.make ~name:"live allocations never overlap" ~count:100
+         QCheck2.Gen.(list_size (int_range 1 60) (int_range (-30) 120))
+         (fun ops ->
+           (* Positive n: allocate n bytes; negative: free the oldest
+              live allocation. *)
+           let _, a = mk_alloc ~len:(Units.Size.kib 16) () in
+           let live = ref [] in
+           List.iter
+             (fun n ->
+               if n > 0 then (
+                 match Alloc.alloc a n with
+                 | p -> live := !live @ [ (p, (n + 7) / 8 * 8) ]
+                 | exception Out_of_memory -> ())
+               else
+                 match !live with
+                 | [] -> ()
+                 | (p, _) :: rest ->
+                     Alloc.free a p;
+                     live := rest)
+             ops;
+           let rec disjoint = function
+             | [] -> true
+             | (p, n) :: rest ->
+                 List.for_all (fun (q, m) -> q >= p + n || p >= q + m) rest
+                 && disjoint rest
+           in
+           disjoint !live && Alloc.check_invariants a = Ok ()));
+  ]
+
+(* --- Rawlog ---------------------------------------------------------------- *)
+
+let mk_log ?(len = 4096) () =
+  let nv = mk_nvram () in
+  (nv, Rawlog.create nv ~base:0 ~len)
+
+let rawlog_tests =
+  [
+    Alcotest.test_case "append and scan round-trip" `Quick (fun () ->
+        let _, log = mk_log () in
+        Rawlog.append log ~mode:Rawlog.Durable ~kind:1 [| 10L; 20L |];
+        Rawlog.append log ~mode:Rawlog.Durable ~kind:2 [| -1L |];
+        match Rawlog.scan log with
+        | [ (1, a); (2, b) ] ->
+            Alcotest.(check (array int64)) "first" [| 10L; 20L |] a;
+            Alcotest.(check (array int64)) "second" [| -1L |] b
+        | records ->
+            Alcotest.failf "expected 2 records, got %d" (List.length records));
+    Alcotest.test_case "truncate empties the log" `Quick (fun () ->
+        let _, log = mk_log () in
+        Rawlog.append log ~mode:Rawlog.Durable ~kind:1 [| 1L |];
+        Rawlog.truncate log ~mode:Rawlog.Durable;
+        Alcotest.(check int) "empty" 0 (List.length (Rawlog.scan log));
+        Alcotest.(check int) "head reset" 0 (Rawlog.used_words log));
+    Alcotest.test_case "records appended after truncation are visible" `Quick
+      (fun () ->
+        let _, log = mk_log () in
+        Rawlog.append log ~mode:Rawlog.Durable ~kind:1 [| 1L |];
+        Rawlog.truncate log ~mode:Rawlog.Durable;
+        Rawlog.append log ~mode:Rawlog.Durable ~kind:3 [| 9L |];
+        match Rawlog.scan log with
+        | [ (3, [| 9L |]) ] -> ()
+        | _ -> Alcotest.fail "stale records leaked through the generation");
+    Alcotest.test_case "durable appends survive a crash; cached do not" `Quick
+      (fun () ->
+        let nv, log = mk_log () in
+        Rawlog.append log ~mode:Rawlog.Durable ~kind:1 [| 1L |];
+        Rawlog.append log ~mode:Rawlog.Cached ~kind:2 [| 2L |];
+        Nvram.crash nv;
+        let log' = Rawlog.attach nv ~base:0 ~len:4096 in
+        match Rawlog.scan log' with
+        | [ (1, [| 1L |]) ] -> ()
+        | records ->
+            Alcotest.failf "expected only the durable record, got %d"
+              (List.length records));
+    Alcotest.test_case "a torn record stops the scan" `Quick (fun () ->
+        let nv, log = mk_log () in
+        Rawlog.append log ~mode:Rawlog.Durable ~kind:1 [| 1L |];
+        (* Hand-corrupt the second record: write only its header word
+           with the current generation, leaving the payload stale. *)
+        let gen = Rawlog.generation log in
+        let header =
+          Int64.logor (Int64.shift_left (Int64.of_int ((7 lsl 24) lor 2)) 16)
+            (Int64.of_int gen)
+        in
+        Nvram.write_u64 nv ~addr:(8 * 4) header;
+        Nvram.fence nv;
+        (match Rawlog.scan log with
+        | [ (1, _) ] -> ()
+        | records ->
+            Alcotest.failf "torn record leaked: %d records" (List.length records)));
+    Alcotest.test_case "scan_persistent sees only flushed state" `Quick
+      (fun () ->
+        let _nv, log = mk_log () in
+        Rawlog.append log ~mode:Rawlog.Cached ~kind:1 [| 5L |];
+        Alcotest.(check int) "cached scan sees it" 1
+          (List.length (Rawlog.scan log));
+        Alcotest.(check int) "persistent scan does not" 0
+          (List.length (Rawlog.scan_persistent log)));
+    Alcotest.test_case "log full raises" `Quick (fun () ->
+        let _, log = mk_log ~len:64 () in
+        Alcotest.(check bool) "raises" true
+          (try
+             for _ = 1 to 10 do
+               Rawlog.append log ~mode:Rawlog.Durable ~kind:1 [| 0L |]
+             done;
+             false
+           with Rawlog.Log_full -> true));
+    Alcotest.test_case "attach recomputes the head" `Quick (fun () ->
+        let nv, log = mk_log () in
+        Rawlog.append log ~mode:Rawlog.Durable ~kind:1 [| 1L; 2L |];
+        let used = Rawlog.used_words log in
+        let log' = Rawlog.attach nv ~base:0 ~len:4096 in
+        Alcotest.(check int) "head" used (Rawlog.used_words log');
+        Rawlog.append log' ~mode:Rawlog.Durable ~kind:2 [| 3L |];
+        Alcotest.(check int) "both records" 2 (List.length (Rawlog.scan log')));
+  ]
+
+let rawlog_props =
+  [
+    QCheck_alcotest.to_alcotest
+      (QCheck2.Test.make
+         ~name:"persistent view of a cached log is a prefix of the appends"
+         ~count:60
+         QCheck2.Gen.(
+           pair
+             (list_size (int_range 1 30) (int_range (-500) 500))
+             (list_size (int_range 0 200) (int_range 0 400)))
+         (fun (payloads, traffic) ->
+           (* Cached-mode appends are durable only via incidental cache
+              evictions; whatever the crash-surviving scan sees must be a
+              prefix of what was appended (the generation tags stop it at
+              the first torn/unpersisted record). *)
+           let nv = mk_nvram () in
+           let log = Rawlog.create nv ~base:0 ~len:8192 in
+           let appended =
+             List.mapi
+               (fun i v -> (1 + (i mod 5), [| Int64.of_int v |]))
+               payloads
+           in
+           List.iter
+             (fun (kind, values) -> Rawlog.append log ~mode:Rawlog.Cached ~kind values)
+             appended;
+           (* Unrelated traffic forces arbitrary evictions. *)
+           List.iter
+             (fun slot -> Nvram.write_u64 nv ~addr:(16384 + (slot * 8)) 1L)
+             traffic;
+           let persisted = Rawlog.scan_persistent log in
+           let rec is_prefix xs ys =
+             match (xs, ys) with
+             | [], _ -> true
+             | x :: xs', y :: ys' -> x = y && is_prefix xs' ys'
+             | _ :: _, [] -> false
+           in
+           let as_cmp = List.map (fun (k, v) -> (k, Array.to_list v)) in
+           is_prefix (as_cmp persisted) (as_cmp appended)));
+    QCheck_alcotest.to_alcotest
+      (QCheck2.Test.make ~name:"scan returns exactly what was appended"
+         ~count:100
+         QCheck2.Gen.(
+           list_size (int_range 0 20)
+             (pair (int_range 0 255) (list_size (int_range 0 4) (int_range (-1000) 1000))))
+         (fun records ->
+           let _, log = mk_log ~len:65536 () in
+           List.iter
+             (fun (kind, values) ->
+               Rawlog.append log ~mode:Rawlog.Durable ~kind
+                 (Array.of_list (List.map Int64.of_int values)))
+             records;
+           let scanned =
+             List.map
+               (fun (kind, values) -> (kind, Array.to_list (Array.map Int64.to_int values)))
+               (Rawlog.scan log)
+           in
+           scanned = records));
+  ]
+
+(* --- Txn: commit/abort/recovery with crash injection ----------------------- *)
+
+let mk_txn config =
+  let nv = mk_nvram () in
+  let log = Rawlog.create nv ~base:0 ~len:(Units.Size.kib 64) in
+  (nv, Txn.create ~nvram:nv ~config ~log ())
+
+let data_base = Units.Size.kib 64
+
+let txn_tests =
+  [
+    Alcotest.test_case "undo: abort rolls back in-place writes" `Quick (fun () ->
+        let _, txn = mk_txn Config.foc_ul in
+        Txn.write_u64 txn ~addr:data_base 1L;
+        Txn.begin_tx txn;
+        Txn.write_u64 txn ~addr:data_base 2L;
+        Alcotest.(check int64) "visible inside" 2L (Txn.read_u64 txn ~addr:data_base);
+        Txn.abort txn;
+        Alcotest.(check int64) "rolled back" 1L (Txn.read_u64 txn ~addr:data_base));
+    Alcotest.test_case "redo: abort discards buffered writes" `Quick (fun () ->
+        let _, txn = mk_txn Config.foc_stm in
+        Txn.write_u64 txn ~addr:data_base 1L;
+        Txn.begin_tx txn;
+        Txn.write_u64 txn ~addr:data_base 2L;
+        Alcotest.(check int64) "read-your-write" 2L (Txn.read_u64 txn ~addr:data_base);
+        Txn.abort txn;
+        Alcotest.(check int64) "discarded" 1L (Txn.read_u64 txn ~addr:data_base));
+    Alcotest.test_case "foc-undo: committed data survives a crash" `Quick
+      (fun () ->
+        let nv, txn = mk_txn Config.foc_ul in
+        Txn.with_tx txn (fun () ->
+            Txn.write_u64 txn ~addr:data_base 7L;
+            Txn.write_u64 txn ~addr:(data_base + 8) 8L);
+        Nvram.crash nv;
+        Txn.on_crash txn;
+        Txn.recover txn;
+        Alcotest.(check int64) "first" 7L (Txn.read_u64 txn ~addr:data_base);
+        Alcotest.(check int64) "second" 8L (Txn.read_u64 txn ~addr:(data_base + 8)));
+    Alcotest.test_case "foc-undo: crash mid-transaction rolls back" `Quick
+      (fun () ->
+        let nv, txn = mk_txn Config.foc_ul in
+        Txn.with_tx txn (fun () -> Txn.write_u64 txn ~addr:data_base 1L);
+        Txn.begin_tx txn;
+        Txn.write_u64 txn ~addr:data_base 99L;
+        (* Make the torn in-place write actually reach NVRAM: worst case. *)
+        Nvram.clflush nv ~addr:data_base;
+        Nvram.crash nv;
+        Txn.on_crash txn;
+        Txn.recover txn;
+        Alcotest.(check int64) "rolled back to committed" 1L
+          (Txn.read_u64 txn ~addr:data_base));
+    Alcotest.test_case "foc-redo: committed transactions replay after a crash"
+      `Quick (fun () ->
+        let nv, txn = mk_txn Config.foc_stm in
+        Txn.with_tx txn (fun () ->
+            Txn.write_u64 txn ~addr:data_base 5L;
+            Txn.write_u64 txn ~addr:(data_base + 8) 6L);
+        (* The in-place apply stayed in cache; the crash eats it, the
+           redo log resurrects it. *)
+        Nvram.crash nv;
+        Txn.on_crash txn;
+        Txn.recover txn;
+        Alcotest.(check int64) "first" 5L (Txn.read_u64 txn ~addr:data_base);
+        Alcotest.(check int64) "second" 6L (Txn.read_u64 txn ~addr:(data_base + 8)));
+    Alcotest.test_case "foc-redo: uncommitted transaction leaves no trace"
+      `Quick (fun () ->
+        let nv, txn = mk_txn Config.foc_stm in
+        Txn.with_tx txn (fun () -> Txn.write_u64 txn ~addr:data_base 1L);
+        Txn.begin_tx txn;
+        Txn.write_u64 txn ~addr:data_base 2L;
+        Nvram.crash nv;
+        Txn.on_crash txn;
+        Txn.recover txn;
+        Alcotest.(check int64) "committed value" 1L (Txn.read_u64 txn ~addr:data_base));
+    Alcotest.test_case "fof configs lose uncommitted cache state on a bare crash"
+      `Quick (fun () ->
+        let nv, txn = mk_txn Config.fof_ul in
+        Txn.with_tx txn (fun () -> Txn.write_u64 txn ~addr:data_base 42L);
+        Nvram.crash nv;
+        Txn.on_crash txn;
+        Txn.recover txn;
+        (* No WSP flush happened: flush-on-fail makes no promise here. *)
+        Alcotest.(check int64) "lost" 0L (Txn.read_u64 txn ~addr:data_base));
+    Alcotest.test_case "fof configs survive a crash after a WSP flush" `Quick
+      (fun () ->
+        let nv, txn = mk_txn Config.fof_ul in
+        Txn.with_tx txn (fun () -> Txn.write_u64 txn ~addr:data_base 42L);
+        Nvram.wbinvd nv;  (* the flush-on-fail save path *)
+        Nvram.crash nv;
+        Txn.on_crash txn;
+        Txn.recover txn;
+        Alcotest.(check int64) "kept" 42L (Txn.read_u64 txn ~addr:data_base));
+    Alcotest.test_case "counters" `Quick (fun () ->
+        let _, txn = mk_txn Config.foc_ul in
+        Txn.with_tx txn (fun () -> Txn.write_u64 txn ~addr:data_base 1L);
+        Txn.begin_tx txn;
+        Txn.abort txn;
+        Alcotest.(check int) "committed" 1 (Txn.committed_count txn);
+        Alcotest.(check int) "aborted" 1 (Txn.aborted_count txn));
+    Alcotest.test_case "nested begin rejected" `Quick (fun () ->
+        let _, txn = mk_txn Config.foc_ul in
+        Txn.begin_tx txn;
+        Alcotest.(check bool) "raises" true
+          (try
+             Txn.begin_tx txn;
+             false
+           with Invalid_argument _ -> true));
+    Alcotest.test_case "with_tx aborts on exception" `Quick (fun () ->
+        let _, txn = mk_txn Config.foc_ul in
+        Txn.write_u64 txn ~addr:data_base 1L;
+        (try
+           Txn.with_tx txn (fun () ->
+               Txn.write_u64 txn ~addr:data_base 2L;
+               failwith "boom")
+         with Failure _ -> ());
+        Alcotest.(check int64) "rolled back" 1L (Txn.read_u64 txn ~addr:data_base);
+        Alcotest.(check bool) "no open tx" false (Txn.in_tx txn));
+  ]
+
+(* Crash injection: run a random sequence of transactions against both
+   the heap and a model, crash at a random point, recover, and check
+   that exactly the committed prefix survives (for FoC configs). *)
+let txn_crash_prop config =
+  let name =
+    Printf.sprintf "%s: crash at any point preserves committed state"
+      config.Config.name
+  in
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name ~count:60
+       QCheck2.Gen.(
+         pair small_int
+           (list_size (int_range 1 12)
+              (list_size (int_range 1 6) (pair (int_range 0 40) (int_range 0 1000)))))
+       (fun (crash_after, txs) ->
+         let nv, txn = mk_txn config in
+         let model = Hashtbl.create 32 in
+         let committed = Hashtbl.create 32 in
+         let crash_after = crash_after mod (List.length txs + 1) in
+         List.iteri
+           (fun i writes ->
+             if i < crash_after then begin
+               Txn.with_tx txn (fun () ->
+                   List.iter
+                     (fun (slot, v) ->
+                       let addr = data_base + (slot * 8) in
+                       Txn.write_u64 txn ~addr (Int64.of_int v);
+                       Hashtbl.replace model addr (Int64.of_int v))
+                     writes);
+               Hashtbl.reset committed;
+               Hashtbl.iter (Hashtbl.replace committed) model
+             end
+             else if i = crash_after then begin
+               (* This transaction is in flight at the crash. *)
+               Txn.begin_tx txn;
+               List.iter
+                 (fun (slot, v) ->
+                     let addr = data_base + (slot * 8) in
+                     Txn.write_u64 txn ~addr (Int64.of_int v))
+                 writes
+             end)
+           txs;
+         Nvram.crash nv;
+         Txn.on_crash txn;
+         Txn.recover txn;
+         Hashtbl.fold
+           (fun addr v ok ->
+             ok && Int64.equal (Txn.read_u64 txn ~addr) v)
+           committed true))
+
+(* --- Pheap ------------------------------------------------------------------ *)
+
+let pheap_tests =
+  [
+    Alcotest.test_case "root pointer round-trips" `Quick (fun () ->
+        let heap = Pheap.create ~size:(Units.Size.mib 8) () in
+        let p = Pheap.alloc heap 64 in
+        Pheap.set_root heap p;
+        Alcotest.(check int) "root" p (Pheap.root heap));
+    Alcotest.test_case "wsp_flush + crash + recover keeps everything" `Quick
+      (fun () ->
+        let heap = Pheap.create ~size:(Units.Size.mib 8) () in
+        let p = Pheap.alloc heap 64 in
+        Pheap.write_u64 heap ~addr:p 123L;
+        Pheap.set_root heap p;
+        Pheap.wsp_flush heap;
+        Pheap.crash heap;
+        Pheap.recover heap;
+        Alcotest.(check int) "root survives" p (Pheap.root heap);
+        Alcotest.(check int64) "data survives" 123L (Pheap.read_u64 heap ~addr:p));
+    Alcotest.test_case "create_in carves a region; addresses respect the base"
+      `Quick (fun () ->
+        let nv = Nvram.create ~size:(Units.Size.mib 8) () in
+        let heap =
+          Pheap.create_in ~nvram:nv ~base:4096
+            ~len:(Units.Size.mib 8 - 4096)
+            ~log_size:(Units.Size.kib 64) ()
+        in
+        let p = Pheap.alloc heap 64 in
+        Alcotest.(check bool) "beyond the log" true (p >= Pheap.heap_base heap);
+        Alcotest.(check bool) "heap base beyond base" true
+          (Pheap.heap_base heap >= 4096 + 64 + Units.Size.kib 64));
+    Alcotest.test_case "attach_in after flushed crash recovers allocations"
+      `Quick (fun () ->
+        let nv = Nvram.create ~size:(Units.Size.mib 8) () in
+        let len = Units.Size.mib 8 - 4096 in
+        let heap =
+          Pheap.create_in ~nvram:nv ~base:4096 ~len ~log_size:(Units.Size.kib 64) ()
+        in
+        let p = Pheap.alloc heap 64 in
+        Pheap.write_u64 heap ~addr:p 9L;
+        Pheap.set_root heap p;
+        Pheap.wsp_flush heap;
+        Pheap.crash heap;
+        let heap' =
+          Pheap.attach_in ~nvram:nv ~base:4096 ~len ~log_size:(Units.Size.kib 64) ()
+        in
+        Alcotest.(check int) "root" p (Pheap.root heap');
+        Alcotest.(check int64) "data" 9L (Pheap.read_u64 heap' ~addr:p);
+        (* The allocator must not hand the same block out again. *)
+        let q = Pheap.alloc heap' 64 in
+        Alcotest.(check bool) "no overlap" true (q <> p));
+    Alcotest.test_case "transactional allocator metadata rolls back" `Quick
+      (fun () ->
+        let heap =
+          Pheap.create ~config:Config.foc_ul ~size:(Units.Size.mib 8) ()
+        in
+        let before = Alloc.allocated_bytes (Pheap.allocator heap) in
+        (try
+           Pheap.with_tx heap (fun () ->
+               ignore (Pheap.alloc heap 64);
+               failwith "abort")
+         with Failure _ -> ());
+        Alcotest.(check int) "allocation undone" before
+          (Alloc.allocated_bytes (Pheap.allocator heap)));
+  ]
+
+let suite =
+  [
+    ("nvheap.nvram", nvram_tests @ nvram_props);
+    ("nvheap.alloc", alloc_tests @ alloc_props);
+    ("nvheap.rawlog", rawlog_tests @ rawlog_props);
+    ( "nvheap.txn",
+      txn_tests
+      @ [ txn_crash_prop Config.foc_ul; txn_crash_prop Config.foc_stm ] );
+    ("nvheap.pheap", pheap_tests);
+  ]

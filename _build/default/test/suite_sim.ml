@@ -1,0 +1,410 @@
+(* Tests for the wsp_sim substrate: time, units, rng, stats, event
+   queue, engine, traces. *)
+
+open Wsp_sim
+
+let check_time = Alcotest.testable Time.pp Time.equal
+
+(* --- Time ----------------------------------------------------------- *)
+
+let time_tests =
+  [
+    Alcotest.test_case "unit conversions round-trip" `Quick (fun () ->
+        Alcotest.(check (float 1e-9)) "ns" 5.0 (Time.to_ns (Time.ns 5.0));
+        Alcotest.(check (float 1e-9)) "us" 3.25 (Time.to_us (Time.us 3.25));
+        Alcotest.(check (float 1e-9)) "ms" 33.0 (Time.to_ms (Time.ms 33.0));
+        Alcotest.(check (float 1e-9)) "s" 2.5 (Time.to_s (Time.s 2.5)));
+    Alcotest.test_case "arithmetic" `Quick (fun () ->
+        Alcotest.check check_time "add" (Time.ms 3.0)
+          (Time.add (Time.ms 1.0) (Time.ms 2.0));
+        Alcotest.check check_time "sub" (Time.ms 1.0)
+          (Time.sub (Time.ms 3.0) (Time.ms 2.0));
+        Alcotest.check check_time "mul" (Time.us 10.0) (Time.mul (Time.us 2.0) 5);
+        Alcotest.check check_time "div" (Time.us 2.0) (Time.div (Time.us 10.0) 5);
+        Alcotest.check check_time "scale" (Time.ms 1.5)
+          (Time.scale (Time.ms 1.0) 1.5));
+    Alcotest.test_case "comparisons" `Quick (fun () ->
+        Alcotest.(check bool) "lt" true Time.(Time.ns 1.0 < Time.ns 2.0);
+        Alcotest.(check bool) "ge" true Time.(Time.ns 2.0 >= Time.ns 2.0);
+        Alcotest.(check bool) "negative" true
+          (Time.is_negative (Time.sub Time.zero (Time.ns 1.0)));
+        Alcotest.check check_time "min" (Time.ns 1.0)
+          (Time.min (Time.ns 1.0) (Time.ns 2.0));
+        Alcotest.check check_time "max" (Time.ns 2.0)
+          (Time.max (Time.ns 1.0) (Time.ns 2.0)));
+    Alcotest.test_case "picosecond resolution survives" `Quick (fun () ->
+        (* 1.3 ns is not representable in integer ns; it must be in ps. *)
+        let t = Time.ns 1.3 in
+        Alcotest.(check (float 1e-6)) "1.3ns" 1.3 (Time.to_ns t));
+    Alcotest.test_case "pretty printing picks units" `Quick (fun () ->
+        Alcotest.(check string) "ms" "33.00ms" (Time.to_string (Time.ms 33.0));
+        Alcotest.(check string) "us" "2.50us" (Time.to_string (Time.us 2.5)));
+  ]
+
+(* --- Units ----------------------------------------------------------- *)
+
+let units_tests =
+  [
+    Alcotest.test_case "capacitor stored energy" `Quick (fun () ->
+        (* 0.5 * 10F * 8.5^2 = 361.25 J *)
+        Alcotest.(check (float 1e-6)) "energy" 361.25
+          (Units.Capacitance.stored_energy 10.0 8.5));
+    Alcotest.test_case "capacitor discharge voltage" `Quick (fun () ->
+        let v =
+          Units.Capacitance.voltage_after_discharge 10.0 ~v0:8.5 ~drawn:100.0
+        in
+        (* E0=361.25, E=261.25, v=sqrt(2*261.25/10)=7.228... *)
+        Alcotest.(check (float 1e-3)) "voltage" 7.228 v;
+        Alcotest.(check (float 0.0)) "exhausted" 0.0
+          (Units.Capacitance.voltage_after_discharge 10.0 ~v0:8.5 ~drawn:1000.0));
+    Alcotest.test_case "energy lasts E/P" `Quick (fun () ->
+        Alcotest.check check_time "duration" (Time.s 2.0)
+          (Units.Energy.duration_at 100.0 50.0));
+    Alcotest.test_case "power x time = energy" `Quick (fun () ->
+        Alcotest.(check (float 1e-9)) "joules" 0.35
+          (Units.Energy.of_power_time 350.0 (Time.ms 1.0)));
+    Alcotest.test_case "sizes" `Quick (fun () ->
+        Alcotest.(check int) "kib" 2048 (Units.Size.kib 2);
+        Alcotest.(check int) "mib" (1 lsl 20) (Units.Size.mib 1);
+        Alcotest.(check (float 1e-9)) "gib" 2.0 (Units.Size.to_gib (Units.Size.gib 2)));
+    Alcotest.test_case "bandwidth transfer time" `Quick (fun () ->
+        let bw = Units.Bandwidth.mib_per_s 1.0 in
+        Alcotest.check check_time "1 MiB at 1 MiB/s" (Time.s 1.0)
+          (Units.Bandwidth.transfer_time bw (Units.Size.mib 1)));
+  ]
+
+(* --- Rng -------------------------------------------------------------- *)
+
+let rng_tests =
+  [
+    Alcotest.test_case "deterministic from seed" `Quick (fun () ->
+        let a = Rng.create ~seed:7 and b = Rng.create ~seed:7 in
+        for _ = 1 to 100 do
+          Alcotest.(check int64) "same stream" (Rng.bits64 a) (Rng.bits64 b)
+        done);
+    Alcotest.test_case "different seeds differ" `Quick (fun () ->
+        let a = Rng.create ~seed:1 and b = Rng.create ~seed:2 in
+        Alcotest.(check bool) "differ" false
+          (Int64.equal (Rng.bits64 a) (Rng.bits64 b)));
+    Alcotest.test_case "copy replays the stream" `Quick (fun () ->
+        let a = Rng.create ~seed:3 in
+        ignore (Rng.bits64 a);
+        let b = Rng.copy a in
+        Alcotest.(check int64) "replay" (Rng.bits64 a) (Rng.bits64 b));
+    Alcotest.test_case "split decorrelates" `Quick (fun () ->
+        let a = Rng.create ~seed:4 in
+        let b = Rng.split a in
+        Alcotest.(check bool) "differ" false
+          (Int64.equal (Rng.bits64 a) (Rng.bits64 b)));
+    Alcotest.test_case "gaussian mean roughly right" `Quick (fun () ->
+        let rng = Rng.create ~seed:5 in
+        let stats = Stats.create () in
+        for _ = 1 to 10_000 do
+          Stats.add stats (Rng.gaussian rng ~mu:10.0 ~sigma:2.0)
+        done;
+        Alcotest.(check bool) "mean near 10" true
+          (abs_float (Stats.mean stats -. 10.0) < 0.1));
+    Alcotest.test_case "exponential mean roughly right" `Quick (fun () ->
+        let rng = Rng.create ~seed:6 in
+        let stats = Stats.create () in
+        for _ = 1 to 10_000 do
+          Stats.add stats (Rng.exponential rng ~mean:5.0)
+        done;
+        Alcotest.(check bool) "mean near 5" true
+          (abs_float (Stats.mean stats -. 5.0) < 0.2));
+    Alcotest.test_case "zipf ranks are skewed and in range" `Quick (fun () ->
+        let rng = Rng.create ~seed:9 in
+        let zipf = Rng.Zipf.create ~n:1000 () in
+        Alcotest.(check int) "n" 1000 (Rng.Zipf.n zipf);
+        let counts = Array.make 1000 0 in
+        for _ = 1 to 50_000 do
+          let r = Rng.Zipf.draw zipf rng in
+          Alcotest.(check bool) "in range" true (r >= 0 && r < 1000);
+          counts.(r) <- counts.(r) + 1
+        done;
+        (* Rank 0 should dominate: several percent of all draws. *)
+        Alcotest.(check bool) "rank 0 hot" true (counts.(0) > 2500);
+        Alcotest.(check bool) "monotone-ish head" true
+          (counts.(0) > counts.(10) && counts.(10) > counts.(200)));
+    Alcotest.test_case "zipf rejects bad parameters" `Quick (fun () ->
+        Alcotest.(check bool) "n=0" true
+          (try
+             ignore (Rng.Zipf.create ~n:0 ());
+             false
+           with Invalid_argument _ -> true);
+        Alcotest.(check bool) "theta=1" true
+          (try
+             ignore (Rng.Zipf.create ~theta:1.0 ~n:10 ());
+             false
+           with Invalid_argument _ -> true));
+    Alcotest.test_case "shuffle permutes" `Quick (fun () ->
+        let rng = Rng.create ~seed:8 in
+        let arr = Array.init 100 (fun i -> i) in
+        Rng.shuffle rng arr;
+        let sorted = Array.copy arr in
+        Array.sort compare sorted;
+        Alcotest.(check (array int)) "same elements"
+          (Array.init 100 (fun i -> i))
+          sorted);
+  ]
+
+let rng_props =
+  [
+    QCheck_alcotest.to_alcotest
+      (QCheck2.Test.make ~name:"Rng.int stays in bounds" ~count:500
+         QCheck2.Gen.(pair small_int (int_range 1 1_000_000))
+         (fun (seed, bound) ->
+           let rng = Rng.create ~seed in
+           let v = Rng.int rng bound in
+           v >= 0 && v < bound));
+    QCheck_alcotest.to_alcotest
+      (QCheck2.Test.make ~name:"Rng.int_in stays in range" ~count:500
+         QCheck2.Gen.(triple small_int (int_range (-1000) 1000) (int_range 0 1000))
+         (fun (seed, lo, span) ->
+           let rng = Rng.create ~seed in
+           let v = Rng.int_in rng ~lo ~hi:(lo + span) in
+           v >= lo && v <= lo + span));
+    QCheck_alcotest.to_alcotest
+      (QCheck2.Test.make ~name:"Rng.float stays in bounds" ~count:500
+         QCheck2.Gen.small_int (fun seed ->
+           let rng = Rng.create ~seed in
+           let v = Rng.float rng 3.5 in
+           v >= 0.0 && v < 3.5));
+  ]
+
+(* --- Stats ------------------------------------------------------------ *)
+
+let stats_tests =
+  [
+    Alcotest.test_case "summary of a known sample" `Quick (fun () ->
+        let s = Stats.of_list [ 2.0; 4.0; 4.0; 4.0; 5.0; 5.0; 7.0; 9.0 ] in
+        Alcotest.(check (float 1e-9)) "mean" 5.0 s.Stats.mean;
+        Alcotest.(check (float 1e-9)) "min" 2.0 s.Stats.min;
+        Alcotest.(check (float 1e-9)) "max" 9.0 s.Stats.max;
+        Alcotest.(check int) "count" 8 s.Stats.count;
+        (* Sample stddev of that list = sqrt(32/7). *)
+        Alcotest.(check (float 1e-9)) "stddev" (sqrt (32.0 /. 7.0)) s.Stats.stddev);
+    Alcotest.test_case "empty stats raise" `Quick (fun () ->
+        let t = Stats.create () in
+        Alcotest.check_raises "min" (Invalid_argument "Stats.min: empty")
+          (fun () -> ignore (Stats.min t)));
+    Alcotest.test_case "percentiles interpolate" `Quick (fun () ->
+        let xs = [ 1.0; 2.0; 3.0; 4.0; 5.0 ] in
+        Alcotest.(check (float 1e-9)) "p0" 1.0 (Stats.percentile xs 0.0);
+        Alcotest.(check (float 1e-9)) "p50" 3.0 (Stats.percentile xs 50.0);
+        Alcotest.(check (float 1e-9)) "p100" 5.0 (Stats.percentile xs 100.0);
+        Alcotest.(check (float 1e-9)) "p25" 2.0 (Stats.percentile xs 25.0));
+    Alcotest.test_case "histogram buckets" `Quick (fun () ->
+        let h = Stats.Histogram.create ~lo:0.0 ~hi:10.0 ~buckets:10 in
+        List.iter (Stats.Histogram.add h) [ 0.5; 1.5; 1.6; 9.9; -5.0; 15.0 ];
+        let counts = Stats.Histogram.counts h in
+        Alcotest.(check int) "bucket0 (incl. clamped low)" 2 counts.(0);
+        Alcotest.(check int) "bucket1" 2 counts.(1);
+        Alcotest.(check int) "bucket9 (incl. clamped high)" 2 counts.(9);
+        Alcotest.(check int) "total" 6 (Stats.Histogram.total h));
+  ]
+
+let stats_props =
+  [
+    QCheck_alcotest.to_alcotest
+      (QCheck2.Test.make ~name:"streaming mean equals batch mean" ~count:200
+         QCheck2.Gen.(list_size (int_range 1 50) (float_range (-1e6) 1e6))
+         (fun xs ->
+           let s = Stats.of_list xs in
+           let expected = List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs) in
+           abs_float (s.Stats.mean -. expected) < 1e-6 *. (1.0 +. abs_float expected)));
+  ]
+
+(* --- Event queue ------------------------------------------------------- *)
+
+let event_queue_tests =
+  [
+    Alcotest.test_case "pops in time order" `Quick (fun () ->
+        let q = Event_queue.create () in
+        ignore (Event_queue.push q ~at:(Time.ns 30.0) "c");
+        ignore (Event_queue.push q ~at:(Time.ns 10.0) "a");
+        ignore (Event_queue.push q ~at:(Time.ns 20.0) "b");
+        let order =
+          List.init 3 (fun _ ->
+              match Event_queue.pop q with Some (_, x) -> x | None -> "?")
+        in
+        Alcotest.(check (list string)) "order" [ "a"; "b"; "c" ] order);
+    Alcotest.test_case "equal times keep insertion order" `Quick (fun () ->
+        let q = Event_queue.create () in
+        List.iter
+          (fun s -> ignore (Event_queue.push q ~at:(Time.ns 5.0) s))
+          [ "first"; "second"; "third" ];
+        let order =
+          List.init 3 (fun _ ->
+              match Event_queue.pop q with Some (_, x) -> x | None -> "?")
+        in
+        Alcotest.(check (list string)) "fifo" [ "first"; "second"; "third" ] order);
+    Alcotest.test_case "cancel removes an event" `Quick (fun () ->
+        let q = Event_queue.create () in
+        let id = Event_queue.push q ~at:(Time.ns 1.0) "dead" in
+        ignore (Event_queue.push q ~at:(Time.ns 2.0) "alive");
+        Event_queue.cancel q id;
+        Alcotest.(check int) "length" 1 (Event_queue.length q);
+        (match Event_queue.pop q with
+        | Some (_, x) -> Alcotest.(check string) "survivor" "alive" x
+        | None -> Alcotest.fail "queue empty");
+        Alcotest.(check bool) "empty" true (Event_queue.is_empty q));
+    Alcotest.test_case "cancel of delivered id is harmless" `Quick (fun () ->
+        let q = Event_queue.create () in
+        let id = Event_queue.push q ~at:Time.zero "x" in
+        ignore (Event_queue.pop q);
+        ignore (Event_queue.push q ~at:Time.zero "y");
+        Event_queue.cancel q id;
+        Alcotest.(check int) "length" 1 (Event_queue.length q));
+    Alcotest.test_case "peek_time skips cancelled" `Quick (fun () ->
+        let q = Event_queue.create () in
+        let id = Event_queue.push q ~at:(Time.ns 1.0) "dead" in
+        ignore (Event_queue.push q ~at:(Time.ns 9.0) "alive");
+        Event_queue.cancel q id;
+        match Event_queue.peek_time q with
+        | Some at -> Alcotest.check check_time "peek" (Time.ns 9.0) at
+        | None -> Alcotest.fail "expected an event");
+  ]
+
+let event_queue_props =
+  [
+    QCheck_alcotest.to_alcotest
+      (QCheck2.Test.make ~name:"event queue is a stable sort" ~count:200
+         QCheck2.Gen.(list_size (int_range 0 100) (int_range 0 20))
+         (fun times ->
+           let q = Event_queue.create () in
+           List.iteri
+             (fun i t -> ignore (Event_queue.push q ~at:(Time.ps t) (t, i)))
+             times;
+           let rec drain acc =
+             match Event_queue.pop q with
+             | Some (_, x) -> drain (x :: acc)
+             | None -> List.rev acc
+           in
+           let popped = drain [] in
+           let expected =
+             List.mapi (fun i t -> (t, i)) times
+             |> List.stable_sort (fun (a, i) (b, j) ->
+                    match compare a b with 0 -> compare i j | c -> c)
+           in
+           popped = expected));
+  ]
+
+(* --- Engine ------------------------------------------------------------ *)
+
+let engine_tests =
+  [
+    Alcotest.test_case "clock advances to event times" `Quick (fun () ->
+        let e = Engine.create () in
+        let log = ref [] in
+        ignore
+          (Engine.schedule e ~after:(Time.ms 2.0) (fun e ->
+               log := ("b", Engine.now e) :: !log));
+        ignore
+          (Engine.schedule e ~after:(Time.ms 1.0) (fun e ->
+               log := ("a", Engine.now e) :: !log));
+        Engine.run e;
+        Alcotest.(check (list (pair string check_time)))
+          "events with times"
+          [ ("a", Time.ms 1.0); ("b", Time.ms 2.0) ]
+          (List.rev !log));
+    Alcotest.test_case "handlers can schedule more work" `Quick (fun () ->
+        let e = Engine.create () in
+        let hits = ref 0 in
+        let rec tick e =
+          incr hits;
+          if !hits < 5 then ignore (Engine.schedule e ~after:(Time.us 1.0) tick)
+        in
+        ignore (Engine.schedule e ~after:Time.zero tick);
+        Engine.run e;
+        Alcotest.(check int) "five ticks" 5 !hits;
+        Alcotest.check check_time "final time" (Time.us 4.0) (Engine.now e));
+    Alcotest.test_case "run_until stops at the deadline" `Quick (fun () ->
+        let e = Engine.create () in
+        let ran = ref [] in
+        ignore (Engine.schedule e ~after:(Time.ms 1.0) (fun _ -> ran := 1 :: !ran));
+        ignore (Engine.schedule e ~after:(Time.ms 5.0) (fun _ -> ran := 5 :: !ran));
+        Engine.run_until e (Time.ms 2.0);
+        Alcotest.(check (list int)) "only the first" [ 1 ] !ran;
+        Alcotest.check check_time "clock at deadline" (Time.ms 2.0) (Engine.now e);
+        Alcotest.(check int) "one pending" 1 (Engine.pending e));
+    Alcotest.test_case "cancelled events do not run" `Quick (fun () ->
+        let e = Engine.create () in
+        let ran = ref false in
+        let id = Engine.schedule e ~after:(Time.ms 1.0) (fun _ -> ran := true) in
+        Engine.cancel e id;
+        Engine.run e;
+        Alcotest.(check bool) "not run" false !ran);
+    Alcotest.test_case "scheduling in the past is rejected" `Quick (fun () ->
+        let e = Engine.create ~now:(Time.ms 10.0) () in
+        Alcotest.(check bool) "raises" true
+          (try
+             ignore (Engine.schedule_at e ~at:(Time.ms 5.0) (fun _ -> ()));
+             false
+           with Invalid_argument _ -> true));
+    Alcotest.test_case "advance refuses to skip events" `Quick (fun () ->
+        let e = Engine.create () in
+        ignore (Engine.schedule e ~after:(Time.ms 1.0) (fun _ -> ()));
+        Alcotest.(check bool) "raises" true
+          (try
+             Engine.advance e (Time.ms 2.0);
+             false
+           with Invalid_argument _ -> true));
+  ]
+
+(* --- Trace -------------------------------------------------------------- *)
+
+let trace_tests =
+  [
+    Alcotest.test_case "value_at is sample-and-hold" `Quick (fun () ->
+        let t = Trace.create ~name:"v" in
+        Trace.record t (Time.ms 1.0) 10.0;
+        Trace.record t (Time.ms 2.0) 20.0;
+        Alcotest.(check (option (float 0.0))) "before" None
+          (Trace.value_at t (Time.us 500.0));
+        Alcotest.(check (option (float 0.0))) "at" (Some 10.0)
+          (Trace.value_at t (Time.ms 1.0));
+        Alcotest.(check (option (float 0.0))) "between" (Some 10.0)
+          (Trace.value_at t (Time.ms 1.5));
+        Alcotest.(check (option (float 0.0))) "after" (Some 20.0)
+          (Trace.value_at t (Time.ms 3.0)));
+    Alcotest.test_case "out-of-order record rejected" `Quick (fun () ->
+        let t = Trace.create ~name:"v" in
+        Trace.record t (Time.ms 2.0) 1.0;
+        Alcotest.(check bool) "raises" true
+          (try
+             Trace.record t (Time.ms 1.0) 2.0;
+             false
+           with Invalid_argument _ -> true));
+    Alcotest.test_case "first_crossing_below needs the hold time" `Quick
+      (fun () ->
+        let t = Trace.create ~name:"v" in
+        (* 1 kHz sampling: below threshold for 2 ms starting at 5 ms, with
+           a brief dip at 2 ms that should not count against hold=1.5ms. *)
+        for i = 0 to 9 do
+          let at = Time.ms (float_of_int i) in
+          let v = if i = 2 then 0.5 else if i >= 5 && i <= 7 then 0.5 else 1.0 in
+          Trace.record t at v
+        done;
+        match Trace.first_crossing_below t ~threshold:0.9 ~hold:(Time.ms 1.5) with
+        | Some at -> Alcotest.check check_time "crossing" (Time.ms 5.0) at
+        | None -> Alcotest.fail "expected a crossing");
+    Alcotest.test_case "no crossing when signal stays up" `Quick (fun () ->
+        let t = Trace.create ~name:"v" in
+        for i = 0 to 9 do
+          Trace.record t (Time.ms (float_of_int i)) 1.0
+        done;
+        Alcotest.(check bool) "none" true
+          (Trace.first_crossing_below t ~threshold:0.9 ~hold:(Time.ms 1.0) = None));
+  ]
+
+let suite =
+  [
+    ("sim.time", time_tests);
+    ("sim.units", units_tests);
+    ("sim.rng", rng_tests @ rng_props);
+    ("sim.stats", stats_tests @ stats_props);
+    ("sim.event_queue", event_queue_tests @ event_queue_props);
+    ("sim.engine", engine_tests);
+    ("sim.trace", trace_tests);
+  ]

@@ -1,0 +1,226 @@
+(* Tests for the additional persistent data structures: skip list and
+   B-tree (§7: any in-memory structure works under WSP). *)
+
+open Wsp_sim
+open Wsp_nvheap
+open Wsp_store
+
+let mk_heap () =
+  Pheap.create ~size:(Units.Size.mib 8) ~log_size:(Units.Size.kib 256) ()
+
+(* --- Skiplist -------------------------------------------------------- *)
+
+let skiplist_tests =
+  [
+    Alcotest.test_case "insert, find, overwrite, delete" `Quick (fun () ->
+        let sl = Skiplist.create (mk_heap ()) in
+        Skiplist.insert sl ~key:10L ~value:1L;
+        Skiplist.insert sl ~key:20L ~value:2L;
+        Skiplist.insert sl ~key:10L ~value:3L;
+        Alcotest.(check (option int64)) "overwritten" (Some 3L) (Skiplist.find sl 10L);
+        Alcotest.(check int) "size" 2 (Skiplist.size sl);
+        Alcotest.(check bool) "delete" true (Skiplist.delete sl 10L);
+        Alcotest.(check bool) "absent delete" false (Skiplist.delete sl 10L);
+        Alcotest.(check (option int64)) "gone" None (Skiplist.find sl 10L));
+    Alcotest.test_case "iteration is key-ordered" `Quick (fun () ->
+        let sl = Skiplist.create (mk_heap ()) in
+        List.iter
+          (fun k -> Skiplist.insert sl ~key:(Int64.of_int k) ~value:0L)
+          [ 42; 7; 99; 1; 65 ];
+        Alcotest.(check (list int64)) "sorted" [ 1L; 7L; 42L; 65L; 99L ]
+          (List.map fst (Skiplist.to_list sl)));
+    Alcotest.test_case "towers distribute geometrically-ish" `Quick (fun () ->
+        let sl = Skiplist.create ~seed:3 (mk_heap ()) in
+        for i = 1 to 2000 do
+          Skiplist.insert sl ~key:(Int64.of_int i) ~value:0L
+        done;
+        let tall = ref 0 in
+        for i = 1 to 2000 do
+          match Skiplist.level_of sl (Int64.of_int i) with
+          | Some l when l >= 2 -> incr tall
+          | _ -> ()
+        done;
+        (* About half the nodes should have height >= 2. *)
+        Alcotest.(check bool) "roughly half tall" true
+          (!tall > 800 && !tall < 1200);
+        Alcotest.(check bool) "invariants" true (Skiplist.check sl = Ok ()));
+    Alcotest.test_case "survives a WSP cycle" `Quick (fun () ->
+        let heap = mk_heap () in
+        let sl = Skiplist.create heap in
+        for i = 1 to 200 do
+          Skiplist.insert sl ~key:(Int64.of_int i) ~value:(Int64.of_int (-i))
+        done;
+        Pheap.wsp_flush heap;
+        Pheap.crash heap;
+        Pheap.recover heap;
+        let sl' = Skiplist.attach heap in
+        Alcotest.(check int) "size" 200 (Skiplist.size sl');
+        Alcotest.(check (option int64)) "value" (Some (-77L)) (Skiplist.find sl' 77L);
+        Alcotest.(check bool) "invariants" true (Skiplist.check sl' = Ok ()));
+  ]
+
+let skiplist_props =
+  [
+    QCheck_alcotest.to_alcotest
+      (QCheck2.Test.make ~name:"skiplist agrees with Map" ~count:60
+         QCheck2.Gen.(
+           list_size (int_range 1 250) (pair (int_range 0 2) (int_range 0 60)))
+         (fun ops ->
+           let module M = Map.Make (Int64) in
+           let sl = Skiplist.create (mk_heap ()) in
+           let model = ref M.empty in
+           List.iteri
+             (fun i (op, k) ->
+               let key = Int64.of_int k in
+               match op with
+               | 0 ->
+                   Skiplist.insert sl ~key ~value:(Int64.of_int i);
+                   model := M.add key (Int64.of_int i) !model
+               | 1 ->
+                   if Skiplist.delete sl key <> M.mem key !model then
+                     failwith "delete mismatch";
+                   model := M.remove key !model
+               | _ ->
+                   if Skiplist.find sl key <> M.find_opt key !model then
+                     failwith "find mismatch")
+             ops;
+           Skiplist.check sl = Ok () && Skiplist.to_list sl = M.bindings !model));
+  ]
+
+(* --- Btree ------------------------------------------------------------ *)
+
+let btree_tests =
+  [
+    Alcotest.test_case "insert, find, overwrite, delete" `Quick (fun () ->
+        let bt = Btree.create (mk_heap ()) in
+        Btree.insert bt ~key:10L ~value:1L;
+        Btree.insert bt ~key:20L ~value:2L;
+        Btree.insert bt ~key:10L ~value:3L;
+        Alcotest.(check (option int64)) "overwritten" (Some 3L) (Btree.find bt 10L);
+        Alcotest.(check int) "size" 2 (Btree.size bt);
+        Alcotest.(check bool) "delete" true (Btree.delete bt 20L);
+        Alcotest.(check bool) "absent" false (Btree.delete bt 20L));
+    Alcotest.test_case "sequential fill splits into a shallow wide tree" `Quick
+      (fun () ->
+        let bt = Btree.create (mk_heap ()) in
+        for i = 1 to 4096 do
+          Btree.insert bt ~key:(Int64.of_int i) ~value:0L
+        done;
+        Alcotest.(check int) "size" 4096 (Btree.size bt);
+        (* Degree-4 B-tree: height <= log_4(4096) + slack. *)
+        Alcotest.(check bool) "shallow" true (Btree.height bt <= 7);
+        Alcotest.(check bool) "invariants" true (Btree.check bt = Ok ()));
+    Alcotest.test_case "drain to empty in both key orders" `Quick (fun () ->
+        List.iter
+          (fun ascending ->
+            let bt = Btree.create (mk_heap ()) in
+            for i = 1 to 512 do
+              Btree.insert bt ~key:(Int64.of_int i) ~value:0L
+            done;
+            let order =
+              if ascending then List.init 512 (fun i -> i + 1)
+              else List.init 512 (fun i -> 512 - i)
+            in
+            List.iter
+              (fun i ->
+                Alcotest.(check bool) "removed" true
+                  (Btree.delete bt (Int64.of_int i)))
+              order;
+            Alcotest.(check int) "empty" 0 (Btree.size bt);
+            Alcotest.(check bool) "invariants" true (Btree.check bt = Ok ()))
+          [ true; false ]);
+    Alcotest.test_case "iteration is key-ordered" `Quick (fun () ->
+        let bt = Btree.create (mk_heap ()) in
+        List.iter
+          (fun k -> Btree.insert bt ~key:(Int64.of_int k) ~value:0L)
+          [ 42; 7; 99; 1; 65 ];
+        Alcotest.(check (list int64)) "sorted" [ 1L; 7L; 42L; 65L; 99L ]
+          (List.map fst (Btree.to_list bt)));
+    Alcotest.test_case "survives a WSP cycle" `Quick (fun () ->
+        let heap = mk_heap () in
+        let bt = Btree.create heap in
+        for i = 1 to 500 do
+          Btree.insert bt ~key:(Int64.of_int i) ~value:(Int64.of_int (i * i))
+        done;
+        Pheap.wsp_flush heap;
+        Pheap.crash heap;
+        Pheap.recover heap;
+        let bt' = Btree.attach heap in
+        Alcotest.(check int) "size" 500 (Btree.size bt');
+        Alcotest.(check (option int64)) "value" (Some 400L) (Btree.find bt' 20L);
+        Alcotest.(check bool) "invariants" true (Btree.check bt' = Ok ()));
+    Alcotest.test_case "delete frees merged nodes back to the allocator"
+      `Quick (fun () ->
+        let heap = mk_heap () in
+        let bt = Btree.create heap in
+        for i = 1 to 1000 do
+          Btree.insert bt ~key:(Int64.of_int i) ~value:0L
+        done;
+        let before = Alloc.allocated_bytes (Pheap.allocator heap) in
+        for i = 1 to 1000 do
+          ignore (Btree.delete bt (Int64.of_int i))
+        done;
+        Alcotest.(check bool) "shrunk" true
+          (Alloc.allocated_bytes (Pheap.allocator heap) < before / 2));
+  ]
+
+let btree_props =
+  [
+    QCheck_alcotest.to_alcotest
+      (QCheck2.Test.make ~name:"btree agrees with Map" ~count:60
+         QCheck2.Gen.(
+           list_size (int_range 1 250) (pair (int_range 0 2) (int_range 0 60)))
+         (fun ops ->
+           let module M = Map.Make (Int64) in
+           let bt = Btree.create (mk_heap ()) in
+           let model = ref M.empty in
+           List.iteri
+             (fun i (op, k) ->
+               let key = Int64.of_int k in
+               match op with
+               | 0 ->
+                   Btree.insert bt ~key ~value:(Int64.of_int i);
+                   model := M.add key (Int64.of_int i) !model
+               | 1 ->
+                   if Btree.delete bt key <> M.mem key !model then
+                     failwith "delete mismatch";
+                   model := M.remove key !model
+               | _ ->
+                   if Btree.find bt key <> M.find_opt key !model then
+                     failwith "find mismatch")
+             ops;
+           Btree.check bt = Ok () && Btree.to_list bt = M.bindings !model));
+    QCheck_alcotest.to_alcotest
+      (QCheck2.Test.make
+         ~name:"btree under transactional aborts rolls back exactly" ~count:40
+         QCheck2.Gen.(list_size (int_range 1 40) (int_range 0 100))
+         (fun keys ->
+           let heap =
+             Pheap.create ~config:Config.foc_ul ~size:(Units.Size.mib 8)
+               ~log_size:(Units.Size.mib 1) ()
+           in
+           let bt = Pheap.with_tx heap (fun () -> Btree.create heap) in
+           Pheap.with_tx heap (fun () ->
+               List.iter
+                 (fun k -> Btree.insert bt ~key:(Int64.of_int k) ~value:1L)
+                 keys);
+           let snapshot = Btree.to_list bt in
+           (* A doomed transaction touching many nodes... *)
+           (try
+              Pheap.with_tx heap (fun () ->
+                  List.iter
+                    (fun k ->
+                      ignore (Btree.delete bt (Int64.of_int k));
+                      Btree.insert bt ~key:(Int64.of_int (k + 1000)) ~value:2L)
+                    keys;
+                  failwith "abort")
+            with Failure _ -> ());
+           (* ...must leave no trace, through splits, merges and frees. *)
+           Btree.to_list bt = snapshot && Btree.check bt = Ok ()));
+  ]
+
+let suite =
+  [
+    ("store.skiplist", skiplist_tests @ skiplist_props);
+    ("store.btree", btree_tests @ btree_props);
+  ]
