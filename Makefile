@@ -1,0 +1,19 @@
+# Convenience targets. `make bench` gates the microbenchmarks on the
+# tier-1 build + test suite so a perf number is never reported for a
+# broken tree; it writes BENCH_1.json next to this Makefile.
+
+.PHONY: all build test bench clean
+
+all: build
+
+build:
+	dune build
+
+test: build
+	dune runtest
+
+bench: test
+	dune exec bench/main.exe -- --micro --json
+
+clean:
+	dune clean

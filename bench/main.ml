@@ -7,12 +7,18 @@
      main.exe                 run every experiment at the scaled defaults
      main.exe table1 figure5  run selected experiments
      main.exe --full          paper-scale parameters (slow)
-     main.exe --micro         also run the Bechamel microbenchmarks *)
+     main.exe --micro         run the Bechamel microbenchmarks (alone when
+                              no experiment is named)
+     main.exe --micro --json  …and write the estimates to BENCH_1.json
+
+   Independent experiments fan out over a domain pool (WSP_JOBS caps the
+   worker count; WSP_JOBS=1 forces the sequential path). *)
 
 open Wsp_sim
+open Wsp_machine
 
 let usage () =
-  print_endline "usage: main.exe [--full] [--micro] [experiment...]";
+  print_endline "usage: main.exe [--full] [--micro] [--json] [experiment...]";
   print_endline "experiments:";
   List.iter
     (fun (e : Wsp_experiments.Registry.t) ->
@@ -20,6 +26,18 @@ let usage () =
     Wsp_experiments.Registry.all
 
 (* --- Bechamel microbenchmarks of the simulator itself -------------- *)
+
+(* A platform-scale hierarchy with a protocol-realistic amount of dirty
+   state: the paper's point is that dirty state is small relative to
+   capacity, which is exactly the regime where the old O(total slots)
+   dirty poll was pathological. *)
+let dirty_poll_hierarchy () =
+  let cfg = Platform.core_hierarchy Platform.intel_c5528 in
+  let h = Hierarchy.create cfg in
+  for i = 0 to 63 do
+    ignore (Hierarchy.store h ~addr:(i * 64 * 17))
+  done;
+  h
 
 let microbench_tests () =
   let open Bechamel in
@@ -33,6 +51,42 @@ let microbench_tests () =
            for i = 0 to 255 do
              ignore (Wsp_nvheap.Nvram.read_u64 nvram ~addr:(i * 8))
            done))
+  in
+  let poll_h = dirty_poll_hierarchy () in
+  (* dirty_bytes polled in a protocol-style loop: the residual-energy
+     window and save-path loops poll this every simulated step. The
+     -slow twin is the former fold over every way of every set, kept as
+     the before/after baseline. *)
+  let dirty_poll =
+    Test.make ~name:"dirty-poll"
+      (Staged.stage (fun () ->
+           let acc = ref 0 in
+           for _ = 1 to 64 do
+             acc := !acc + Hierarchy.dirty_bytes poll_h
+           done;
+           ignore !acc))
+  in
+  let dirty_poll_slow =
+    Test.make ~name:"dirty-poll-slow"
+      (Staged.stage (fun () ->
+           let acc = ref 0 in
+           for _ = 1 to 64 do
+             acc := !acc + Hierarchy.dirty_bytes_slow poll_h
+           done;
+           ignore !acc))
+  in
+  (* The load/store fast path: repeated hits in a hot working set. *)
+  let access_h = dirty_poll_hierarchy () in
+  let access_hot =
+    Test.make ~name:"access-512-hot"
+      (Staged.stage (fun () ->
+           (* Wsp_sim.Time, not Bechamel.Time (shadowed by the open). *)
+           let acc = ref Wsp_sim.Time.zero in
+           for i = 0 to 511 do
+             acc :=
+               Wsp_sim.Time.add !acc (Hierarchy.load access_h ~addr:(i land 63 * 64))
+           done;
+           ignore !acc))
   in
   let hash_ops config name =
     Test.make ~name
@@ -64,43 +118,99 @@ let microbench_tests () =
   in
   [
     nvram_rw;
+    dirty_poll;
+    dirty_poll_slow;
+    access_hot;
     hash_ops Wsp_nvheap.Config.fof "hash-512ops-fof";
     hash_ops Wsp_nvheap.Config.foc_stm "hash-512ops-foc-stm";
     avl_insert;
     save_cycle;
   ]
 
-let run_microbenches () =
+(* Runs every microbenchmark; (name, ns-per-run) in declaration order. *)
+let measure_microbenches () =
   let open Bechamel in
-  print_newline ();
-  print_endline "Bechamel microbenchmarks (wall-clock cost of the simulator)";
-  print_endline "===========================================================";
   let instances = [ Toolkit.Instance.monotonic_clock ] in
   let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~kde:(Some 100) () in
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
   in
-  List.iter
+  List.concat_map
     (fun test ->
       let raw = Benchmark.all cfg instances test in
       let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
-      Hashtbl.iter
-        (fun name est ->
+      Hashtbl.fold
+        (fun name est acc ->
           match Analyze.OLS.estimates est with
-          | Some (ns :: _) -> Printf.printf "  %-22s %12.0f ns/run\n" name ns
-          | Some [] | None -> Printf.printf "  %-22s (no estimate)\n" name)
-        results)
+          | Some (ns :: _) -> (name, ns) :: acc
+          | Some [] | None -> acc)
+        results [])
     (microbench_tests ())
+
+let dirty_poll_speedup results =
+  match
+    (List.assoc_opt "dirty-poll" results, List.assoc_opt "dirty-poll-slow" results)
+  with
+  | Some fast, Some slow when fast > 0.0 -> Some (slow /. fast)
+  | _ -> None
+
+let json_escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (function
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+(* BENCH_1.json: the perf trajectory file future PRs diff against. *)
+let write_json ~path results =
+  let oc = open_out path in
+  output_string oc "{\n  \"benchmarks\": [\n";
+  List.iteri
+    (fun i (name, ns) ->
+      Printf.fprintf oc "    { \"name\": \"%s\", \"ns_per_run\": %.1f }%s\n"
+        (json_escape name) ns
+        (if i = List.length results - 1 then "" else ","))
+    results;
+  output_string oc "  ]";
+  (match dirty_poll_speedup results with
+  | Some s -> Printf.fprintf oc ",\n  \"dirty_poll_speedup\": %.1f" s
+  | None -> ());
+  Printf.fprintf oc ",\n  \"jobs\": %d\n}\n" (Parallel.default_jobs ());
+  close_out oc
+
+let run_microbenches ~json () =
+  print_newline ();
+  print_endline "Bechamel microbenchmarks (wall-clock cost of the simulator)";
+  print_endline "===========================================================";
+  let results = measure_microbenches () in
+  List.iter
+    (fun (name, ns) -> Printf.printf "  %-22s %12.0f ns/run\n" name ns)
+    results;
+  (match dirty_poll_speedup results with
+  | Some s ->
+      Printf.printf "  dirty-poll speedup over the O(slots) fold: %.0fx\n" s
+  | None -> ());
+  if json then begin
+    let path = "BENCH_1.json" in
+    write_json ~path results;
+    Printf.printf "  wrote %s\n" path
+  end
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
   let full = List.mem "--full" args in
   let micro = List.mem "--micro" args in
-  let names = List.filter (fun a -> a <> "--full" && a <> "--micro") args in
+  let json = List.mem "--json" args in
+  let names =
+    List.filter (fun a -> a <> "--full" && a <> "--micro" && a <> "--json") args
+  in
   if List.mem "--help" names || List.mem "-h" names then usage ()
   else begin
     (match names with
-    | [] -> Wsp_experiments.Registry.run_all ~full
+    | [] -> if not (micro || json) then Wsp_experiments.Registry.run_all ~full ()
     | names ->
         List.iter
           (fun name ->
@@ -111,5 +221,5 @@ let () =
                 usage ();
                 exit 2)
           names);
-    if micro then run_microbenches ()
+    if micro || json then run_microbenches ~json ()
   end

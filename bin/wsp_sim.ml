@@ -83,10 +83,20 @@ let experiment_cmd =
   let full_arg =
     Arg.(value & flag & info [ "full" ] ~doc:"Paper-scale parameters (slow).")
   in
-  let run names full =
+  let jobs_arg =
+    Arg.(
+      value
+      & opt int 0
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:
+            "Worker domains for independent simulations (default: \
+             $(b,WSP_JOBS) or the core count; 1 forces sequential).")
+  in
+  let run names full jobs =
+    if jobs > 0 then Wsp_sim.Parallel.set_jobs jobs;
     match names with
     | [] ->
-        Wsp_experiments.Registry.run_all ~full;
+        Wsp_experiments.Registry.run_all ~full ();
         0
     | names ->
         List.fold_left
@@ -102,7 +112,7 @@ let experiment_cmd =
   in
   Cmd.v
     (Cmd.info "experiment" ~doc:"Reproduce the paper's tables and figures")
-    Term.(const run $ names_arg $ full_arg)
+    Term.(const run $ names_arg $ full_arg $ jobs_arg)
 
 let list_cmd =
   let run () =

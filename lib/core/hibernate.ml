@@ -1,6 +1,12 @@
 open Wsp_sim
 open Wsp_machine
 
+(* Printing goes through the capturable printers so the experiment
+   registry can run this table on the domain pool. *)
+let print_endline = Parallel.print_endline
+let print_newline = Parallel.print_newline
+let printf fmt = Parallel.printf fmt
+
 type params = {
   memory : Units.Size.t;
   ssd_bandwidth : Units.Bandwidth.t;
@@ -53,13 +59,13 @@ let run_table ~full:_ =
   print_newline ();
   print_endline "Hibernate to SSD vs NVDIMM save (2)";
   print_endline "===================================";
-  Printf.printf "  %-8s %-6s %16s %18s %16s %18s\n" "Memory" "DIMMs"
+  printf "  %-8s %-6s %16s %18s %16s %18s\n" "Memory" "DIMMs"
     "hibernate (s)" "powered for (s)" "NVDIMM save (s)" "powered for (ms)";
   List.iter
     (fun (gib, modules) ->
       let params = default_params ~memory:(Units.Size.gib gib) platform in
       let c = compare params ~nvdimm_modules:modules in
-      Printf.printf "  %-8s %-6d %16.1f %18.1f %16.1f %18.2f\n"
+      printf "  %-8s %-6d %16.1f %18.1f %16.1f %18.2f\n"
         (Printf.sprintf "%d GiB" gib)
         modules
         (Time.to_s c.hibernate_time)

@@ -8,19 +8,24 @@ let data ?(entries = 20_000) ?(ops = 100_000) ?(points = 6) ?(seed = 5) () =
   let probs =
     List.init points (fun i -> float_of_int i /. float_of_int (points - 1))
   in
+  (* Every (config, update probability) cell is an independent benchmark
+     run over its own heap: flatten the grid so the pool can fan the
+     whole sweep out at once, then regroup per config. *)
+  let grid =
+    List.concat_map (fun config -> List.map (fun p -> (config, p)) probs) Config.all
+  in
+  let cells =
+    Parallel.map
+      (fun (config, update_prob) ->
+        let r =
+          Workload.run_hash_benchmark ~entries ~ops ~config ~update_prob ~seed ()
+        in
+        (config, (update_prob, r.Workload.per_op)))
+      grid
+  in
   List.map
     (fun config ->
-      let points =
-        List.map
-          (fun update_prob ->
-            let r =
-              Workload.run_hash_benchmark ~entries ~ops ~config ~update_prob
-                ~seed ()
-            in
-            (update_prob, r.Workload.per_op))
-          probs
-      in
-      { config; points })
+      { config; points = List.filter_map (fun (c, pt) -> if c == config then Some pt else None) cells })
     Config.all
 
 let slowdown_range series =

@@ -107,4 +107,29 @@ let all =
 
 let find name = List.find_opt (fun e -> e.name = name) all
 
-let run_all ~full = List.iter (fun e -> e.run ~full) all
+(* Runs one experiment with its output captured instead of printed;
+   returns the bytes it produced and the exception it raised, if any. *)
+let captured_run ~full e =
+  Wsp_sim.Parallel.capture (fun () ->
+      match e.run ~full with () -> None | exception ex -> Some ex)
+
+let run_all ?jobs ~full () =
+  let jobs =
+    match jobs with Some j -> j | None -> Wsp_sim.Parallel.default_jobs ()
+  in
+  if jobs <= 1 then
+    (* Sequential: stream each experiment's output as it runs. *)
+    List.iter (fun e -> e.run ~full) all
+  else begin
+    (* Parallel: experiments are independent simulations; each one's
+       output is captured in its own buffer and printed in registry
+       order, so the bytes on stdout are identical to a sequential run.
+       A failing experiment's partial output still precedes its
+       exception, exactly as it would sequentially. *)
+    let outputs = Wsp_sim.Parallel.map ~jobs (captured_run ~full) all in
+    List.iter
+      (fun (out, err) ->
+        print_string out;
+        match err with Some ex -> raise ex | None -> ())
+      outputs
+  end

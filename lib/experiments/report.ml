@@ -1,3 +1,10 @@
+(* All experiment output flows through Wsp_sim.Parallel's capturable
+   printers so the registry can run experiments on a domain pool and
+   still emit byte-identical, in-order output. *)
+let print_endline = Wsp_sim.Parallel.print_endline
+let print_newline = Wsp_sim.Parallel.print_newline
+let printf fmt = Wsp_sim.Parallel.printf fmt
+
 let heading title =
   print_newline ();
   print_endline title;
@@ -59,7 +66,7 @@ let chart ?(width = 64) ?(height = 16) ?(logx = false) ~xlabel ~ylabel series =
             end)
           pts)
       series;
-    Printf.printf "  %s\n" ylabel;
+    printf "  %s\n" ylabel;
     Array.iteri
       (fun row line ->
         let label =
@@ -67,16 +74,16 @@ let chart ?(width = 64) ?(height = 16) ?(logx = false) ~xlabel ~ylabel series =
           else if row = height - 1 then Printf.sprintf "%8.2f" ymin
           else String.make 8 ' '
         in
-        Printf.printf "  %s |%s\n" label (String.init width (Array.get line)))
+        printf "  %s |%s\n" label (String.init width (Array.get line)))
       grid;
-    Printf.printf "  %s +%s\n" (String.make 8 ' ') (String.make width '-');
-    Printf.printf "  %s  %-*s%s%s\n" (String.make 8 ' ') (width - 8)
+    printf "  %s +%s\n" (String.make 8 ' ') (String.make width '-');
+    printf "  %s  %-*s%s%s\n" (String.make 8 ' ') (width - 8)
       (Printf.sprintf "%.3g" (if logx then 10.0 ** xmin else xmin))
       (Printf.sprintf "%.4g" (if logx then 10.0 ** xmax else xmax))
       (Printf.sprintf "  (%s%s)" xlabel (if logx then ", log scale" else ""));
     List.iteri
       (fun si (name, _) ->
-        Printf.printf "  %c %s\n" glyphs.(si mod Array.length glyphs) name)
+        printf "  %c %s\n" glyphs.(si mod Array.length glyphs) name)
       series
   end
 

@@ -14,7 +14,10 @@ type row = {
 let data ?(entries = 5000) ?(ops = 20_000) ?(seed = 37) () =
   let platform = Platform.intel_c5528 in
   let base = Platform.core_hierarchy platform in
-  List.map
+  (* One independent hash-benchmark pair per memory profile: the sweep
+     fans out across domains (each job builds its own heap and
+     hierarchy; the seed fixes the op stream per profile). *)
+  Parallel.map
     (fun profile ->
       let hierarchy = Scm.apply profile base in
       let per_op config =

@@ -24,7 +24,8 @@ let cases =
   ]
 
 let data () =
-  List.map
+  (* Pure per-configuration computation: fans out across domains. *)
+  Parallel.map
     (fun (platform, psu, busy) ->
       let engine = Engine.create () in
       let load =

@@ -12,7 +12,8 @@ let cases =
   [ ("Mnemosyne", Config.foc_stm, 2160.0); ("WSP", Config.fof, 5274.0) ]
 
 let data ?(entries = 20_000) ?(seed = 11) () =
-  List.map
+  (* The two configurations are independent benchmark runs; fan out. *)
+  Wsp_sim.Parallel.map
     (fun (label, config, paper) ->
       let r = Directory.run_benchmark ~entries ~config ~seed () in
       { label; config; updates_per_s = r.Directory.updates_per_s; paper_updates_per_s = paper })

@@ -8,19 +8,36 @@ type config = {
   hit_latency : Time.t;
 }
 
+(* Ways double as nodes of an intrusive, circular, doubly-linked list of
+   dirty lines threaded through [dirty_prev]/[dirty_next] (self-linked
+   when clean). The list makes [dirty_lines]/[iter_dirty] O(dirty) and,
+   together with the [dirty_n]/[resident_n] counters, turns the dirty
+   polls that protocol loops issue per simulated step from O(total
+   slots) into O(dirty). *)
 type way = {
   mutable line : int;
   mutable valid : bool;
   mutable dirty : bool;
   mutable age : int;  (* Larger is more recent. *)
+  mutable dirty_prev : way;
+  mutable dirty_next : way;
 }
 
 type t = {
   cfg : config;
   sets : way array array;
   n_sets : int;
+  dirty_list : way;  (* Sentinel of the circular dirty list. *)
+  mutable dirty_n : int;
+  mutable resident_n : int;
   mutable tick : int;
 }
+
+let make_way () =
+  let rec w =
+    { line = 0; valid = false; dirty = false; age = 0; dirty_prev = w; dirty_next = w }
+  in
+  w
 
 let create cfg =
   let total_lines = Units.Size.to_bytes cfg.size / cfg.line_size in
@@ -28,70 +45,126 @@ let create cfg =
   assert (total_lines mod cfg.associativity = 0);
   let n_sets = total_lines / cfg.associativity in
   let sets =
-    Array.init n_sets (fun _ ->
-        Array.init cfg.associativity (fun _ ->
-            { line = 0; valid = false; dirty = false; age = 0 }))
+    Array.init n_sets (fun _ -> Array.init cfg.associativity (fun _ -> make_way ()))
   in
-  { cfg; sets; n_sets; tick = 0 }
+  {
+    cfg;
+    sets;
+    n_sets;
+    dirty_list = make_way ();
+    dirty_n = 0;
+    resident_n = 0;
+    tick = 0;
+  }
 
 let config t = t.cfg
 let line_count t = t.n_sets * t.cfg.associativity
-let line_of_addr t addr = addr / t.cfg.line_size
-let set_of_line t line = ((line mod t.n_sets) + t.n_sets) mod t.n_sets
+
+let line_of_addr t addr =
+  (* Addresses are non-negative byte addresses; asserting here lets
+     [set_of_line] skip the mod-normalisation dance on the hot path. *)
+  assert (addr >= 0);
+  addr / t.cfg.line_size
+
+let set_of_line t line = line mod t.n_sets
+
+(* Appending at the tail keeps [dirty_lines] in dirtying order, which is
+   deterministic regardless of cache geometry. *)
+let link_dirty t w =
+  let s = t.dirty_list in
+  let last = s.dirty_prev in
+  w.dirty_prev <- last;
+  w.dirty_next <- s;
+  last.dirty_next <- w;
+  s.dirty_prev <- w;
+  t.dirty_n <- t.dirty_n + 1
+
+let unlink_dirty t w =
+  w.dirty_prev.dirty_next <- w.dirty_next;
+  w.dirty_next.dirty_prev <- w.dirty_prev;
+  w.dirty_prev <- w;
+  w.dirty_next <- w;
+  t.dirty_n <- t.dirty_n - 1
+
+let mark_dirty t w =
+  if not w.dirty then begin
+    w.dirty <- true;
+    link_dirty t w
+  end
+
+let mark_clean t w =
+  if w.dirty then begin
+    w.dirty <- false;
+    unlink_dirty t w
+  end
 
 type victim = { line : int; dirty : bool }
 
+(* Top-level so probing allocates no closure. *)
+let rec scan_set set line i n =
+  if i >= n then -1
+  else
+    let w = Array.unsafe_get set i in
+    if w.valid && w.line = line then i else scan_set set line (i + 1) n
+
 let find_way t line =
   let set = t.sets.(set_of_line t line) in
-  let rec scan i =
-    if i >= Array.length set then None
-    else if set.(i).valid && set.(i).line = line then Some set.(i)
-    else scan (i + 1)
-  in
-  scan 0
+  let i = scan_set set line 0 (Array.length set) in
+  if i < 0 then None else Some set.(i)
 
 let touch t way =
   t.tick <- t.tick + 1;
   way.age <- t.tick
 
 let probe t ~line =
-  match find_way t line with
-  | Some way ->
-      touch t way;
-      true
-  | None -> false
+  let set = t.sets.(set_of_line t line) in
+  let i = scan_set set line 0 (Array.length set) in
+  if i < 0 then false
+  else begin
+    touch t (Array.unsafe_get set i);
+    true
+  end
 
-let contains t ~line = Option.is_some (find_way t line)
+let contains t ~line =
+  let set = t.sets.(set_of_line t line) in
+  scan_set set line 0 (Array.length set) >= 0
+
+(* Victim selection: prefer an invalid way; otherwise the least recently
+   used. Top-level and index-based to keep the miss path closure-free. *)
+let rec pick_slot set i n best =
+  if i >= n then best
+  else
+    let w = Array.unsafe_get set i and b = Array.unsafe_get set best in
+    let best =
+      if not w.valid then if b.valid || w.age < b.age then i else best
+      else if b.valid && w.age < b.age then i
+      else best
+    in
+    pick_slot set (i + 1) n best
 
 let insert t ~line ~dirty =
   match find_way t line with
   | Some way ->
-      way.dirty <- way.dirty || dirty;
+      if dirty then mark_dirty t way;
       touch t way;
       None
   | None ->
       let set = t.sets.(set_of_line t line) in
-      (* Prefer an invalid way; otherwise evict the least recently used. *)
-      let slot = ref set.(0) in
-      Array.iter
-        (fun way ->
-          if not way.valid then begin
-            if !slot.valid || way.age < !slot.age then slot := way
-          end
-          else if !slot.valid && way.age < !slot.age then slot := way)
-        set;
+      let slot = set.(pick_slot set 1 (Array.length set) 0) in
       let victim =
-        if !slot.valid then Some { line = !slot.line; dirty = !slot.dirty }
+        if slot.valid then Some { line = slot.line; dirty = slot.dirty }
         else None
       in
-      !slot.valid <- true;
-      !slot.line <- line;
-      !slot.dirty <- dirty;
-      touch t !slot;
+      if not slot.valid then t.resident_n <- t.resident_n + 1;
+      mark_clean t slot;
+      slot.valid <- true;
+      slot.line <- line;
+      if dirty then mark_dirty t slot;
+      touch t slot;
       victim
 
 let set_dirty t ~line =
-  match find_way t line with Some way -> way.dirty <- true | None -> ()
+  match find_way t line with Some way -> mark_dirty t way | None -> ()
 
 let is_dirty t ~line =
   match find_way t line with Some way -> way.dirty | None -> false
@@ -100,8 +173,9 @@ let invalidate t ~line =
   match find_way t line with
   | Some way ->
       let was_dirty = way.dirty in
+      mark_clean t way;
       way.valid <- false;
-      way.dirty <- false;
+      t.resident_n <- t.resident_n - 1;
       was_dirty
   | None -> false
 
@@ -111,15 +185,40 @@ let fold f acc t =
       Array.fold_left (fun acc way -> if way.valid then f acc way else acc) acc set)
     acc t.sets
 
+let iter_dirty t f =
+  let s = t.dirty_list in
+  let w = ref s.dirty_next in
+  while !w != s do
+    f !w.line;
+    w := !w.dirty_next
+  done
+
 let dirty_lines t =
+  let acc = ref [] in
+  iter_dirty t (fun line -> acc := line :: !acc);
+  !acc
+
+let dirty_count t = t.dirty_n
+let resident_count t = t.resident_n
+
+(* Brute-force references for the incremental bookkeeping, kept for the
+   invariant tests and the before/after microbenchmarks. *)
+let dirty_lines_slow t =
   fold (fun acc way -> if way.dirty then way.line :: acc else acc) [] t
 
-let dirty_count t = fold (fun acc way -> if way.dirty then acc + 1 else acc) 0 t
-let resident_count t = fold (fun acc _ -> acc + 1) 0 t
+let dirty_count_slow t = fold (fun acc way -> if way.dirty then acc + 1 else acc) 0 t
+let resident_count_slow t = fold (fun acc _ -> acc + 1) 0 t
 
 let clear t =
   Array.iter
     (Array.iter (fun way ->
          way.valid <- false;
-         way.dirty <- false))
-    t.sets
+         way.dirty <- false;
+         way.dirty_prev <- way;
+         way.dirty_next <- way))
+    t.sets;
+  let s = t.dirty_list in
+  s.dirty_prev <- s;
+  s.dirty_next <- s;
+  t.dirty_n <- 0;
+  t.resident_n <- 0

@@ -2,9 +2,17 @@
 
     The cache tracks tag state only (presence, dirty bit, LRU age); line
     contents live with the memory backing store, which keeps a buffer of
-    dirty-line data (see {!Wsp_nvheap.Nvram}). Addresses are byte
-    addresses; the cache works internally in line numbers
-    ([addr / line_size]). *)
+    dirty-line data (see {!Wsp_nvheap.Nvram}). Addresses and line
+    numbers are non-negative; the cache works internally in line numbers
+    ([addr / line_size]).
+
+    Dirty and resident state is tracked incrementally: per-cache
+    counters plus an intrusive doubly-linked index of dirty ways make
+    {!dirty_count}, {!resident_count}, {!dirty_lines} and {!iter_dirty}
+    O(dirty lines) rather than a fold over every way of every set. The
+    flush-on-fail protocol and residual-energy-window loops poll these
+    on every simulated step, so this is the simulator's hottest
+    bookkeeping. *)
 
 open Wsp_sim
 
@@ -48,8 +56,24 @@ val invalidate : t -> line:int -> bool
 (** Drops the line if present; [true] iff it was present and dirty. *)
 
 val dirty_lines : t -> int list
+(** O(dirty); lines in most-recently-dirtied-first order. *)
+
+val iter_dirty : t -> (int -> unit) -> unit
+(** [iter_dirty t f] applies [f] to every dirty line, oldest first,
+    without allocating. [f] must not mutate [t]. *)
+
 val dirty_count : t -> int
+(** O(1), maintained incrementally. *)
+
 val resident_count : t -> int
+(** O(1), maintained incrementally. *)
+
+val dirty_lines_slow : t -> int list
+val dirty_count_slow : t -> int
+val resident_count_slow : t -> int
+(** Brute-force fold references for the incremental bookkeeping above —
+    used by the invariant tests and the before/after microbenchmarks;
+    not for production callers. *)
 
 val clear : t -> unit
 (** Invalidates everything without reporting write-backs; callers that

@@ -14,7 +14,15 @@ type config = {
 type t = {
   cfg : config;
   levels : Cache.t array;  (* levels.(0) is L1; last is the LLC. *)
+  cum_hit_latency : Time.t array;
+      (* cum_hit_latency.(k) = sum of hit latencies of levels 0..k: the
+         cost of a hit at level k, precomputed so the access path adds
+         nothing per probe. *)
+  miss_latency : Time.t;  (* Full probe chain plus memory latency. *)
   line_size : int;
+  seen : (int, unit) Hashtbl.t;
+      (* Scratch table reused by the dirty-line union walks; reset per
+         call so dirty polls allocate no fresh table. *)
   mutable on_writeback : line:int -> unit;
 }
 
@@ -29,13 +37,32 @@ let create ?(on_writeback = fun ~line:_ -> ()) (cfg : config) =
         rest);
   let levels = Array.of_list (List.map Cache.create cfg.levels) in
   let line_size = (List.hd cfg.levels).Cache.line_size in
-  { cfg; levels; line_size; on_writeback }
+  let cum_hit_latency = Array.make (Array.length levels) Time.zero in
+  let acc = ref Time.zero in
+  Array.iteri
+    (fun i level ->
+      acc := Time.add !acc (Cache.config level).Cache.hit_latency;
+      cum_hit_latency.(i) <- !acc)
+    levels;
+  let miss_latency = Time.add !acc cfg.memory_latency in
+  {
+    cfg;
+    levels;
+    cum_hit_latency;
+    miss_latency;
+    line_size;
+    seen = Hashtbl.create 256;
+    on_writeback;
+  }
 
 let config t = t.cfg
 let line_size t = t.line_size
 let set_on_writeback t f = t.on_writeback <- f
 let llc t = t.levels.(Array.length t.levels - 1)
-let line_of t addr = addr / t.line_size
+
+let line_of t addr =
+  assert (addr >= 0);
+  addr / t.line_size
 
 (* Evicting [victim] from level [i]: inclusion requires dropping it from
    all upper levels too, accumulating dirtiness. If level [i] is the LLC
@@ -71,26 +98,29 @@ let fill t ~line ~upto =
       | Some v -> evict_from t i v
   done
 
-(* Probes levels in order; returns (hit_level option, accumulated probe
-   latency). A hit at level k costs the sum of hit latencies of levels
-   0..k; a full miss additionally costs memory latency. *)
-let probe_chain t line =
-  let n = Array.length t.levels in
-  let rec go i latency =
-    if i >= n then (None, Time.add latency t.cfg.memory_latency)
-    else
-      let level = t.levels.(i) in
-      let latency = Time.add latency (Cache.config level).Cache.hit_latency in
-      if Cache.probe level ~line then (Some i, latency) else go (i + 1) latency
-  in
-  go 0 Time.zero
+(* Probes levels in order; the hit level's index, or -1 on a full miss.
+   Top-level and index-based so the per-access path allocates nothing:
+   the former probe_chain returned an (int option * Time.t) pair, paying
+   a tuple and an option per load/store. *)
+let rec probe_from levels line i n =
+  if i >= n then -1
+  else if Cache.probe (Array.unsafe_get levels i) ~line then i
+  else probe_from levels line (i + 1) n
 
 let access t ~addr ~write =
   let line = line_of t addr in
-  let hit, latency = probe_chain t line in
-  (match hit with
-  | Some k -> if k > 0 then fill t ~line ~upto:(k - 1)
-  | None -> fill t ~line ~upto:(Array.length t.levels - 1));
+  let n = Array.length t.levels in
+  let k = probe_from t.levels line 0 n in
+  let latency =
+    if k < 0 then begin
+      fill t ~line ~upto:(n - 1);
+      t.miss_latency
+    end
+    else begin
+      if k > 0 then fill t ~line ~upto:(k - 1);
+      Array.unsafe_get t.cum_hit_latency k
+    end
+  in
   if write then Cache.set_dirty t.levels.(0) ~line;
   latency
 
@@ -99,9 +129,9 @@ let store t ~addr = access t ~addr ~write:true
 
 let invalidate_line t line =
   let dirty = ref false in
-  Array.iter
-    (fun level -> if Cache.invalidate level ~line then dirty := true)
-    t.levels;
+  for i = 0 to Array.length t.levels - 1 do
+    if Cache.invalidate t.levels.(i) ~line then dirty := true
+  done;
   !dirty
 
 let store_nt t ~addr =
@@ -126,28 +156,71 @@ let clflush t ~addr =
 let flush_lines t ~addr ~len =
   if len <= 0 then Time.zero
   else begin
+    (* Batched bookkeeping: invalidate the whole range first, then
+       charge one issue per line and a single write-back transfer for
+       the dirty total, instead of a clflush round-trip per line. *)
     let first = line_of t addr and last = line_of t (addr + len - 1) in
-    let total = ref Time.zero in
+    let dirty = ref 0 in
     for line = first to last do
-      let byte = line * t.line_size in
-      total := Time.add !total (clflush t ~addr:byte)
+      if invalidate_line t line then begin
+        incr dirty;
+        t.on_writeback ~line
+      end
     done;
-    !total
+    let issue = Time.mul t.cfg.clflush_issue (last - first + 1) in
+    if !dirty = 0 then issue
+    else
+      Time.add issue
+        (Units.Bandwidth.transfer_time t.cfg.memory_write_bandwidth
+           (!dirty * t.line_size))
+  end
+
+(* The union across levels is walked via each level's intrusive dirty
+   index, O(total dirty entries); the scratch table de-duplicates lines
+   dirty at several levels at once (a store dirties only L1, so L1 and
+   L2 copies of one line can both be dirty). Single-level hierarchies
+   skip the table entirely. *)
+let iter_dirty t f =
+  if Array.length t.levels = 1 then Cache.iter_dirty t.levels.(0) f
+  else begin
+    let seen = t.seen in
+    Hashtbl.reset seen;
+    Array.iter
+      (fun level ->
+        Cache.iter_dirty level (fun line ->
+            if not (Hashtbl.mem seen line) then begin
+              Hashtbl.add seen line ();
+              f line
+            end))
+      t.levels
   end
 
 let dirty_lines t =
-  (* The union is exact because inclusion merges dirty bits downwards;
-     still, a line can be dirty at several levels simultaneously. *)
+  let acc = ref [] in
+  iter_dirty t (fun line -> acc := line :: !acc);
+  !acc
+
+let dirty_line_count t =
+  if Array.length t.levels = 1 then Cache.dirty_count t.levels.(0)
+  else begin
+    let n = ref 0 in
+    iter_dirty t (fun _ -> incr n);
+    !n
+  end
+
+let dirty_bytes t = dirty_line_count t * t.line_size
+
+(* The old O(total slots) poll, kept as the before/after baseline for
+   the dirty-poll microbenchmark. *)
+let dirty_bytes_slow t =
   let seen = Hashtbl.create 64 in
   Array.iter
     (fun level ->
       List.iter
         (fun line -> if not (Hashtbl.mem seen line) then Hashtbl.add seen line ())
-        (Cache.dirty_lines level))
+        (Cache.dirty_lines_slow level))
     t.levels;
-  Hashtbl.fold (fun line () acc -> line :: acc) seen []
-
-let dirty_bytes t = List.length (dirty_lines t) * t.line_size
+  Hashtbl.length seen * t.line_size
 
 let resident_lines t =
   (* Distinct lines present anywhere; by inclusion this is the LLC count. *)
@@ -157,13 +230,15 @@ let total_line_slots t =
   Array.fold_left (fun acc level -> acc + Cache.line_count level) 0 t.levels
 
 let flush_all t =
-  let dirty = dirty_lines t in
-  List.iter (fun line -> t.on_writeback ~line) dirty;
+  let dirty = ref 0 in
+  iter_dirty t (fun line ->
+      incr dirty;
+      t.on_writeback ~line);
   Array.iter Cache.clear t.levels;
   let walk = Time.mul t.cfg.wbinvd_line_walk (total_line_slots t) in
   let transfer =
     Units.Bandwidth.transfer_time t.cfg.memory_write_bandwidth
-      (List.length dirty * t.line_size)
+      (!dirty * t.line_size)
   in
   Time.add walk transfer
 

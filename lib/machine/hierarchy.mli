@@ -70,8 +70,24 @@ val drop_volatile : t -> unit
 (** Power failure: all cache state vanishes, nothing is written back. *)
 
 val dirty_lines : t -> int list
-(** De-duplicated union of dirty lines across levels. *)
+(** De-duplicated union of dirty lines across levels. O(dirty lines),
+    via each level's intrusive dirty index. *)
+
+val iter_dirty : t -> (int -> unit) -> unit
+(** Applies the callback to the de-duplicated dirty-line union without
+    building a list. The callback must not mutate the hierarchy. *)
+
+val dirty_line_count : t -> int
+(** Number of distinct dirty lines; O(dirty lines). *)
 
 val dirty_bytes : t -> int
+(** [dirty_line_count * line_size]. O(dirty lines) — this is polled
+    inside residual-energy-window and protocol loops, where the former
+    fold over every way of every level slot dominated simulation time. *)
+
+val dirty_bytes_slow : t -> int
+(** The former O(total line slots) poll, kept as the baseline for the
+    dirty-poll microbenchmark; not for production callers. *)
+
 val resident_lines : t -> int
 val total_line_slots : t -> int

@@ -76,6 +76,10 @@ val crash : t -> unit
 val dirty_bytes : t -> int
 val dirty_lines : t -> int list
 
+val dirty_line_count : t -> int
+(** Distinct dirty lines in the hierarchy; O(dirty lines) like
+    {!dirty_bytes} — save-path and protocol loops poll this per step. *)
+
 val persistent_image : t -> Bytes.t
 (** A copy of the backing bytes only — what would survive a crash right
     now. Test instrumentation; charges no time. *)

@@ -57,6 +57,13 @@ val config : t -> Config.t
 val clock : t -> Time.t
 (** Total simulated time charged by this heap's operations. *)
 
+val dirty_bytes : t -> int
+(** Dirty cache state attributable to this heap's NVRAM — the exact
+    amount a flush-on-fail save would have to write back right now.
+    O(dirty lines). *)
+
+val dirty_line_count : t -> int
+
 val reset_clock : t -> unit
 
 (** {1 Allocation} *)

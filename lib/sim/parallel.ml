@@ -1,0 +1,123 @@
+(* A small domain pool for embarrassingly parallel simulation sweeps.
+
+   Jobs are pulled from a shared atomic counter by [jobs] domains
+   (including the calling one), results land in a preallocated slot per
+   input, so [map] returns results in input order no matter which domain
+   finished first — determinism is the contract that lets the experiment
+   registry interleave parallel execution with byte-identical output.
+
+   Nested calls (an experiment that itself maps over a sweep while
+   [Registry.run_all] is mapping over experiments) degrade to sequential
+   execution in the worker rather than multiplying domain counts. *)
+
+let in_worker_key : bool ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref false)
+
+(* 0 = no override; set by the CLI's --jobs. *)
+let override = Atomic.make 0
+
+let set_jobs n = Atomic.set override (max n 0)
+
+let env_jobs () =
+  match Sys.getenv_opt "WSP_JOBS" with
+  | None -> None
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n when n >= 1 -> Some n
+      | Some _ | None -> None)
+
+let default_jobs () =
+  if !(Domain.DLS.get in_worker_key) then 1
+  else
+    match Atomic.get override with
+    | n when n >= 1 -> n
+    | _ -> (
+        match env_jobs () with
+        | Some n -> n
+        | None -> Domain.recommended_domain_count ())
+
+exception Worker of exn
+
+let map ?jobs f xs =
+  let jobs = match jobs with Some j -> max j 1 | None -> default_jobs () in
+  let items = Array.of_list xs in
+  let n = Array.length items in
+  if jobs <= 1 || n <= 1 then List.map f xs
+  else begin
+    let results = Array.make n None in
+    let failures = Array.make n None in
+    let next = Atomic.make 0 in
+    let work () =
+      let in_worker = Domain.DLS.get in_worker_key in
+      let saved = !in_worker in
+      in_worker := true;
+      let rec loop () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n then begin
+          (match f items.(i) with
+          | v -> results.(i) <- Some v
+          | exception e ->
+              failures.(i) <- Some (e, Printexc.get_raw_backtrace ()));
+          loop ()
+        end
+      in
+      loop ();
+      in_worker := saved
+    in
+    let domains =
+      List.init (min jobs n - 1) (fun _ -> Domain.spawn work)
+    in
+    work ();
+    List.iter Domain.join domains;
+    (* Every job ran; surface the earliest failure by input order so the
+       outcome is independent of scheduling. *)
+    Array.iter
+      (function
+        | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+        | None -> ())
+      failures;
+    Array.to_list
+      (Array.map
+         (function Some v -> v | None -> raise (Worker Not_found))
+         results)
+  end
+
+(* --- per-domain output capture ------------------------------------- *)
+
+(* Experiments report through [print_*]-style calls; when several run
+   concurrently their bytes would interleave on stdout. Output routed
+   through this module goes to a domain-local buffer while a capture is
+   active, letting the caller print each job's output in input order. *)
+
+let sink_key : Buffer.t option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+let print_string s =
+  match !(Domain.DLS.get sink_key) with
+  | None -> Stdlib.print_string s
+  | Some b -> Buffer.add_string b s
+
+let print_char c =
+  match !(Domain.DLS.get sink_key) with
+  | None -> Stdlib.print_char c
+  | Some b -> Buffer.add_char b c
+
+let print_endline s =
+  print_string s;
+  print_char '\n'
+
+let print_newline () = print_char '\n'
+let printf fmt = Printf.ksprintf print_string fmt
+
+let capture f =
+  let cell = Domain.DLS.get sink_key in
+  let saved = !cell in
+  let buf = Buffer.create 4096 in
+  cell := Some buf;
+  let restore () = cell := saved in
+  match f () with
+  | v ->
+      restore ();
+      (Buffer.contents buf, v)
+  | exception e ->
+      restore ();
+      raise e

@@ -1,46 +1,46 @@
-type t = int64
+type t = int
 
-let zero = 0L
-let ps n = Int64.of_int n
+let zero = 0
+let ps n = n
 
 let of_float_ps x =
   (* Round to nearest; simulated latencies are non-negative in practice
      but negative spans are allowed for arithmetic intermediates. *)
-  Int64.of_float (Float.round x)
+  int_of_float (Float.round x)
 
 let ns x = of_float_ps (x *. 1e3)
 let us x = of_float_ps (x *. 1e6)
 let ms x = of_float_ps (x *. 1e9)
 let s x = of_float_ps (x *. 1e12)
-let to_ns t = Int64.to_float t /. 1e3
-let to_us t = Int64.to_float t /. 1e6
-let to_ms t = Int64.to_float t /. 1e9
-let to_s t = Int64.to_float t /. 1e12
-let add = Int64.add
-let sub = Int64.sub
-let mul t n = Int64.mul t (Int64.of_int n)
-let div t n = Int64.div t (Int64.of_int n)
+let to_ns t = float_of_int t /. 1e3
+let to_us t = float_of_int t /. 1e6
+let to_ms t = float_of_int t /. 1e9
+let to_s t = float_of_int t /. 1e12
+let add = ( + )
+let sub = ( - )
+let mul t n = t * n
+let div t n = t / n
 
 let scale t f =
   assert (f >= 0.0);
-  of_float_ps (Int64.to_float t *. f)
+  of_float_ps (float_of_int t *. f)
 
-let min = Int64.min
-let max = Int64.max
-let compare = Int64.compare
-let equal = Int64.equal
-let is_negative t = Stdlib.( < ) (compare t zero) 0
+let min : t -> t -> t = Stdlib.min
+let max : t -> t -> t = Stdlib.max
+let compare : t -> t -> int = Stdlib.compare
+let equal : t -> t -> bool = Stdlib.( = )
+let is_negative t = t < 0
 
 let pp ppf t =
-  let abs = Int64.abs t in
-  if Int64.compare abs 1_000L < 0 then Fmt.pf ppf "%Ldps" t
-  else if Int64.compare abs 1_000_000L < 0 then Fmt.pf ppf "%.1fns" (to_ns t)
-  else if Int64.compare abs 1_000_000_000L < 0 then Fmt.pf ppf "%.2fus" (to_us t)
-  else if Int64.compare abs 1_000_000_000_000L < 0 then Fmt.pf ppf "%.2fms" (to_ms t)
+  let abs = Stdlib.abs t in
+  if abs < 1_000 then Fmt.pf ppf "%dps" t
+  else if abs < 1_000_000 then Fmt.pf ppf "%.1fns" (to_ns t)
+  else if abs < 1_000_000_000 then Fmt.pf ppf "%.2fus" (to_us t)
+  else if abs < 1_000_000_000_000 then Fmt.pf ppf "%.2fms" (to_ms t)
   else Fmt.pf ppf "%.3fs" (to_s t)
 
 let to_string t = Fmt.str "%a" pp t
-let ( < ) a b = Stdlib.( < ) (compare a b) 0
-let ( <= ) a b = Stdlib.( <= ) (compare a b) 0
-let ( > ) a b = Stdlib.( > ) (compare a b) 0
-let ( >= ) a b = Stdlib.( >= ) (compare a b) 0
+let ( < ) : t -> t -> bool = Stdlib.( < )
+let ( <= ) : t -> t -> bool = Stdlib.( <= )
+let ( > ) : t -> t -> bool = Stdlib.( > )
+let ( >= ) : t -> t -> bool = Stdlib.( >= )

@@ -1,13 +1,15 @@
 (** Simulated time.
 
-    Time is a count of picoseconds stored in an [int64]. Picosecond
-    resolution keeps sub-nanosecond cache latencies exact while still
-    representing over 100 days of simulated time, far beyond any
-    experiment in this repository. Values are totally ordered and support
-    saturating-free exact arithmetic (overflow is a programming error and
-    trips an assertion in debug builds). *)
+    Time is a count of picoseconds stored in an immediate [int]: 63 bits
+    of picoseconds represent over 50 days of simulated time, far beyond
+    any experiment in this repository, while keeping sub-nanosecond cache
+    latencies exact. An immediate representation matters: latencies are
+    added on {e every} simulated cache access, and a boxed representation
+    (the previous [int64]) allocated on each arithmetic operation in the
+    simulator's hottest loops. Values are totally ordered and support
+    exact arithmetic (overflow is a programming error). *)
 
-type t = int64
+type t = int
 (** A point in, or span of, simulated time, in picoseconds. *)
 
 val zero : t
