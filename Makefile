@@ -1,8 +1,8 @@
 # Convenience targets. `make bench` gates the microbenchmarks on the
 # tier-1 build + test suite so a perf number is never reported for a
-# broken tree; it writes BENCH_1.json next to this Makefile.
+# broken tree; it writes BENCH_2.json next to this Makefile.
 
-.PHONY: all build test bench clean
+.PHONY: all build test check bench clean
 
 all: build
 
@@ -11,6 +11,12 @@ build:
 
 test: build
 	dune runtest
+
+# Crash-consistency certification: every persistence configuration over
+# every structure, plus the save-protocol sweep. Deterministic from the
+# seed; exits non-zero on any violation.
+check: build
+	dune exec bin/wsp_sim.exe -- check --points 1000 --seed 42 --protocol
 
 bench: test
 	dune exec bench/main.exe -- --micro --json

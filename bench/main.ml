@@ -9,7 +9,7 @@
      main.exe --full          paper-scale parameters (slow)
      main.exe --micro         run the Bechamel microbenchmarks (alone when
                               no experiment is named)
-     main.exe --micro --json  …and write the estimates to BENCH_1.json
+     main.exe --micro --json  …and write the estimates to BENCH_2.json
 
    Independent experiments fan out over a domain pool (WSP_JOBS caps the
    worker count; WSP_JOBS=1 forces the sequential path). *)
@@ -38,6 +38,8 @@ let dirty_poll_hierarchy () =
     ignore (Hierarchy.store h ~addr:(i * 64 * 17))
   done;
   h
+
+let checker_bench_points = 32
 
 let microbench_tests () =
   let open Bechamel in
@@ -116,6 +118,19 @@ let microbench_tests () =
            let sys = Wsp_core.System.create ~memory:(Units.Size.mib 1) () in
            ignore (Wsp_core.System.run_failure_cycle sys)))
   in
+  (* Crash-consistency checker throughput: one full record → inject →
+     recover → judge cycle over [checker_bench_points] crash points,
+     sequentially (jobs:1) so ns/run divides into an honest per-point
+     cost. The derived points/sec lands in BENCH_2.json. *)
+  let checker_points =
+    Test.make ~name:"checker-32pts"
+      (Staged.stage (fun () ->
+           ignore
+             (Wsp_check.Checker.check ~jobs:1 ~points:checker_bench_points
+                ~txns:6 ~ops_per_txn:3 ~shrink:false
+                ~kind:Wsp_check.Checker.Hash_table
+                ~config:Wsp_nvheap.Config.foc_ul ~seed:1 ())))
+  in
   [
     nvram_rw;
     dirty_poll;
@@ -125,6 +140,7 @@ let microbench_tests () =
     hash_ops Wsp_nvheap.Config.foc_stm "hash-512ops-foc-stm";
     avl_insert;
     save_cycle;
+    checker_points;
   ]
 
 (* Runs every microbenchmark; (name, ns-per-run) in declaration order. *)
@@ -147,6 +163,14 @@ let measure_microbenches () =
         results [])
     (microbench_tests ())
 
+(* Crash points judged per second, derived from the checker microbench
+   (each run explores [checker_bench_points] points sequentially). *)
+let checker_points_per_sec results =
+  match List.assoc_opt "checker-32pts" results with
+  | Some ns when ns > 0.0 ->
+      Some (float_of_int checker_bench_points *. 1e9 /. ns)
+  | _ -> None
+
 let dirty_poll_speedup results =
   match
     (List.assoc_opt "dirty-poll" results, List.assoc_opt "dirty-poll-slow" results)
@@ -164,7 +188,7 @@ let json_escape s =
     s;
   Buffer.contents b
 
-(* BENCH_1.json: the perf trajectory file future PRs diff against. *)
+(* BENCH_2.json: the perf trajectory file future PRs diff against. *)
 let write_json ~path results =
   let oc = open_out path in
   output_string oc "{\n  \"benchmarks\": [\n";
@@ -177,6 +201,9 @@ let write_json ~path results =
   output_string oc "  ]";
   (match dirty_poll_speedup results with
   | Some s -> Printf.fprintf oc ",\n  \"dirty_poll_speedup\": %.1f" s
+  | None -> ());
+  (match checker_points_per_sec results with
+  | Some pps -> Printf.fprintf oc ",\n  \"checker_points_per_sec\": %.0f" pps
   | None -> ());
   Printf.fprintf oc ",\n  \"jobs\": %d\n}\n" (Parallel.default_jobs ());
   close_out oc
@@ -193,8 +220,11 @@ let run_microbenches ~json () =
   | Some s ->
       Printf.printf "  dirty-poll speedup over the O(slots) fold: %.0fx\n" s
   | None -> ());
+  (match checker_points_per_sec results with
+  | Some pps -> Printf.printf "  checker throughput: %.0f crash points/sec\n" pps
+  | None -> ());
   if json then begin
-    let path = "BENCH_1.json" in
+    let path = "BENCH_2.json" in
     write_json ~path results;
     Printf.printf "  wrote %s\n" path
   end

@@ -209,6 +209,148 @@ let window_cmd =
     (Cmd.info "window" ~doc:"Measure a PSU's residual energy window")
     Term.(const run $ platform_arg $ psu_arg $ busy_arg $ seed_arg $ runs_arg)
 
+(* --- check ------------------------------------------------------------ *)
+
+let check_cmd =
+  let module Checker = Wsp_check.Checker in
+  let module Protocol_check = Wsp_check.Protocol_check in
+  let module Config = Wsp_nvheap.Config in
+  (* The certification matrix names configurations by what they promise:
+     undo and redo must recover from the drained bytes alone; wsp relies
+     on the flush-on-fail save. *)
+  let config_of_name = function
+    | "undo" -> Some Config.foc_ul
+    | "redo" -> Some Config.foc_stm
+    | "wsp" -> Some Config.fof
+    | s -> Config.by_name s
+  in
+  let config_conv =
+    let parse s =
+      match config_of_name s with
+      | Some c -> Ok c
+      | None ->
+          Error (`Msg (Printf.sprintf "unknown config %S (undo|redo|wsp)" s))
+    in
+    Arg.conv (parse, fun ppf (c : Config.t) -> Fmt.string ppf c.Config.name)
+  in
+  let workload_conv =
+    let parse s =
+      match Checker.kind_of_name s with
+      | Some k -> Ok k
+      | None ->
+          Error
+            (`Msg
+              (Printf.sprintf "unknown workload %S (try: %s)" s
+                 (String.concat ", "
+                    (List.map Checker.kind_name Checker.all_kinds))))
+    in
+    Arg.conv (parse, fun ppf k -> Fmt.string ppf (Checker.kind_name k))
+  in
+  let fault_conv =
+    let parse = function
+      | "none" -> Ok Checker.No_fault
+      | "fences" -> Ok Checker.Broken_fences
+      | "wsp-save" -> Ok Checker.Broken_wsp_save
+      | s -> Error (`Msg (Printf.sprintf "unknown fault %S (none|fences|wsp-save)" s))
+    in
+    Arg.conv (parse, fun ppf f -> Fmt.string ppf (Checker.fault_name f))
+  in
+  let workloads_arg =
+    Arg.(
+      value & opt_all workload_conv []
+      & info [ "workload" ] ~docv:"WORKLOAD"
+          ~doc:"Workload(s) to check (btree, hash_table, skiplist, block_kv; \
+                default: all).")
+  in
+  let configs_arg =
+    Arg.(
+      value & opt_all config_conv []
+      & info [ "config" ] ~docv:"CONFIG"
+          ~doc:"Persistence configuration(s) (undo, redo, wsp; default: all \
+                three).")
+  in
+  let points_arg =
+    Arg.(
+      value & opt int 1000
+      & info [ "points" ] ~docv:"N"
+          ~doc:"Crash points per workload x config cell (exhaustive when the \
+                trace is shorter).")
+  in
+  let txns_arg =
+    Arg.(value & opt int 32 & info [ "txns" ] ~docv:"N" ~doc:"Transactions per workload.")
+  in
+  let jobs_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:"Worker domains for crash-point fan-out (default: $(b,WSP_JOBS) \
+                or the core count).")
+  in
+  let broken_arg =
+    Arg.(
+      value & opt fault_conv Checker.No_fault
+      & info [ "broken" ] ~docv:"FAULT"
+          ~doc:"Deliberate sabotage to inject (none, fences, wsp-save); the \
+                checker must detect it.")
+  in
+  let protocol_arg =
+    Arg.(
+      value & flag
+      & info [ "protocol" ]
+          ~doc:"Also sweep the Figure-4 save protocol's crash points (all \
+                steps x strategies).")
+  in
+  let no_shrink_arg =
+    Arg.(value & flag & info [ "no-shrink" ] ~doc:"Skip minimising failing traces.")
+  in
+  let run workloads configs points txns jobs broken protocol no_shrink seed
+      verbose =
+    setup_logs verbose;
+    let jobs = if jobs > 0 then Some jobs else None in
+    let workloads = if workloads = [] then Checker.all_kinds else workloads in
+    let configs =
+      if configs = [] then [ Config.foc_ul; Config.foc_stm; Config.fof ]
+      else configs
+    in
+    let reports =
+      List.concat_map
+        (fun kind ->
+          List.map
+            (fun config ->
+              let r =
+                Checker.check ?jobs ~points ~txns ~fault:broken
+                  ~shrink:(not no_shrink) ~kind ~config ~seed ()
+              in
+              Fmt.pr "%a@." Checker.pp_report r;
+              r)
+            configs)
+        workloads
+    in
+    let workload_violations =
+      List.exists (fun r -> r.Checker.violations <> []) reports
+    in
+    let protocol_violations =
+      if protocol then begin
+        let results = Protocol_check.run ~seed () in
+        Fmt.pr "@.save-protocol sweep:@.";
+        List.iter (fun r -> Fmt.pr "  %a@." Protocol_check.pp_result r) results;
+        Protocol_check.violations results <> []
+      end
+      else false
+    in
+    if workload_violations || protocol_violations then 1 else 0
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:
+         "Crash-consistency checking: systematic power-fail injection over \
+          every persistency event of a workload, with the real recovery path \
+          run on each crash image")
+    Term.(
+      const run $ workloads_arg $ configs_arg $ points_arg $ txns_arg
+      $ jobs_arg $ broken_arg $ protocol_arg $ no_shrink_arg $ seed_arg
+      $ verbose_arg)
+
 (* --- storm ------------------------------------------------------------ *)
 
 let storm_cmd =
@@ -246,4 +388,5 @@ let () =
   in
   exit
     (Cmd.eval'
-       (Cmd.group info [ experiment_cmd; list_cmd; cycle_cmd; window_cmd; storm_cmd ]))
+       (Cmd.group info
+          [ experiment_cmd; list_cmd; cycle_cmd; window_cmd; check_cmd; storm_cmd ]))

@@ -1,0 +1,477 @@
+(* [Wsp_sim] exports its own [Trace]; alias ours before the open. *)
+module Ptrace = Trace
+open Wsp_sim
+open Wsp_nvheap
+open Wsp_store
+
+exception Crash_point
+
+(* --- workloads ----------------------------------------------------- *)
+
+type kind = Btree | Hash_table | Skiplist | Block_kv
+
+let all_kinds = [ Btree; Hash_table; Skiplist; Block_kv ]
+
+let kind_name = function
+  | Btree -> "btree"
+  | Hash_table -> "hash_table"
+  | Skiplist -> "skiplist"
+  | Block_kv -> "block_kv"
+
+let kind_of_name s =
+  List.find_opt (fun k -> kind_name k = s) all_kinds
+
+type op = Insert of int64 * int64 | Delete of int64
+
+type script = op list list
+
+let gen_script ~rng ~txns ~ops_per_txn ~keyspace ~setup_entries =
+  let key () = Int64.of_int (1 + Rng.int rng keyspace) in
+  let op () =
+    if Rng.int rng 4 = 0 then Delete (key ())
+    else Insert (key (), Rng.bits64 rng)
+  in
+  let setup =
+    List.init setup_entries (fun _ -> [ Insert (key (), Rng.bits64 rng) ])
+  in
+  let main =
+    List.init txns (fun _ -> List.init (1 + Rng.int rng ops_per_txn) (fun _ -> op ()))
+  in
+  setup @ main
+
+let pp_op ppf = function
+  | Insert (k, v) -> Fmt.pf ppf "insert %Ld %Ld" k v
+  | Delete k -> Fmt.pf ppf "delete %Ld" k
+
+let pp_script ppf script =
+  List.iteri
+    (fun i ops ->
+      Fmt.pf ppf "txn %d: %a@." i (Fmt.list ~sep:Fmt.semi pp_op) ops)
+    script
+
+(* --- fault injection ----------------------------------------------- *)
+
+type fault = No_fault | Broken_fences | Broken_wsp_save
+
+let fault_name = function
+  | No_fault -> "none"
+  | Broken_fences -> "broken-fences"
+  | Broken_wsp_save -> "broken-wsp-save"
+
+(* --- environments --------------------------------------------------- *)
+
+(* 1 MiB of NVRAM per crash point: heap in the low half, and for
+   Block_kv a block device in the high half. Small enough to rebuild
+   thousands of times, large enough that the workloads never fill it. *)
+let region_bytes = Units.Size.to_bytes (Units.Size.mib 1)
+let log_size = Units.Size.kib 128
+let buckets = 256
+let skiplist_seed = 7
+
+let heap_len = function Block_kv -> region_bytes / 2 | _ -> region_bytes
+let device_base = region_bytes / 2
+let device_len = region_bytes / 2
+
+type handle = {
+  insert : key:int64 -> value:int64 -> unit;
+  delete : int64 -> bool;
+  to_list : unit -> (int64 * int64) list;
+  check : unit -> (unit, string) result;
+}
+
+let btree_handle b =
+  {
+    insert = (fun ~key ~value -> Wsp_store.Btree.insert b ~key ~value);
+    delete = (fun k -> Wsp_store.Btree.delete b k);
+    to_list = (fun () -> Wsp_store.Btree.to_list b);
+    check = (fun () -> Wsp_store.Btree.check b);
+  }
+
+let hash_table_handle h =
+  {
+    insert = (fun ~key ~value -> Hash_table.insert h ~key ~value);
+    delete = (fun k -> Hash_table.delete h k);
+    to_list = (fun () -> Hash_table.to_list h);
+    check = (fun () -> Hash_table.check h);
+  }
+
+let skiplist_handle s =
+  {
+    insert = (fun ~key ~value -> Wsp_store.Skiplist.insert s ~key ~value);
+    delete = (fun k -> Wsp_store.Skiplist.delete s k);
+    to_list = (fun () -> Wsp_store.Skiplist.to_list s);
+    check = (fun () -> Wsp_store.Skiplist.check s);
+  }
+
+let block_kv_handle b =
+  {
+    insert = (fun ~key ~value -> Block_kv.insert b ~key ~value);
+    delete = (fun k -> Block_kv.delete b k);
+    to_list = (fun () -> Block_kv.to_list b);
+    check = (fun () -> Block_kv.check b);
+  }
+
+type env = { nvram : Nvram.t; heap : Pheap.t; handle : handle }
+
+let make_env ~kind ~config ~fault () =
+  let nvram = Nvram.create ~size:(Units.Size.mib 1) () in
+  (match fault with
+  | Broken_fences -> Nvram.set_fault nvram Nvram.Broken_fence
+  | No_fault | Broken_wsp_save -> ());
+  let heap =
+    Pheap.create_in ~config ~log_size ~nvram ~base:0 ~len:(heap_len kind) ()
+  in
+  let handle =
+    match kind with
+    | Btree -> btree_handle (Wsp_store.Btree.create heap)
+    | Hash_table -> hash_table_handle (Hash_table.create ~buckets heap)
+    | Skiplist -> skiplist_handle (Wsp_store.Skiplist.create ~seed:skiplist_seed heap)
+    | Block_kv ->
+        let device =
+          Blockstore.create nvram ~base:device_base ~len:device_len ()
+        in
+        block_kv_handle (Block_kv.create ~buckets ~heap ~device ())
+  in
+  (* Formatting is mkfs, not an operation under test: force it durable
+     (wbinvd drains even under Broken_fences) so every crash point falls
+     on the workload itself, against a recoverable base image. *)
+  Nvram.wbinvd nvram;
+  { nvram; heap; handle }
+
+(* --- execution with committed/pending accounting -------------------- *)
+
+type model = (int64, int64) Hashtbl.t
+
+let apply_model (m : model) = function
+  | Insert (k, v) -> Hashtbl.replace m k v
+  | Delete k -> Hashtbl.remove m k
+
+let model_list (m : model) =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) m [] |> List.sort compare
+
+type run_state = {
+  committed : model;
+  mutable pending : op list;  (* current atomic unit, newest last *)
+  mutable in_commit : bool;  (* inside the commit/journal protocol *)
+}
+
+let fresh_state () =
+  { committed = Hashtbl.create 64; pending = []; in_commit = false }
+
+let apply_op h = function
+  | Insert (k, v) -> h.insert ~key:k ~value:v
+  | Delete k -> ignore (h.delete k)
+
+(* A crash during the commit protocol may legitimately recover to either
+   side of the transaction, so [pending]/[in_commit] are left frozen at
+   the instant Crash_point escapes. *)
+let run_script env st ~kind script =
+  match kind with
+  | Block_kv ->
+      (* No transactions: each operation is its own journalled atom. *)
+      List.iter
+        (fun ops ->
+          List.iter
+            (fun op ->
+              st.pending <- [ op ];
+              st.in_commit <- true;
+              apply_op env.handle op;
+              apply_model st.committed op;
+              st.pending <- [];
+              st.in_commit <- false)
+            ops)
+        script
+  | _ ->
+      List.iter
+        (fun ops ->
+          Pheap.begin_tx env.heap;
+          List.iter
+            (fun op ->
+              apply_op env.handle op;
+              st.pending <- st.pending @ [ op ])
+            ops;
+          st.in_commit <- true;
+          Pheap.commit env.heap;
+          List.iter (apply_model st.committed) st.pending;
+          st.pending <- [];
+          st.in_commit <- false)
+        script
+
+(* Records the full persistency trace of one complete execution. *)
+let record ~kind ~config ~fault script =
+  let env = make_env ~kind ~config ~fault () in
+  let tr = Ptrace.create () in
+  Ptrace.instrument tr env.heap;
+  run_script env (fresh_state ()) ~kind script;
+  Ptrace.detach env.heap;
+  tr
+
+(* Re-executes the script, cutting power before memory event [point].
+   Returns the volatile image at the crash instant, or None if the trace
+   ended before the point was reached. Re-raising on every subsequent
+   event freezes the machine: even rollback writes from an exception
+   handler cannot run past the failure. *)
+let run_to_crash env st ~kind ~point script =
+  let count = ref 0 in
+  let img = ref None in
+  Nvram.set_hook env.nvram
+    (Some
+       (fun _ev ->
+         if !count >= point then begin
+           if !img = None then img := Some (Nvram.volatile_image env.nvram);
+           raise Crash_point
+         end;
+         incr count));
+  (try run_script env st ~kind script with Crash_point -> ());
+  Nvram.set_hook env.nvram None;
+  !img
+
+(* --- recovery and oracles ------------------------------------------- *)
+
+let recover_env ~kind ~config env =
+  match kind with
+  | Block_kv ->
+      (* Model-1 recovery: the in-memory representation is gone; reformat
+         the scratch heap and rebuild the table from the journal. *)
+      let heap =
+        Pheap.create_in ~config:Config.fof ~log_size ~nvram:env.nvram ~base:0
+          ~len:(heap_len kind) ()
+      in
+      let device =
+        Blockstore.attach env.nvram ~base:device_base ~len:device_len ()
+      in
+      (block_kv_handle (Block_kv.recover ~buckets ~heap ~device ()), heap)
+  | _ ->
+      let heap =
+        Pheap.attach_in ~config ~log_size ~nvram:env.nvram ~base:0
+          ~len:(heap_len kind) ()
+      in
+      let handle =
+        match kind with
+        | Btree -> btree_handle (Wsp_store.Btree.attach heap)
+        | Hash_table -> hash_table_handle (Hash_table.attach heap)
+        | Skiplist ->
+            skiplist_handle (Wsp_store.Skiplist.attach ~seed:skiplist_seed heap)
+        | Block_kv -> assert false
+      in
+      (handle, heap)
+
+let pp_entries ppf l =
+  Fmt.pf ppf "{%a}"
+    (Fmt.list ~sep:Fmt.comma (fun ppf (k, v) -> Fmt.pf ppf "%Ld:%Ld" k v))
+    l
+
+let durability_oracle st handle =
+  let actual = List.sort compare (handle.to_list ()) in
+  let committed = model_list st.committed in
+  if actual = committed then None
+  else begin
+    (* Mid-commit atomicity allowance: the in-flight atom may be fully
+       present instead. *)
+    let with_pending =
+      let m = Hashtbl.copy st.committed in
+      List.iter (apply_model m) st.pending;
+      model_list m
+    in
+    if st.in_commit && actual = with_pending then None
+    else
+      Some
+        (Fmt.str
+           "durability: recovered %a but committed state is %a%s" pp_entries
+           actual pp_entries committed
+           (if st.in_commit then
+              Fmt.str " (mid-commit alternative %a)" pp_entries with_pending
+            else ""))
+  end
+
+let structural_oracles handle heap =
+  match handle.check () with
+  | Error e -> Some ("structural invariant: " ^ e)
+  | Ok () -> (
+      match Alloc.check_invariants (Pheap.allocator heap) with
+      | Error e -> Some ("allocator: " ^ e)
+      | Ok () -> None)
+
+(* Verdict for one crash point: None = survived, Some message = bug. *)
+let judge_point ~kind ~config ~fault ~point script =
+  let env = make_env ~kind ~config ~fault () in
+  let st = fresh_state () in
+  match run_to_crash env st ~kind ~point script with
+  | None -> None (* trace ended before the point: nothing to crash *)
+  | Some image_at_crash ->
+      if Config.is_durable_without_wsp config then begin
+        (* Flush-on-commit: power dies with no WSP save; the software
+           log must carry recovery on the drained bytes alone. *)
+        Nvram.crash env.nvram;
+        match recover_env ~kind ~config env with
+        | exception e ->
+            Some
+              (Fmt.str "recovery raised %s (torn state not tolerated)"
+                 (Printexc.to_string e))
+        | handle, heap -> (
+            match durability_oracle st handle with
+            | Some m -> Some m
+            | None -> structural_oracles handle heap)
+      end
+      else begin
+        (* Flush-on-fail: the WSP save flushes every cache on the
+           residual window, then execution resumes exactly where it
+           stopped. The whole obligation is image completeness. *)
+        (match fault with
+        | Broken_wsp_save -> ()
+        | No_fault | Broken_fences -> Nvram.wbinvd env.nvram);
+        Nvram.crash env.nvram;
+        let persisted = Nvram.persistent_image env.nvram in
+        if Bytes.equal persisted image_at_crash then None
+        else begin
+          let diff = ref 0 in
+          Bytes.iteri
+            (fun i c -> if Bytes.get image_at_crash i <> c then incr diff)
+            persisted;
+          Some
+            (Fmt.str
+               "image completeness: %d bytes of the saved image differ from \
+                the pre-failure contents"
+               !diff)
+        end
+      end
+
+(* --- reports --------------------------------------------------------- *)
+
+type violation = { point : int; where : string; message : string }
+
+type shrunk = {
+  script : script;
+  point : int;
+  trace_length : int;
+  message : string;
+}
+
+type report = {
+  kind : kind;
+  config : Config.t;
+  seed : int;
+  fault : fault;
+  trace_length : int;
+  points_explored : int;
+  exhaustive : bool;
+  violations : violation list;
+  shrunk : shrunk option;
+}
+
+(* --- shrinking ------------------------------------------------------- *)
+
+(* Scanning a candidate in point order with early exit keeps shrinking
+   cheap: broken configurations fail within the first committed
+   transaction's trace prefix. *)
+let shrink_scan_cap = 400
+
+let first_failure ~kind ~config ~fault script =
+  let n = Ptrace.mem_length (record ~kind ~config ~fault script) in
+  let limit = min n shrink_scan_cap in
+  let rec go p =
+    if p >= limit then None
+    else
+      match judge_point ~kind ~config ~fault ~point:p script with
+      | Some m -> Some (p, n, m)
+      | None -> go (p + 1)
+  in
+  go 0
+
+let drop_nth l n = List.filteri (fun i _ -> i <> n) l
+
+(* Greedy 1-minimisation: drop whole transactions, then single
+   operations, re-checking that the failure survives each removal. *)
+let shrink_failing ~kind ~config ~fault script =
+  let fails s = if s = [] then None else first_failure ~kind ~config ~fault s in
+  let rec drop_txns i s =
+    if i >= List.length s then s
+    else
+      let s' = drop_nth s i in
+      match fails s' with Some _ -> drop_txns i s' | None -> drop_txns (i + 1) s
+  in
+  let rec drop_ops t j s =
+    if t >= List.length s then s
+    else
+      let ops = List.nth s t in
+      if j >= List.length ops then drop_ops (t + 1) 0 s
+      else
+        let s' =
+          List.mapi (fun i ops' -> if i = t then drop_nth ops' j else ops') s
+          |> List.filter (fun ops' -> ops' <> [])
+        in
+        match fails s' with
+        | Some _ -> drop_ops t j s'
+        | None -> drop_ops t (j + 1) s
+  in
+  let s = drop_txns 0 script in
+  let s = drop_ops 0 0 s in
+  match fails s with
+  | Some (point, trace_length, message) ->
+      Some { script = s; point; trace_length; message }
+  | None -> None (* the unshrunk failure should reappear; be safe *)
+
+(* --- top level ------------------------------------------------------- *)
+
+let check ?jobs ?(points = 1000) ?(txns = 32) ?(ops_per_txn = 3)
+    ?(keyspace = 40) ?(setup_entries = 16) ?(fault = No_fault) ?(shrink = true)
+    ~kind ~config ~seed () =
+  let rng = Rng.create ~seed in
+  let script = gen_script ~rng ~txns ~ops_per_txn ~keyspace ~setup_entries in
+  let tr = record ~kind ~config ~fault script in
+  let stream = Ptrace.events tr in
+  let n = Ptrace.mem_length tr in
+  let pts, exhaustive =
+    if n <= points then (List.init n Fun.id, true)
+    else begin
+      (* Sample without replacement, seeded: reproducible coverage. *)
+      let arr = Array.init n Fun.id in
+      Rng.shuffle rng arr;
+      let sel = Array.sub arr 0 points in
+      Array.sort compare sel;
+      (Array.to_list sel, false)
+    end
+  in
+  let verdicts =
+    Parallel.map ?jobs
+      (fun point ->
+        judge_point ~kind ~config ~fault ~point script
+        |> Option.map (fun message ->
+               { point; where = Ptrace.describe_mem stream point; message }))
+      pts
+  in
+  let violations = List.filter_map Fun.id verdicts in
+  let shrunk =
+    match violations with
+    | [] -> None
+    | _ when shrink -> shrink_failing ~kind ~config ~fault script
+    | _ -> None
+  in
+  {
+    kind;
+    config;
+    seed;
+    fault;
+    trace_length = n;
+    points_explored = List.length pts;
+    exhaustive;
+    violations;
+    shrunk;
+  }
+
+let pp_violation ppf (v : violation) =
+  Fmt.pf ppf "point %d (%s): %s" v.point v.where v.message
+
+let pp_report ppf r =
+  Fmt.pf ppf "%s/%s seed=%d fault=%s: %d/%d points%s, %d violation(s)"
+    (kind_name r.kind) r.config.Config.name r.seed (fault_name r.fault)
+    r.points_explored r.trace_length
+    (if r.exhaustive then " (exhaustive)" else "")
+    (List.length r.violations);
+  List.iter (fun v -> Fmt.pf ppf "@.  %a" pp_violation v) r.violations;
+  match r.shrunk with
+  | None -> ()
+  | Some s ->
+      Fmt.pf ppf "@.  shrunk to %d txn(s), %d events, fails at point %d: %s@.%a"
+        (List.length s.script) s.trace_length s.point s.message pp_script
+        s.script

@@ -1,0 +1,127 @@
+(** Systematic power-fail injection over whole workload executions.
+
+    The checker turns the simulator into a sanitizer: it records the
+    persistency trace of a deterministic, seed-generated transactional
+    workload, then for each chosen crash point re-executes the workload
+    from scratch and cuts power {e exactly before} that memory event —
+    materialising the bytes a real failure would preserve (drained
+    stores only; dirty cache lines and unfenced write-combining data
+    lost, unless the configuration's flush-on-fail save rescues them).
+    Each crash image is handed to the {e real} recovery path and judged
+    against oracles:
+
+    - {b durability}: recovered contents equal the committed model — or,
+      when the cut fell inside a commit, the model with the in-flight
+      transaction either fully present or fully absent;
+    - {b no torn log entry}: recovery completes without raising;
+    - {b structural invariants}: the data structure's own [check];
+    - {b allocator}: free-list/index consistency;
+    - {b image completeness} (flush-on-fail configurations): the
+      post-save persistent image equals the pre-crash volatile contents
+      byte for byte — WSP resumes rather than recovers, so nothing else
+      may be demanded, and nothing less suffices.
+
+    Short traces are enumerated exhaustively; long ones are sampled
+    without replacement from a seeded {!Wsp_sim.Rng}, so every report is
+    reproducible from its seed. Failing traces are shrunk greedily to a
+    1-minimal reproducer (no single transaction or operation can be
+    dropped without losing the failure). *)
+
+open Wsp_nvheap
+
+exception Crash_point
+(** Raised by the injected hook at the chosen memory event; escapes the
+    workload and freezes the simulated machine at the crash instant. *)
+
+(** {1 Workloads} *)
+
+type kind = Btree | Hash_table | Skiplist | Block_kv
+
+val all_kinds : kind list
+val kind_name : kind -> string
+val kind_of_name : string -> kind option
+
+type op = Insert of int64 * int64 | Delete of int64
+
+type script = op list list
+(** One transaction per inner list (per-operation atomic updates for
+    {!Block_kv}, which journals each operation individually). *)
+
+val gen_script :
+  rng:Wsp_sim.Rng.t ->
+  txns:int ->
+  ops_per_txn:int ->
+  keyspace:int ->
+  setup_entries:int ->
+  script
+(** Deterministic workload: [setup_entries] single-insert transactions,
+    then [txns] transactions of 1..[ops_per_txn] operations (3:1
+    insert:delete) over keys [1..keyspace]. *)
+
+val pp_script : Format.formatter -> script -> unit
+
+(** {1 Fault injection} *)
+
+type fault =
+  | No_fault
+  | Broken_fences
+      (** Fences never drain write-combining buffers: every durable log
+          append is silently lost. Detectable under flush-on-commit
+          configurations; harmless under WSP, whose save path does not
+          rely on fences. *)
+  | Broken_wsp_save
+      (** The flush-on-fail save skips the cache flush: the saved image
+          misses everything still in cache. Detectable under
+          flush-on-fail configurations. *)
+
+val fault_name : fault -> string
+
+(** {1 Checking} *)
+
+type violation = {
+  point : int;  (** Crash fell before memory event [point]. *)
+  where : string;  (** Human-readable crash-point description. *)
+  message : string;  (** Which oracle failed, and how. *)
+}
+
+type shrunk = {
+  script : script;  (** 1-minimal failing workload. *)
+  point : int;  (** First failing crash point of the shrunk trace. *)
+  trace_length : int;
+  message : string;
+}
+
+type report = {
+  kind : kind;
+  config : Config.t;
+  seed : int;
+  fault : fault;
+  trace_length : int;  (** Memory events in the full trace. *)
+  points_explored : int;
+  exhaustive : bool;  (** All points covered (vs. seeded sample). *)
+  violations : violation list;
+  shrunk : shrunk option;
+}
+
+val check :
+  ?jobs:int ->
+  ?points:int ->
+  ?txns:int ->
+  ?ops_per_txn:int ->
+  ?keyspace:int ->
+  ?setup_entries:int ->
+  ?fault:fault ->
+  ?shrink:bool ->
+  kind:kind ->
+  config:Config.t ->
+  seed:int ->
+  unit ->
+  report
+(** Runs the full record → enumerate → inject → recover → judge cycle.
+    Crash points fan out over {!Wsp_sim.Parallel.map} ([jobs] defaults to
+    the pool's [WSP_JOBS]-aware width; results are identical at any job
+    count). [points] (default 1000) caps exploration; [shrink] (default
+    [true]) minimises the first failing trace. *)
+
+val pp_violation : Format.formatter -> violation -> unit
+val pp_report : Format.formatter -> report -> unit

@@ -1,0 +1,82 @@
+open Wsp_nvheap
+
+type event =
+  | Mem of Nvram.event
+  | Log of Rawlog.event
+  | Tx of Txn.event
+
+type t = { mutable rev : event list; mutable mem : int }
+
+let create () = { rev = []; mem = 0 }
+
+let instrument t heap =
+  Nvram.set_hook (Pheap.nvram heap)
+    (Some
+       (fun e ->
+         t.rev <- Mem e :: t.rev;
+         t.mem <- t.mem + 1));
+  Rawlog.set_hook (Pheap.log heap) (Some (fun e -> t.rev <- Log e :: t.rev));
+  Txn.set_hook (Pheap.txn heap) (Some (fun e -> t.rev <- Tx e :: t.rev))
+
+let detach heap =
+  Nvram.set_hook (Pheap.nvram heap) None;
+  Rawlog.set_hook (Pheap.log heap) None;
+  Txn.set_hook (Pheap.txn heap) None
+
+let mem_length t = t.mem
+let events t = Array.of_list (List.rev t.rev)
+
+let pp_event ppf = function
+  | Mem (Nvram.Store { addr; len }) -> Fmt.pf ppf "store[%d,+%d]" addr len
+  | Mem (Nvram.Store_nt { addr }) -> Fmt.pf ppf "store-nt[%d]" addr
+  | Mem Nvram.Fence -> Fmt.pf ppf "fence"
+  | Mem (Nvram.Clflush { addr }) -> Fmt.pf ppf "clflush[%d]" addr
+  | Mem (Nvram.Flush_range { addr; len }) -> Fmt.pf ppf "flush[%d,+%d]" addr len
+  | Mem Nvram.Wbinvd -> Fmt.pf ppf "wbinvd"
+  | Log (Rawlog.Append { kind; n_values }) ->
+      Fmt.pf ppf "log-append(kind=%d,n=%d)" kind n_values
+  | Log Rawlog.Truncate -> Fmt.pf ppf "log-truncate"
+  | Tx (Txn.Begin txid) -> Fmt.pf ppf "tx-begin(%Ld)" txid
+  | Tx (Txn.Commit txid) -> Fmt.pf ppf "tx-commit(%Ld)" txid
+  | Tx (Txn.Abort txid) -> Fmt.pf ppf "tx-abort(%Ld)" txid
+
+(* Index in the full stream of the [k]-th memory event, or None. *)
+let mem_pos stream k =
+  let pos = ref None and seen = ref 0 in
+  (try
+     Array.iteri
+       (fun i ev ->
+         match ev with
+         | Mem _ ->
+             if !seen = k then begin
+               pos := Some i;
+               raise Exit
+             end;
+             incr seen
+         | _ -> ())
+       stream
+   with Exit -> ());
+  !pos
+
+let mem_event stream k =
+  Option.map (fun i -> stream.(i)) (mem_pos stream k)
+
+let describe_mem stream k =
+  match mem_pos stream k with
+  | None -> Fmt.str "mem event %d (beyond trace)" k
+  | Some i ->
+      (* The nearest preceding annotation locates the event in the
+         protocol: which transaction, which log record. *)
+      let context = ref None in
+      (try
+         for j = i - 1 downto 0 do
+           match stream.(j) with
+           | (Log _ | Tx _) when !context = None ->
+               context := Some stream.(j);
+               raise Exit
+           | _ -> ()
+         done
+       with Exit -> ());
+      match !context with
+      | None -> Fmt.str "before %a" pp_event stream.(i)
+      | Some c -> Fmt.str "before %a (in %a)" pp_event stream.(i) pp_event c

@@ -1,0 +1,43 @@
+(** A persistency trace: the ordered stream of events that determine what
+    a power failure preserves.
+
+    The checker's crash-point space is indexed over the {e memory} events
+    ([Mem _]) — every store, fence and flush is an instant a power
+    failure can fall before. Log- and transaction-level events are
+    annotations interleaved into the same stream so a failing point can
+    be reported as "before store 3 of the commit record of txn 7" rather
+    than a bare address. *)
+
+open Wsp_nvheap
+
+type event =
+  | Mem of Nvram.event
+  | Log of Rawlog.event
+  | Tx of Txn.event
+
+type t
+
+val create : unit -> t
+
+val instrument : t -> Pheap.t -> unit
+(** Installs recording hooks on the heap's NVRAM, raw log and
+    transaction manager. Recording changes no behaviour. *)
+
+val detach : Pheap.t -> unit
+(** Clears all three hooks. *)
+
+val mem_length : t -> int
+(** Number of memory events recorded — the size of the crash-point
+    space. *)
+
+val events : t -> event array
+(** The full interleaved stream, in program order. *)
+
+val mem_event : event array -> int -> event option
+(** The [k]-th memory event of a stream. *)
+
+val describe_mem : event array -> int -> string
+(** The [k]-th memory event with its nearest preceding log/transaction
+    annotation — the human-readable name of crash point [k]. *)
+
+val pp_event : Format.formatter -> event -> unit

@@ -26,6 +26,32 @@ let outcome_name = function
   | Invalid_marker -> "invalid-marker"
   | No_image -> "no-image"
 
+type save_step =
+  | Before_interrupt
+  | Before_contexts
+  | Before_flush
+  | Before_marker
+  | Before_nvdimm_signal
+  | After_nvdimm_signal
+
+let save_steps =
+  [
+    Before_interrupt;
+    Before_contexts;
+    Before_flush;
+    Before_marker;
+    Before_nvdimm_signal;
+    After_nvdimm_signal;
+  ]
+
+let save_step_name = function
+  | Before_interrupt -> "before-interrupt"
+  | Before_contexts -> "before-contexts"
+  | Before_flush -> "before-flush"
+  | Before_marker -> "before-marker"
+  | Before_nvdimm_signal -> "before-nvdimm-signal"
+  | After_nvdimm_signal -> "after-nvdimm-signal"
+
 type save_report = {
   mutable power_fail_at : Time.t option;
   mutable window : Time.t;
@@ -83,6 +109,7 @@ type t = {
   rng : Rng.t;
   validate_marker : bool;
   mutable powered : bool;
+  mutable cut_at : save_step option;
   mutable report : save_report;
   memory : Units.Size.t;
 }
@@ -91,99 +118,6 @@ let write_marker t value =
   Nvram.write_u64 t.nvram ~addr:marker_addr value;
   Nvram.clflush t.nvram ~addr:marker_addr;
   Nvram.fence t.nvram
-
-(* --- the WSP save routine ---------------------------------------- *)
-
-let guard t f engine = if t.powered then f engine
-
-let marker_step_latency = Time.ns 250.0
-
-let rec save_step_interrupt t engine =
-  match Nvdimm.state t.nvdimm with
-  | Nvdimm.Saving | Nvdimm.Saved | Nvdimm.Restoring | Nvdimm.Lost ->
-      (* The OS is not running (mid-boot or mid-save): there is no live
-         system image worth saving; the boot path handles recovery. *)
-      Log.debug (fun m ->
-          m "power failed while NVDIMM is %s: save path skipped"
-            (Nvdimm.state_name (Nvdimm.state t.nvdimm)))
-  | Nvdimm.Active | Nvdimm.Self_refresh -> save_step_interrupt' t engine
-
-and save_step_interrupt' t engine =
-  t.report.interrupt_at <- Some (Engine.now engine);
-  Log.debug (fun m ->
-      m "power-fail interrupt on CPU0 at %a (window %a)" Time.pp
-        (Engine.now engine) Time.pp t.report.window);
-  match t.strategy with
-  | Acpi_save ->
-      (* Strawman: put every device into D3 before touching CPU state.
-         This usually blows the residual window (Figure 9 vs Figure 7). *)
-      let dur = Acpi.suspend_duration t.devices in
-      ignore
-        (Engine.schedule engine ~after:dur
-           (guard t (fun engine ->
-                ignore (Acpi.suspend_all t.devices);
-                t.report.acpi_done_at <- Some (Engine.now engine);
-                save_step_contexts t engine)))
-  | Restore_reinit | Virtualized_replay -> save_step_contexts t engine
-
-and save_step_contexts t engine =
-  (* IPI fan-out, then every core saves its context in parallel. *)
-  let dur = Time.add t.platform.Platform.ipi_latency t.platform.Platform.context_save_latency in
-  ignore
-    (Engine.schedule engine ~after:dur
-       (guard t (fun engine ->
-            let buf = Bytes.create (Cpu.context_area_bytes t.cpu) in
-            Cpu.save_contexts t.cpu buf ~off:0;
-            Nvram.write_bytes t.nvram ~addr:context_addr buf;
-            Array.iter
-              (fun core -> if Cpu.Core.id core <> 0 then Cpu.Core.halt core)
-              (Cpu.cores t.cpu);
-            t.report.contexts_saved_at <- Some (Engine.now engine);
-            Log.debug (fun m ->
-                m "contexts saved, %d cores halted at %a"
-                  (Cpu.core_count t.cpu - 1)
-                  Time.pp (Engine.now engine));
-            save_step_flush t engine)))
-
-and save_step_flush t engine =
-  let dirty = Nvram.dirty_bytes t.nvram + Nvram.pending_nt_bytes t.nvram in
-  t.report.dirty_bytes_flushed <- dirty;
-  let dur = Flush.wbinvd_time t.platform ~dirty_bytes:dirty in
-  ignore
-    (Engine.schedule engine ~after:dur
-       (guard t (fun engine ->
-            Nvram.wbinvd t.nvram;
-            t.report.flush_done_at <- Some (Engine.now engine);
-            Log.debug (fun m ->
-                m "wbinvd complete (%d dirty bytes) at %a" dirty Time.pp
-                  (Engine.now engine));
-            save_step_marker t engine)))
-
-and save_step_marker t engine =
-  ignore
-    (Engine.schedule engine ~after:marker_step_latency
-       (guard t (fun engine ->
-            write_marker t marker_magic;
-            t.report.marker_written_at <- Some (Engine.now engine);
-            Log.debug (fun m ->
-                m "valid-image marker flushed at %a" Time.pp (Engine.now engine));
-            save_step_nvdimm t engine)))
-
-and save_step_nvdimm t engine =
-  ignore (engine : Engine.t);
-  Power_monitor.send_i2c t.monitor
-    (guard t (fun _engine -> Nvdimm.enter_self_refresh t.nvdimm));
-  Power_monitor.send_i2c t.monitor
-    (guard t (fun engine ->
-         t.report.nvdimm_initiated_at <- Some (Engine.now engine);
-         t.report.host_save_complete <- true;
-         Log.info (fun m ->
-             m "NVDIMM save initiated at %a; host save path complete" Time.pp
-               (Engine.now engine));
-         Nvdimm.initiate_save t.nvdimm ~on_complete:(fun engine result ->
-             t.report.nvdimm_done_at <- Some (Engine.now engine);
-             t.report.nvdimm_ok <- result = `Saved);
-         Cpu.Core.halt (Cpu.control t.cpu)))
 
 (* --- power loss --------------------------------------------------- *)
 
@@ -212,6 +146,126 @@ let power_off t engine =
             t.report.nvdimm_ok <- result = `Saved);
         ignore engine
   end
+
+(* --- the WSP save routine ---------------------------------------- *)
+
+let guard t f engine = if t.powered then f engine
+
+(* Cuts the rails at the configured protocol step — the checker's way of
+   making the residual energy window expire at exactly that instant.
+   Returns [true] when the cut fired, so the step's work is skipped. *)
+let cut_here t engine step =
+  if t.cut_at = Some step then begin
+    power_off t engine;
+    true
+  end
+  else false
+
+let marker_step_latency = Time.ns 250.0
+
+let rec save_step_interrupt t engine =
+  match Nvdimm.state t.nvdimm with
+  | Nvdimm.Saving | Nvdimm.Saved | Nvdimm.Restoring | Nvdimm.Lost ->
+      (* The OS is not running (mid-boot or mid-save): there is no live
+         system image worth saving; the boot path handles recovery. *)
+      Log.debug (fun m ->
+          m "power failed while NVDIMM is %s: save path skipped"
+            (Nvdimm.state_name (Nvdimm.state t.nvdimm)))
+  | Nvdimm.Active | Nvdimm.Self_refresh -> save_step_interrupt' t engine
+
+and save_step_interrupt' t engine =
+  if cut_here t engine Before_interrupt then ()
+  else save_step_interrupt'' t engine
+
+and save_step_interrupt'' t engine =
+  t.report.interrupt_at <- Some (Engine.now engine);
+  Log.debug (fun m ->
+      m "power-fail interrupt on CPU0 at %a (window %a)" Time.pp
+        (Engine.now engine) Time.pp t.report.window);
+  match t.strategy with
+  | Acpi_save ->
+      (* Strawman: put every device into D3 before touching CPU state.
+         This usually blows the residual window (Figure 9 vs Figure 7). *)
+      let dur = Acpi.suspend_duration t.devices in
+      ignore
+        (Engine.schedule engine ~after:dur
+           (guard t (fun engine ->
+                ignore (Acpi.suspend_all t.devices);
+                t.report.acpi_done_at <- Some (Engine.now engine);
+                save_step_contexts t engine)))
+  | Restore_reinit | Virtualized_replay -> save_step_contexts t engine
+
+and save_step_contexts t engine =
+  (* IPI fan-out, then every core saves its context in parallel. *)
+  let dur = Time.add t.platform.Platform.ipi_latency t.platform.Platform.context_save_latency in
+  ignore
+    (Engine.schedule engine ~after:dur
+       (guard t (fun engine ->
+            if cut_here t engine Before_contexts then ()
+            else begin
+            let buf = Bytes.create (Cpu.context_area_bytes t.cpu) in
+            Cpu.save_contexts t.cpu buf ~off:0;
+            Nvram.write_bytes t.nvram ~addr:context_addr buf;
+            Array.iter
+              (fun core -> if Cpu.Core.id core <> 0 then Cpu.Core.halt core)
+              (Cpu.cores t.cpu);
+            t.report.contexts_saved_at <- Some (Engine.now engine);
+            Log.debug (fun m ->
+                m "contexts saved, %d cores halted at %a"
+                  (Cpu.core_count t.cpu - 1)
+                  Time.pp (Engine.now engine));
+            save_step_flush t engine
+            end)))
+
+and save_step_flush t engine =
+  let dirty = Nvram.dirty_bytes t.nvram + Nvram.pending_nt_bytes t.nvram in
+  t.report.dirty_bytes_flushed <- dirty;
+  let dur = Flush.wbinvd_time t.platform ~dirty_bytes:dirty in
+  ignore
+    (Engine.schedule engine ~after:dur
+       (guard t (fun engine ->
+            if cut_here t engine Before_flush then ()
+            else begin
+              Nvram.wbinvd t.nvram;
+              t.report.flush_done_at <- Some (Engine.now engine);
+              Log.debug (fun m ->
+                  m "wbinvd complete (%d dirty bytes) at %a" dirty Time.pp
+                    (Engine.now engine));
+              save_step_marker t engine
+            end)))
+
+and save_step_marker t engine =
+  ignore
+    (Engine.schedule engine ~after:marker_step_latency
+       (guard t (fun engine ->
+            if cut_here t engine Before_marker then ()
+            else begin
+              write_marker t marker_magic;
+              t.report.marker_written_at <- Some (Engine.now engine);
+              Log.debug (fun m ->
+                  m "valid-image marker flushed at %a" Time.pp (Engine.now engine));
+              save_step_nvdimm t engine
+            end)))
+
+and save_step_nvdimm t engine =
+  ignore (engine : Engine.t);
+  Power_monitor.send_i2c t.monitor
+    (guard t (fun _engine -> Nvdimm.enter_self_refresh t.nvdimm));
+  Power_monitor.send_i2c t.monitor
+    (guard t (fun engine ->
+         if cut_here t engine Before_nvdimm_signal then ()
+         else begin
+           t.report.nvdimm_initiated_at <- Some (Engine.now engine);
+           t.report.host_save_complete <- true;
+           Log.info (fun m ->
+               m "NVDIMM save initiated at %a; host save path complete" Time.pp
+                 (Engine.now engine));
+           Nvdimm.initiate_save t.nvdimm ~on_complete:(fun engine result ->
+               t.report.nvdimm_done_at <- Some (Engine.now engine);
+               t.report.nvdimm_ok <- result = `Saved);
+           Cpu.Core.halt (Cpu.control t.cpu);
+           ignore (cut_here t engine After_nvdimm_signal)
+         end))
 
 (* --- construction -------------------------------------------------- *)
 
@@ -252,6 +306,7 @@ let create ?(platform = Platform.intel_c5528) ?(psu = Psu.atx_1050)
       rng;
       validate_marker;
       powered = true;
+      cut_at = None;
       report = fresh_report ();
       memory;
     }
@@ -298,6 +353,12 @@ let inject_power_failure t =
   Psu.fail_input t.psu ~jitter:t.rng ();
   t.report.window <- Psu.nominal_window t.psu;
   Engine.run t.engine
+
+let inject_power_failure_at t step =
+  t.cut_at <- Some step;
+  Fun.protect
+    ~finally:(fun () -> t.cut_at <- None)
+    (fun () -> inject_power_failure t)
 
 let restart_devices t =
   match t.strategy with

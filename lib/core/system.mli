@@ -44,6 +44,27 @@ type outcome =
 
 val outcome_name : outcome -> string
 
+(** {1 Save-protocol crash points}
+
+    The Figure-4 save routine, cut at a chosen step: the checker's way of
+    asking "what if the residual window expired exactly here?". Each
+    [Before_x] cuts the rails at the instant step [x] would have run;
+    [After_nvdimm_signal] cuts just after the host signals the NVDIMM, so
+    only the ultracapacitor-powered save remains in flight. *)
+
+type save_step =
+  | Before_interrupt
+  | Before_contexts
+  | Before_flush
+  | Before_marker
+  | Before_nvdimm_signal
+  | After_nvdimm_signal
+
+val save_steps : save_step list
+(** All steps, in protocol order. *)
+
+val save_step_name : save_step -> string
+
 type save_report = {
   mutable power_fail_at : Time.t option;
   mutable window : Time.t;  (** The PSU window drawn for this failure. *)
@@ -109,6 +130,12 @@ val attach_heap : ?config:Config.t -> ?log_size:Units.Size.t -> t -> Pheap.t
 val inject_power_failure : t -> unit
 (** Fails input power now and runs the engine until the machine is off
     and any NVDIMM save has finished. Inspect {!report} afterwards. *)
+
+val inject_power_failure_at : t -> save_step -> unit
+(** Like {!inject_power_failure}, but the rails die at the given protocol
+    step instead of when the PSU window expires — deterministic
+    worst-case crash-point injection for the checker. The emergency
+    NVDIMM save still fires for steps before the host signalled it. *)
 
 val power_on_and_restore : t -> outcome
 (** Boots after a failure: NVDIMM restore, marker check, context

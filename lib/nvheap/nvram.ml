@@ -1,6 +1,16 @@
 open Wsp_sim
 module Hierarchy = Wsp_machine.Hierarchy
 
+type event =
+  | Store of { addr : int; len : int }
+  | Store_nt of { addr : int }
+  | Fence
+  | Clflush of { addr : int }
+  | Flush_range of { addr : int; len : int }
+  | Wbinvd
+
+type fault = No_fault | Broken_fence
+
 type t = {
   backing : Bytes.t;  (* Persistent contents: survives crash. *)
   dirty : (int, Bytes.t) Hashtbl.t;  (* line number -> volatile line copy *)
@@ -8,6 +18,8 @@ type t = {
   hierarchy : Hierarchy.t;
   line_size : int;
   mutable clock : Time.t;
+  mutable hook : (event -> unit) option;
+  mutable fault : fault;
 }
 
 let default_hierarchy () =
@@ -32,6 +44,8 @@ let create ?hierarchy ?backing ~size () =
       hierarchy = h;
       line_size = Hierarchy.line_size h;
       clock = Time.zero;
+      hook = None;
+      fault = No_fault;
     }
   in
   Hierarchy.set_on_writeback h (fun ~line ->
@@ -41,6 +55,14 @@ let create ?hierarchy ?backing ~size () =
           Bytes.blit data 0 t.backing (line * t.line_size) t.line_size;
           Hashtbl.remove t.dirty line);
   t
+
+let set_hook t hook = t.hook <- hook
+let set_fault t fault = t.fault <- fault
+let fault t = t.fault
+
+(* Fired before the primitive mutates anything, so a hook that raises
+   models a power failure between the preceding store and this one. *)
+let emit t ev = match t.hook with None -> () | Some f -> f ev
 
 let size t = Bytes.length t.backing
 let line_size t = t.line_size
@@ -84,6 +106,7 @@ let charge_access t ~addr ~len ~write =
    just-dirtied line of the same range before its buffer exists, losing
    the write and desynchronising the dirty table from the hierarchy. *)
 let write_range t ~addr src ~src_off ~len =
+  emit t (Store { addr; len });
   let first = addr / t.line_size and last = (addr + len - 1) / t.line_size in
   for line = first to last do
     charge t (Hierarchy.store t.hierarchy ~addr:(line * t.line_size));
@@ -132,30 +155,40 @@ let write_bytes t ~addr src =
 
 let write_u64_nt t ~addr v =
   check_range t addr 8;
+  emit t (Store_nt { addr });
   charge t (Hierarchy.store_nt t.hierarchy ~addr);
   Queue.add (addr, v) t.wc_pending
 
 let fence t =
+  emit t Fence;
   charge t (Hierarchy.fence t.hierarchy);
-  Queue.iter
-    (fun (addr, v) ->
-      let b = Bytes.create 8 in
-      Bytes.set_int64_le b 0 v;
-      Bytes.blit b 0 t.backing addr 8)
-    t.wc_pending;
-  Queue.clear t.wc_pending
+  (* A broken fence charges its latency but never drains the
+     write-combining buffers — the deliberate-sabotage mode the
+     crash-consistency checker must detect. *)
+  if t.fault <> Broken_fence then begin
+    Queue.iter
+      (fun (addr, v) ->
+        let b = Bytes.create 8 in
+        Bytes.set_int64_le b 0 v;
+        Bytes.blit b 0 t.backing addr 8)
+      t.wc_pending;
+    Queue.clear t.wc_pending
+  end
 
 let pending_nt_bytes t = 8 * Queue.length t.wc_pending
 
 let clflush t ~addr =
   check_range t addr 1;
+  emit t (Clflush { addr });
   charge t (Hierarchy.clflush t.hierarchy ~addr)
 
 let flush_range t ~addr ~len =
   check_range t addr len;
+  emit t (Flush_range { addr; len });
   charge t (Hierarchy.flush_lines t.hierarchy ~addr ~len)
 
 let wbinvd t =
+  emit t Wbinvd;
   charge t (Hierarchy.flush_all t.hierarchy);
   (* Flushing also drains write-combining buffers. *)
   Queue.iter
@@ -177,4 +210,15 @@ let dirty_bytes t = Hierarchy.dirty_bytes t.hierarchy
 let dirty_lines t = Hierarchy.dirty_lines t.hierarchy
 let dirty_line_count t = Hierarchy.dirty_line_count t.hierarchy
 let persistent_image t = Bytes.copy t.backing
+
+let volatile_image t =
+  let img = Bytes.copy t.backing in
+  Hashtbl.iter
+    (fun line data -> Bytes.blit data 0 img (line * t.line_size) t.line_size)
+    t.dirty;
+  (* Write-combining data is newer than any cached line of the same
+     address (a non-temporal store flushes the line first). *)
+  Queue.iter (fun (addr, v) -> Bytes.set_int64_le img addr v) t.wc_pending;
+  img
+
 let peek_u64 t ~addr = Bytes.get_int64_le t.backing addr

@@ -67,6 +67,40 @@ val clflush : t -> addr:int -> unit
 val flush_range : t -> addr:int -> len:int -> unit
 val wbinvd : t -> unit
 
+(** {1 Persistency-event hooks}
+
+    The instrumentation interface the crash-consistency checker is built
+    on: every primitive that can change (or fail to change) what a power
+    failure preserves announces itself {e before} mutating any state, so
+    a hook that raises models a crash exactly between two stores. Reads
+    are not announced — they cannot alter the persistent image. *)
+
+type event =
+  | Store of { addr : int; len : int }  (** Cached write (dirties lines). *)
+  | Store_nt of { addr : int }  (** 8-byte non-temporal store. *)
+  | Fence  (** WC-buffer drain point. *)
+  | Clflush of { addr : int }
+  | Flush_range of { addr : int; len : int }
+  | Wbinvd
+
+val set_hook : t -> (event -> unit) option -> unit
+(** Installs (or clears) the persistency-event hook. The hook runs
+    before the primitive takes effect; an exception it raises aborts the
+    primitive with no state change. *)
+
+(** {1 Fault injection} *)
+
+type fault =
+  | No_fault
+  | Broken_fence
+      (** [fence] charges latency but never drains write-combining
+          buffers, silently breaking every durable log append — the
+          sabotage the checker must detect. [wbinvd] still drains (the
+          flush-on-fail path is separate hardware). *)
+
+val set_fault : t -> fault -> unit
+val fault : t -> fault
+
 (** {1 Failure} *)
 
 val crash : t -> unit
@@ -83,6 +117,12 @@ val dirty_line_count : t -> int
 val persistent_image : t -> Bytes.t
 (** A copy of the backing bytes only — what would survive a crash right
     now. Test instrumentation; charges no time. *)
+
+val volatile_image : t -> Bytes.t
+(** The full logical contents as running software sees them: backing
+    overlaid with dirty cache lines and undrained write-combining data —
+    exactly what a flush-on-fail save must make persistent. Test/checker
+    instrumentation; charges no time. *)
 
 val peek_u64 : t -> addr:int -> int64
 (** Reads the {e backing store} directly, ignoring cached dirty data.

@@ -47,6 +47,7 @@ let nvram t = t.nvram
 let dirty_bytes t = Nvram.dirty_bytes t.nvram
 let dirty_line_count t = Nvram.dirty_line_count t.nvram
 let txn t = t.txn
+let log t = Txn.log t.txn
 let allocator t = t.allocator
 let config t = Txn.config t.txn
 let clock t = Nvram.clock t.nvram

@@ -51,6 +51,10 @@ val attach_in :
 
 val nvram : t -> Nvram.t
 val txn : t -> Txn.t
+
+val log : t -> Rawlog.t
+(** The transaction log, exposed so the checker can hook its events. *)
+
 val allocator : t -> Alloc.t
 val config : t -> Config.t
 

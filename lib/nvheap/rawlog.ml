@@ -2,13 +2,19 @@ exception Log_full
 
 type mode = Durable | Cached
 
+type event = Append of { kind : int; n_values : int } | Truncate
+
 type t = {
   nvram : Nvram.t;
   base : int;
   words : int;  (* region capacity in 64-bit words, header included *)
   mutable gen : int;
   mutable head : int;  (* next free word index; word 0 is the gen word *)
+  mutable hook : (event -> unit) option;
 }
+
+let set_hook t hook = t.hook <- hook
+let emit t ev = match t.hook with None -> () | Some f -> f ev
 
 (* Word encoding: (chunk : 32 bits) << 16 | generation : 16 bits.
    Each 64-bit logical value occupies two words (low chunk, high chunk). *)
@@ -40,7 +46,7 @@ let write_gen t ~mode gen =
 
 let create nvram ~base ~len =
   if base mod 8 <> 0 || len < 64 then invalid_arg "Rawlog.create: bad region";
-  let t = { nvram; base; words = len / 8; gen = 1; head = 1 } in
+  let t = { nvram; base; words = len / 8; gen = 1; head = 1; hook = None } in
   write_gen t ~mode:Durable 1;
   t
 
@@ -67,6 +73,7 @@ let append t ~mode ~kind values =
   let n = Array.length values in
   let needed = record_words n in
   if t.head + needed > t.words then raise Log_full;
+  emit t (Append { kind; n_values = n });
   write_word t ~mode t.head (encode_word ~gen:t.gen (header_chunk ~kind ~n));
   Array.iteri
     (fun i v ->
@@ -79,6 +86,7 @@ let append t ~mode ~kind values =
   t.head <- t.head + needed
 
 let truncate t ~mode =
+  emit t Truncate;
   t.gen <- (t.gen + 1) land 0xffff;
   if t.gen = 0 then t.gen <- 1;
   t.head <- 1;
@@ -119,7 +127,7 @@ let scan_persistent t =
   scan_with t (fun i -> Nvram.peek_u64 t.nvram ~addr:(word_addr t i))
 
 let attach nvram ~base ~len =
-  let t = { nvram; base; words = len / 8; gen = 1; head = 1 } in
+  let t = { nvram; base; words = len / 8; gen = 1; head = 1; hook = None } in
   t.gen <- gen_of_header (read_word t 0);
   if t.gen = 0 then begin
     (* Never formatted: format now. *)

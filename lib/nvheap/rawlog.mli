@@ -17,7 +17,15 @@ exception Log_full
 
 type mode = Durable | Cached
 
+type event = Append of { kind : int; n_values : int } | Truncate
+(** Log-level annotations for the checker's persistency trace; the
+    word-granular stores and fences an operation issues are announced
+    separately by the underlying {!Nvram} hook. *)
+
 type t
+
+val set_hook : t -> (event -> unit) option -> unit
+(** The hook runs at operation entry, before any word is written. *)
 
 val create : Nvram.t -> base:int -> len:int -> t
 (** Formats the region: generation 1, empty log. *)

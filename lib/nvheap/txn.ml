@@ -20,6 +20,8 @@ type tx = {
   mutable began_in_log : bool;  (* Begin record written (lazy) *)
 }
 
+type event = Begin of int64 | Commit of int64 | Abort of int64
+
 type t = {
   nvram : Nvram.t;
   log : Rawlog.t;
@@ -32,7 +34,11 @@ type t = {
   unflushed : (int, unit) Hashtbl.t;  (* line-aligned addresses (FoC redo) *)
   mutable committed : int;
   mutable aborted : int;
+  mutable hook : (event -> unit) option;
 }
+
+let set_hook t hook = t.hook <- hook
+let emit t ev = match t.hook with None -> () | Some f -> f ev
 
 let log_mode t : Rawlog.mode =
   if t.config.Config.flush_on_commit then Rawlog.Durable else Rawlog.Cached
@@ -77,10 +83,12 @@ let create ?(costs = Config.Costs.default) ~nvram ~config ~log () =
     unflushed = Hashtbl.create 256;
     committed = 0;
     aborted = 0;
+    hook = None;
   }
 
 let config t = t.config
 let nvram t = t.nvram
+let log t = t.log
 let in_tx t = Option.is_some t.active
 
 let line_base t addr =
@@ -93,6 +101,7 @@ let begin_tx t =
   else begin
     Nvram.charge t.nvram t.costs.Config.Costs.tx_begin;
     let txid = t.next_txid in
+    emit t (Begin txid);
     t.next_txid <- Int64.add txid 1L;
     let tx = t.scratch in
     Hashtbl.clear tx.write_set;
@@ -163,6 +172,7 @@ let commit t =
   | Config.No_log -> t.committed <- t.committed + 1
   | Config.Undo ->
       let tx = active t in
+      emit t (Commit tx.txid);
       Nvram.charge t.nvram t.costs.Config.Costs.tx_commit_base;
       if tx.began_in_log then begin
         (* Undo protocol: written data must be durable before the undo
@@ -176,6 +186,7 @@ let commit t =
       t.committed <- t.committed + 1
   | Config.Redo ->
       let tx = active t in
+      emit t (Commit tx.txid);
       Nvram.charge t.nvram t.costs.Config.Costs.tx_commit_base;
       Nvram.charge t.nvram
         (Time.mul t.costs.Config.Costs.stm_validate tx.read_set);
@@ -220,13 +231,15 @@ let abort t =
   | Config.No_log -> t.aborted <- t.aborted + 1
   | Config.Undo ->
       let tx = active t in
+      emit t (Abort tx.txid);
       (* Roll back, newest write first. *)
       List.iter (fun (addr, old) -> Nvram.write_u64 t.nvram ~addr old) tx.undo_order;
       if tx.began_in_log then Rawlog.truncate t.log ~mode:(log_mode t);
       t.active <- None;
       t.aborted <- t.aborted + 1
   | Config.Redo ->
-      let _ = active t in
+      let tx = active t in
+      emit t (Abort tx.txid);
       t.active <- None;
       t.aborted <- t.aborted + 1
 

@@ -39,7 +39,20 @@ val attach :
 
 val config : t -> Config.t
 val nvram : t -> Nvram.t
+
+val log : t -> Rawlog.t
+(** The log this manager owns — checker instrumentation attaches its
+    {!Rawlog} hook through this. *)
+
 val in_tx : t -> bool
+
+type event = Begin of int64 | Commit of int64 | Abort of int64
+(** Transaction-boundary annotations for the checker's persistency
+    trace, fired before the boundary's first store. [Commit] marks commit
+    {e entry}: stores announced between it and the next [Begin] are the
+    commit protocol itself (log records, in-place apply, truncation). *)
+
+val set_hook : t -> (event -> unit) option -> unit
 
 val begin_tx : t -> unit
 (** Raises [Invalid_argument] if a transaction is already open. *)

@@ -59,6 +59,8 @@ let delete t key =
 
 let find t key = Hash_table.find t.table key
 let count t = Hash_table.count t.table
+let to_list t = Hash_table.to_list t.table
+let check t = Hash_table.check t.table
 let journal_records t = t.records
 
 let memory_bytes t =

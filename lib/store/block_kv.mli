@@ -29,6 +29,12 @@ val delete : t -> int64 -> bool
 val find : t -> int64 -> int64 option
 val count : t -> int
 
+val to_list : t -> (int64 * int64) list
+(** In-memory table contents, sorted by key — the checker's oracle view. *)
+
+val check : t -> (unit, string) result
+(** Structural invariants of the in-memory table. *)
+
 val journal_records : t -> int
 val memory_bytes : t -> int
 (** In-memory footprint (table + nodes). *)

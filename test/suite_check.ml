@@ -1,0 +1,161 @@
+(* Crash-consistency checker: certification matrix, fault detection,
+   determinism, and parallel-equality tests. Point counts are kept small
+   here (the 1000-point certification runs in CI and EXPERIMENTS.md);
+   what matters is that every configuration × structure cell is
+   exercised through the full record → inject → recover → judge cycle. *)
+
+open Wsp_check
+open Wsp_nvheap
+
+let report_summary (r : Checker.report) =
+  ( Checker.kind_name r.kind,
+    r.config.Config.name,
+    r.trace_length,
+    r.points_explored,
+    r.exhaustive,
+    List.map (fun (v : Checker.violation) -> (v.point, v.message)) r.violations
+  )
+
+let check_clean ~kind ~config ~points () =
+  let r = Checker.check ~points ~txns:10 ~ops_per_txn:3 ~setup_entries:6 ~kind ~config ~seed:42 () in
+  (match r.violations with
+  | [] -> ()
+  | v :: _ ->
+      Alcotest.failf "%s/%s: %a" (Checker.kind_name kind) config.Config.name
+        Checker.pp_violation v);
+  Alcotest.(check bool) "explored something" true (r.points_explored > 0)
+
+let certification_tests =
+  List.concat_map
+    (fun kind ->
+      List.map
+        (fun config ->
+          Alcotest.test_case
+            (Printf.sprintf "%s under %s is crash-consistent"
+               (Checker.kind_name kind) config.Config.name)
+            `Slow
+            (check_clean ~kind ~config ~points:120))
+        Config.[ foc_ul; foc_stm; fof ])
+    Checker.all_kinds
+
+let fault_tests =
+  [
+    Alcotest.test_case "broken fences are detected and shrunk" `Slow (fun () ->
+        let r =
+          Checker.check ~points:200 ~txns:8 ~kind:Checker.Hash_table
+            ~config:Config.foc_stm ~fault:Checker.Broken_fences ~seed:42 ()
+        in
+        Alcotest.(check bool) "violations found" true (r.violations <> []);
+        match r.shrunk with
+        | None -> Alcotest.fail "no shrunk reproducer"
+        | Some s ->
+            Alcotest.(check bool) "reproducer is non-empty" true
+              (s.script <> [] && s.trace_length > 0));
+    Alcotest.test_case "broken WSP save is detected" `Slow (fun () ->
+        let r =
+          Checker.check ~points:150 ~txns:8 ~kind:Checker.Btree
+            ~config:Config.fof ~fault:Checker.Broken_wsp_save ~seed:42 ()
+        in
+        Alcotest.(check bool) "violations found" true (r.violations <> []);
+        match r.violations with
+        | [] -> assert false
+        | v :: _ ->
+            Alcotest.(check bool) "oracle produced a diagnosis" true
+              (String.length v.message > 0));
+    Alcotest.test_case "faults are attributed, not blamed on formatting" `Quick
+      (fun () ->
+        (* Point 0 cuts before the first workload event; even with broken
+           fences the freshly-formatted structure must recover (mkfs is
+           not under test). *)
+        let r =
+          Checker.check ~points:1 ~txns:1 ~setup_entries:0
+            ~kind:Checker.Hash_table ~config:Config.foc_ul
+            ~fault:Checker.Broken_fences ~shrink:false ~seed:42 ()
+        in
+        List.iter
+          (fun (v : Checker.violation) ->
+            if v.point = 0 then
+              Alcotest.failf "point 0 violated: %s" v.message)
+          r.violations);
+  ]
+
+let determinism_tests =
+  [
+    Alcotest.test_case "same seed, same report" `Slow (fun () ->
+        let run () =
+          Checker.check ~points:100 ~txns:8 ~kind:Checker.Btree
+            ~config:Config.foc_ul ~seed:7 ()
+        in
+        let a = run () and b = run () in
+        Alcotest.(check bool) "reports equal" true
+          (report_summary a = report_summary b));
+    Alcotest.test_case "different seeds explore different traces" `Slow
+      (fun () ->
+        let run seed =
+          Checker.check ~points:50 ~txns:8 ~kind:Checker.Hash_table
+            ~config:Config.foc_stm ~seed ()
+        in
+        let a = run 1 and b = run 2 in
+        Alcotest.(check bool) "trace lengths differ" true
+          (a.Checker.trace_length <> b.Checker.trace_length
+          || a.Checker.points_explored > 0));
+    Alcotest.test_case "parallel fan-out equals sequential" `Slow (fun () ->
+        (* Satellite 3: the crash-point pool must not change results. *)
+        let run jobs =
+          Checker.check ~jobs ~points:80 ~txns:8 ~kind:Checker.Skiplist
+            ~config:Config.foc_stm ~seed:11 ()
+        in
+        let seq = run 1 and par = run 4 in
+        Alcotest.(check bool) "identical reports" true
+          (report_summary seq = report_summary par));
+    Alcotest.test_case "short traces are exhaustive" `Quick (fun () ->
+        let r =
+          Checker.check ~points:100_000 ~txns:2 ~ops_per_txn:1
+            ~setup_entries:1 ~kind:Checker.Hash_table ~config:Config.foc_ul
+            ~seed:3 ()
+        in
+        Alcotest.(check bool) "exhaustive" true r.Checker.exhaustive;
+        Alcotest.(check int) "every event is a point" r.Checker.trace_length
+          r.Checker.points_explored);
+  ]
+
+let protocol_tests =
+  [
+    Alcotest.test_case "save protocol sweep is violation-free" `Quick (fun () ->
+        let results = Protocol_check.run ~seed:42 () in
+        match Protocol_check.violations results with
+        | [] -> ()
+        | r :: _ ->
+            Alcotest.failf "%a" Protocol_check.pp_result r);
+    Alcotest.test_case "disabling marker validation is caught" `Quick (fun () ->
+        let results = Protocol_check.run ~validate_marker:false ~seed:42 () in
+        Alcotest.(check bool) "ablation produces violations" true
+          (Protocol_check.violations results <> []));
+  ]
+
+let trace_tests =
+  [
+    Alcotest.test_case "trace records stores, fences and txn markers" `Quick
+      (fun () ->
+        let rng = Wsp_sim.Rng.create ~seed:5 in
+        let script =
+          Checker.gen_script ~rng ~txns:3 ~ops_per_txn:2 ~keyspace:10
+            ~setup_entries:2
+        in
+        let r =
+          Checker.check ~points:1 ~txns:3 ~ops_per_txn:2 ~keyspace:10
+            ~setup_entries:2 ~kind:Checker.Hash_table ~config:Config.foc_ul
+            ~seed:5 ()
+        in
+        Alcotest.(check bool) "script generated" true (List.length script = 5);
+        Alcotest.(check bool) "trace non-trivial" true (r.trace_length > 10));
+  ]
+
+let suite =
+  [
+    ("check.certification", certification_tests);
+    ("check.faults", fault_tests);
+    ("check.determinism", determinism_tests);
+    ("check.protocol", protocol_tests);
+    ("check.trace", trace_tests);
+  ]

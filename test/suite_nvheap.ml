@@ -152,6 +152,63 @@ let nvram_props =
              expected));
   ]
 
+(* Satellite: randomized fence/crash semantics. The invariant the whole
+   flush-on-commit story rests on: a non-temporal store is durable iff
+   some fence ran after it (and before the crash). *)
+let fence_crash_props =
+  [
+    QCheck_alcotest.to_alcotest
+      (QCheck2.Test.make
+         ~name:"nt stores survive a crash iff fenced before it" ~count:100
+         QCheck2.Gen.(
+           list_size (int_range 1 80) (pair (int_range 0 400) (int_range 0 3)))
+         (fun ops ->
+           let nv = mk_nvram () in
+           (* Replay the op stream against a model that moves values from
+              [pending] to [drained] at each fence. *)
+           let drained = Hashtbl.create 64 and pending = Hashtbl.create 64 in
+           List.iteri
+             (fun i (slot, fence) ->
+               let addr = slot * 8 in
+               let v = Int64.of_int (i + 1) in
+               Nvram.write_u64_nt nv ~addr v;
+               Hashtbl.replace pending addr v;
+               if fence = 0 then begin
+                 Nvram.fence nv;
+                 Hashtbl.iter (Hashtbl.replace drained) pending;
+                 Hashtbl.reset pending
+               end)
+             ops;
+           Nvram.crash nv;
+           let expected addr =
+             match Hashtbl.find_opt drained addr with Some v -> v | None -> 0L
+           in
+           let all_addrs = Hashtbl.create 64 in
+           List.iter (fun (slot, _) -> Hashtbl.replace all_addrs (slot * 8) ()) ops;
+           Hashtbl.fold
+             (fun addr () ok ->
+               ok && Int64.equal (Nvram.read_u64 nv ~addr) (expected addr))
+             all_addrs true));
+    QCheck_alcotest.to_alcotest
+      (QCheck2.Test.make
+         ~name:"unfenced nt stores never leak into the persistent image"
+         ~count:100
+         QCheck2.Gen.(list_size (int_range 1 50) (int_range 0 400))
+         (fun slots ->
+           let nv = mk_nvram () in
+           List.iteri
+             (fun i slot -> Nvram.write_u64_nt nv ~addr:(slot * 8) (Int64.of_int (i + 1)))
+             slots;
+           (* No fence at all: the backing store must still be zeros. *)
+           let img = Nvram.persistent_image nv in
+           Nvram.crash nv;
+           List.for_all
+             (fun slot ->
+               Int64.equal (Bytes.get_int64_le img (slot * 8)) 0L
+               && Int64.equal (Nvram.read_u64 nv ~addr:(slot * 8)) 0L)
+             slots));
+  ]
+
 (* --- Alloc ---------------------------------------------------------------- *)
 
 let mk_alloc ?(len = Units.Size.kib 8) () =
@@ -416,6 +473,110 @@ let rawlog_props =
            scanned = records));
   ]
 
+(* Satellite: torn-append enumeration. The modelled hardware (like x86)
+   persists aligned 8-byte stores atomically, so the honest crash
+   granularity inside an append is the word, not the byte: a power
+   failure cannot leave half of an aligned store behind. We therefore
+   materialise, for every word-prefix of a record's stores, the state in
+   which exactly that prefix reached NVRAM, and require the scan to stop
+   cleanly at the last complete entry. Each log word carries the
+   generation tag in its low bits, so any missing word un-validates the
+   whole record — which is what makes prefix enumeration exhaustive. *)
+let rawlog_torn_tests =
+  (* Returns [base image; full image; ascending word indices written by
+     the second append]. *)
+  let two_appends () =
+    let nv, log = mk_log () in
+    Rawlog.append log ~mode:Rawlog.Durable ~kind:1 [| 11L; 22L |];
+    let base = Nvram.persistent_image nv in
+    Rawlog.append log ~mode:Rawlog.Durable ~kind:2 [| 33L; 44L |];
+    let full = Nvram.persistent_image nv in
+    let words = ref [] in
+    for w = (Bytes.length base / 8) - 1 downto 0 do
+      if
+        not
+          (Int64.equal
+             (Bytes.get_int64_le base (8 * w))
+             (Bytes.get_int64_le full (8 * w)))
+      then words := w :: !words
+    done;
+    (base, full, !words)
+  in
+  let scan_torn base full words w =
+    let torn = Bytes.copy base in
+    List.iteri
+      (fun i wd ->
+        if i < w then
+          Bytes.set_int64_le torn (8 * wd) (Bytes.get_int64_le full (8 * wd)))
+      words;
+    let nv = Nvram.create ~backing:torn ~size:(Units.Size.kib 256) () in
+    (nv, Rawlog.attach nv ~base:0 ~len:4096)
+  in
+  [
+    Alcotest.test_case "torn append at every word offset stops the scan" `Quick
+      (fun () ->
+        let base, full, words = two_appends () in
+        let n_words = List.length words in
+        Alcotest.(check int) "record footprint (header + 2 tagged words/value)"
+          (1 + (2 * 2)) n_words;
+        for w = 0 to n_words - 1 do
+          let _, log = scan_torn base full words w in
+          match Rawlog.scan log with
+          | [ (1, [| 11L; 22L |]) ] -> ()
+          | records ->
+              Alcotest.failf "prefix %d/%d words: got %d records" w n_words
+                (List.length records)
+        done;
+        (* Sanity: the full prefix is a complete record. *)
+        let _, log = scan_torn base full words n_words in
+        Alcotest.(check int) "complete record scans" 2
+          (List.length (Rawlog.scan log)));
+    Alcotest.test_case "log stays appendable over a torn tail" `Quick (fun () ->
+        let base, full, words = two_appends () in
+        let _, log = scan_torn base full words (List.length words - 1) in
+        Rawlog.append log ~mode:Rawlog.Durable ~kind:5 [| 7L |];
+        match Rawlog.scan log with
+        | [ (1, [| 11L; 22L |]); (5, [| 7L |]) ] -> ()
+        | records ->
+            Alcotest.failf "expected survivor + fresh record, got %d"
+              (List.length records));
+    Alcotest.test_case "a crash at any event inside an append loses it all"
+      `Quick (fun () ->
+        (* Same property through the real instrumentation: cut execution
+           at every persistency event the append emits (each NT store and
+           the trailing fence) and crash. Before the fence has drained,
+           nothing of the record may survive. *)
+        let exception Cut in
+        let events_in_append =
+          let nv, log = mk_log () in
+          Rawlog.append log ~mode:Rawlog.Durable ~kind:1 [| 1L |];
+          let n = ref 0 in
+          Nvram.set_hook nv (Some (fun _ -> incr n));
+          Rawlog.append log ~mode:Rawlog.Durable ~kind:2 [| 33L; 44L |];
+          Nvram.set_hook nv None;
+          !n
+        in
+        Alcotest.(check int) "events = stores + fence" (1 + (2 * 2) + 1)
+          events_in_append;
+        for cut = 0 to events_in_append - 1 do
+          let nv, log = mk_log () in
+          Rawlog.append log ~mode:Rawlog.Durable ~kind:1 [| 1L |];
+          let n = ref 0 in
+          Nvram.set_hook nv
+            (Some (fun _ -> if !n >= cut then raise Cut else incr n));
+          (try Rawlog.append log ~mode:Rawlog.Durable ~kind:2 [| 33L; 44L |]
+           with Cut -> ());
+          Nvram.set_hook nv None;
+          Nvram.crash nv;
+          let log' = Rawlog.attach nv ~base:0 ~len:4096 in
+          match Rawlog.scan log' with
+          | [ (1, [| 1L |]) ] -> ()
+          | records ->
+              Alcotest.failf "cut at event %d: %d records survived" cut
+                (List.length records)
+        done);
+  ]
+
 (* --- Txn: commit/abort/recovery with crash injection ----------------------- *)
 
 let mk_txn config =
@@ -654,9 +815,9 @@ let pheap_tests =
 
 let suite =
   [
-    ("nvheap.nvram", nvram_tests @ nvram_props);
+    ("nvheap.nvram", nvram_tests @ nvram_props @ fence_crash_props);
     ("nvheap.alloc", alloc_tests @ alloc_props);
-    ("nvheap.rawlog", rawlog_tests @ rawlog_props);
+    ("nvheap.rawlog", rawlog_tests @ rawlog_props @ rawlog_torn_tests);
     ( "nvheap.txn",
       txn_tests
       @ [ txn_crash_prop Config.foc_ul; txn_crash_prop Config.foc_stm ] );
