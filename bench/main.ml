@@ -9,7 +9,7 @@
      main.exe --full          paper-scale parameters (slow)
      main.exe --micro         run the Bechamel microbenchmarks (alone when
                               no experiment is named)
-     main.exe --micro --json  …and write the estimates to BENCH_2.json
+     main.exe --micro --json  …and write the estimates to BENCH_3.json
 
    Independent experiments fan out over a domain pool (WSP_JOBS caps the
    worker count; WSP_JOBS=1 forces the sequential path). *)
@@ -143,6 +143,11 @@ let microbench_tests () =
     checker_points;
   ]
 
+(* Every microbenchmark body runs on the calling domain; the checker one
+   pins ~jobs:1 explicitly. A benchmark that fans out records its own
+   width here instead of inheriting the top-level pool default. *)
+let bench_jobs _name = 1
+
 (* Runs every microbenchmark; (name, ns-per-run) in declaration order. *)
 let measure_microbenches () =
   let open Bechamel in
@@ -188,14 +193,15 @@ let json_escape s =
     s;
   Buffer.contents b
 
-(* BENCH_2.json: the perf trajectory file future PRs diff against. *)
+(* BENCH_3.json: the perf trajectory file future PRs diff against. *)
 let write_json ~path results =
   let oc = open_out path in
   output_string oc "{\n  \"benchmarks\": [\n";
   List.iteri
     (fun i (name, ns) ->
-      Printf.fprintf oc "    { \"name\": \"%s\", \"ns_per_run\": %.1f }%s\n"
-        (json_escape name) ns
+      Printf.fprintf oc
+        "    { \"name\": \"%s\", \"ns_per_run\": %.1f, \"jobs\": %d }%s\n"
+        (json_escape name) ns (bench_jobs name)
         (if i = List.length results - 1 then "" else ","))
     results;
   output_string oc "  ]";
@@ -205,6 +211,10 @@ let write_json ~path results =
   (match checker_points_per_sec results with
   | Some pps -> Printf.fprintf oc ",\n  \"checker_points_per_sec\": %.0f" pps
   | None -> ());
+  (* Everything the benchmark bodies touched, from the merged ambient
+     registries: cache traffic, flush totals, txn counts, save steps. *)
+  Printf.fprintf oc ",\n  \"metrics\": %s"
+    (Wsp_obs.Metrics.to_json (Wsp_obs.Metrics.merged ()));
   Printf.fprintf oc ",\n  \"jobs\": %d\n}\n" (Parallel.default_jobs ());
   close_out oc
 
@@ -224,7 +234,7 @@ let run_microbenches ~json () =
   | Some pps -> Printf.printf "  checker throughput: %.0f crash points/sec\n" pps
   | None -> ());
   if json then begin
-    let path = "BENCH_2.json" in
+    let path = "BENCH_3.json" in
     write_json ~path results;
     Printf.printf "  wrote %s\n" path
   end

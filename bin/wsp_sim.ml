@@ -74,6 +74,48 @@ let setup_logs verbose =
   Logs.set_reporter (Logs_fmt.reporter ());
   Logs.set_level (Some (if verbose then Logs.Debug else Logs.Warning))
 
+(* --- observability exports ------------------------------------------- *)
+
+let metrics_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics" ] ~docv:"FILE"
+        ~doc:
+          "Write the merged metrics registry (counters, gauges, histograms \
+           across all worker domains) to $(docv) as JSON on exit.")
+
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Record simulated-time spans and write them to $(docv) in Chrome \
+           trace_event JSON (load in chrome://tracing or Perfetto).")
+
+let write_file path contents =
+  let oc = open_out path in
+  output_string oc contents;
+  output_string oc "\n";
+  close_out oc
+
+(* Runs [f] with tracing enabled when requested, then exports both
+   artifacts. Exports run even when [f] fails so a crashing run still
+   leaves its observability behind. *)
+let with_obs metrics trace f =
+  if trace <> None then Wsp_obs.Tracer.set_enabled true;
+  let export () =
+    (match metrics with
+    | Some path ->
+        write_file path (Wsp_obs.Metrics.to_json (Wsp_obs.Metrics.merged ()))
+    | None -> ());
+    match trace with
+    | Some path -> write_file path (Wsp_obs.Tracer.export_json ())
+    | None -> ()
+  in
+  Fun.protect ~finally:export f
+
 (* --- experiment ----------------------------------------------------- *)
 
 let experiment_cmd =
@@ -92,7 +134,8 @@ let experiment_cmd =
             "Worker domains for independent simulations (default: \
              $(b,WSP_JOBS) or the core count; 1 forces sequential).")
   in
-  let run names full jobs =
+  let run names full jobs metrics trace =
+    with_obs metrics trace @@ fun () ->
     if jobs > 0 then Wsp_sim.Parallel.set_jobs jobs;
     match names with
     | [] ->
@@ -112,7 +155,7 @@ let experiment_cmd =
   in
   Cmd.v
     (Cmd.info "experiment" ~doc:"Reproduce the paper's tables and figures")
-    Term.(const run $ names_arg $ full_arg $ jobs_arg)
+    Term.(const run $ names_arg $ full_arg $ jobs_arg $ metrics_arg $ trace_arg)
 
 let list_cmd =
   let run () =
@@ -133,8 +176,9 @@ let cycle_cmd =
       & opt strategy_conv System.Restore_reinit
       & info [ "strategy" ] ~docv:"STRATEGY" ~doc:"Device restart strategy (acpi|reinit|replay).")
   in
-  let run platform psu busy strategy seed verbose =
+  let run platform psu busy strategy seed verbose metrics trace =
     setup_logs verbose;
+    with_obs metrics trace @@ fun () ->
     let sys = System.create ~platform ~psu ~busy ~strategy ~seed () in
     let heap = System.heap sys in
     let addr = Wsp_nvheap.Pheap.alloc heap 4096 in
@@ -179,7 +223,7 @@ let cycle_cmd =
     (Cmd.info "cycle" ~doc:"Run one end-to-end WSP power-failure cycle")
     Term.(
       const run $ platform_arg $ psu_arg $ busy_arg $ strategy_arg $ seed_arg
-      $ verbose_arg)
+      $ verbose_arg $ metrics_arg $ trace_arg)
 
 (* --- window ----------------------------------------------------------- *)
 
@@ -304,8 +348,9 @@ let check_cmd =
     Arg.(value & flag & info [ "no-shrink" ] ~doc:"Skip minimising failing traces.")
   in
   let run workloads configs points txns jobs broken protocol no_shrink seed
-      verbose =
+      verbose metrics trace =
     setup_logs verbose;
+    with_obs metrics trace @@ fun () ->
     let jobs = if jobs > 0 then Some jobs else None in
     let workloads = if workloads = [] then Checker.all_kinds else workloads in
     let configs =
@@ -349,7 +394,7 @@ let check_cmd =
     Term.(
       const run $ workloads_arg $ configs_arg $ points_arg $ txns_arg
       $ jobs_arg $ broken_arg $ protocol_arg $ no_shrink_arg $ seed_arg
-      $ verbose_arg)
+      $ verbose_arg $ metrics_arg $ trace_arg)
 
 (* --- storm ------------------------------------------------------------ *)
 
@@ -363,7 +408,8 @@ let storm_cmd =
   let outage_arg =
     Arg.(value & opt float 30.0 & info [ "outage" ] ~docv:"SECONDS" ~doc:"Outage duration.")
   in
-  let run servers state_gib outage =
+  let run servers state_gib outage metrics trace =
+    with_obs metrics trace @@ fun () ->
     let open Wsp_cluster.Recovery_storm in
     let params =
       {
@@ -379,7 +425,7 @@ let storm_cmd =
   in
   Cmd.v
     (Cmd.info "storm" ~doc:"Model a correlated recovery storm")
-    Term.(const run $ servers_arg $ state_arg $ outage_arg)
+    Term.(const run $ servers_arg $ state_arg $ outage_arg $ metrics_arg $ trace_arg)
 
 let () =
   let info =

@@ -441,6 +441,14 @@ let check ?jobs ?(points = 1000) ?(txns = 32) ?(ops_per_txn = 3)
       pts
   in
   let violations = List.filter_map Fun.id verdicts in
+  let reg = Wsp_obs.Metrics.ambient () in
+  Wsp_obs.Metrics.Counter.incr (Wsp_obs.Metrics.counter reg "check.runs");
+  Wsp_obs.Metrics.Counter.add
+    (Wsp_obs.Metrics.counter reg "check.points_judged")
+    (List.length pts);
+  Wsp_obs.Metrics.Counter.add
+    (Wsp_obs.Metrics.counter reg "check.violations")
+    (List.length violations);
   let shrunk =
     match violations with
     | [] -> None

@@ -42,6 +42,8 @@ let backend_transfer p bytes =
   Time.s (bytes /. Units.Bandwidth.to_bytes_per_s p.backend_bandwidth)
 
 let run p =
+  let reg = Wsp_obs.Metrics.ambient () in
+  Wsp_obs.Metrics.Counter.incr (Wsp_obs.Metrics.counter reg "cluster.storm.runs");
   let backend_bytes_full = full_bytes p in
   let backend_bytes_wsp = float_of_int p.servers *. missed_bytes p in
   let full_recovery =
@@ -51,14 +53,12 @@ let run p =
     Time.add p.nvdimm_restore
       (Time.scale (backend_transfer p backend_bytes_wsp) p.replay_factor)
   in
-  {
-    params = p;
-    full_recovery;
-    wsp_recovery;
-    speedup = Time.to_s full_recovery /. Time.to_s wsp_recovery;
-    backend_bytes_full;
-    backend_bytes_wsp;
-  }
+  let speedup = Time.to_s full_recovery /. Time.to_s wsp_recovery in
+  Wsp_obs.Metrics.Gauge.set
+    (Wsp_obs.Metrics.gauge reg "cluster.storm.speedup")
+    speedup;
+  { params = p; full_recovery; wsp_recovery; speedup; backend_bytes_full;
+    backend_bytes_wsp }
 
 let recovery_timeline p ~fraction mode =
   if fraction < 0.0 || fraction > 1.0 then

@@ -346,13 +346,83 @@ let attach_heap ?config ?log_size t =
   Pheap.attach_in ?config ?log_size ~nvram:t.nvram ~base:(app_base t)
     ~len:(app_len t) ()
 
+(* --- observability -------------------------------------------------- *)
+
+(* Cold path: runs once per failure cycle, after the event loop drains,
+   so get-or-create registry lookups are fine here. *)
+let record_save_metrics t =
+  let r = t.report in
+  let reg = Wsp_obs.Metrics.ambient () in
+  let tr = Wsp_obs.Tracer.ambient () in
+  let h name = Wsp_obs.Metrics.histogram reg name in
+  let obs_gap name a b =
+    match (a, b) with
+    | Some a, Some b when Time.(b >= a) ->
+        let d = Time.to_ps (Time.sub b a) in
+        Wsp_obs.Metrics.Histogram.observe (h name) d;
+        Wsp_obs.Tracer.span ~cat:"save" tr
+          ~name:(String.sub name 15 (String.length name - 15 - 3))
+          ~start_ps:(Time.to_ps a) ~stop_ps:(Time.to_ps b)
+    | _ -> ()
+  in
+  Wsp_obs.Metrics.Counter.incr
+    (Wsp_obs.Metrics.counter reg "core.save.cycles");
+  if r.emergency_save then
+    Wsp_obs.Metrics.Counter.incr
+      (Wsp_obs.Metrics.counter reg "core.save.emergency_saves");
+  Wsp_obs.Metrics.Histogram.observe (h "core.save.window_ps")
+    (Time.to_ps r.window);
+  Wsp_obs.Metrics.Histogram.observe
+    (h "core.save.dirty_bytes")
+    r.dirty_bytes_flushed;
+  Wsp_obs.Metrics.Gauge.set
+    (Wsp_obs.Metrics.gauge reg "core.psu.residual_load_watts")
+    (Units.Power.to_watts (Psu.load t.psu));
+  (match r.power_fail_at with
+  | Some at ->
+      Wsp_obs.Tracer.instant ~cat:"save" tr ~name:"power_fail"
+        ~ts:(Time.to_ps at)
+  | None -> ());
+  (* Figure-4 step durations, interrupt through NVDIMM hand-off. *)
+  obs_gap "core.save.step.contexts_ps" r.interrupt_at r.contexts_saved_at;
+  obs_gap "core.save.step.flush_ps" r.contexts_saved_at r.flush_done_at;
+  obs_gap "core.save.step.marker_ps" r.flush_done_at r.marker_written_at;
+  obs_gap "core.save.step.nvdimm_signal_ps" r.marker_written_at
+    r.nvdimm_initiated_at;
+  obs_gap "core.save.step.nvdimm_save_ps" r.nvdimm_initiated_at r.nvdimm_done_at;
+  match (r.interrupt_at, r.nvdimm_initiated_at) with
+  | Some a, Some b when Time.(b >= a) ->
+      Wsp_obs.Tracer.span ~cat:"save" tr ~name:"host_save"
+        ~start_ps:(Time.to_ps a) ~stop_ps:(Time.to_ps b)
+  | _ -> ()
+
+let record_restore_metrics t ~boot_at outcome =
+  ignore t;
+  let reg = Wsp_obs.Metrics.ambient () in
+  let tr = Wsp_obs.Tracer.ambient () in
+  let count name =
+    Wsp_obs.Metrics.Counter.incr (Wsp_obs.Metrics.counter reg name)
+  in
+  match outcome with
+  | Recovered { resume_latency; _ } ->
+      count "core.restore.recovered";
+      Wsp_obs.Metrics.Histogram.observe
+        (Wsp_obs.Metrics.histogram reg "core.restore.resume_ps")
+        (Time.to_ps resume_latency);
+      Wsp_obs.Tracer.span ~cat:"restore" tr ~name:"restore"
+        ~start_ps:(Time.to_ps boot_at)
+        ~stop_ps:(Time.to_ps (Time.add boot_at resume_latency))
+  | Invalid_marker -> count "core.restore.invalid_marker"
+  | No_image -> count "core.restore.no_image"
+
 let inject_power_failure t =
   if not t.powered then invalid_arg "System.inject_power_failure: already off";
   t.report <- fresh_report ();
   t.report.power_fail_at <- Some (Engine.now t.engine);
   Psu.fail_input t.psu ~jitter:t.rng ();
   t.report.window <- Psu.nominal_window t.psu;
-  Engine.run t.engine
+  Engine.run t.engine;
+  record_save_metrics t
 
 let inject_power_failure_at t step =
   t.cut_at <- Some step;
@@ -430,6 +500,7 @@ let power_on_and_restore t =
                    end))
           end);
   Engine.run t.engine;
+  record_restore_metrics t ~boot_at !result;
   !result
 
 let run_failure_cycle t =

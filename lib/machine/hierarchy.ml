@@ -1,4 +1,5 @@
 open Wsp_sim
+module C = Wsp_obs.Metrics.Counter
 
 type config = {
   levels : Cache.config list;
@@ -9,6 +10,24 @@ type config = {
   fence_latency : Time.t;
   clflush_issue : Time.t;
   wbinvd_line_walk : Time.t;
+}
+
+(* Metric handles resolved once at [create] from the domain's ambient
+   registry, so the access path only mutates counter records. *)
+type metrics = {
+  m_hits : Wsp_obs.Metrics.Counter.t;
+  m_misses : Wsp_obs.Metrics.Counter.t;
+  m_evictions : Wsp_obs.Metrics.Counter.t;
+  m_writeback_bytes : Wsp_obs.Metrics.Counter.t;
+  m_clflush : Wsp_obs.Metrics.Counter.t;
+  m_clflush_bytes : Wsp_obs.Metrics.Counter.t;
+  m_flush_range : Wsp_obs.Metrics.Counter.t;
+  m_flush_range_bytes : Wsp_obs.Metrics.Counter.t;
+  m_wbinvd : Wsp_obs.Metrics.Counter.t;
+  m_wbinvd_bytes : Wsp_obs.Metrics.Counter.t;
+  m_nt_stores : Wsp_obs.Metrics.Counter.t;
+  m_nt_flush_bytes : Wsp_obs.Metrics.Counter.t;
+  m_fences : Wsp_obs.Metrics.Counter.t;
 }
 
 type t = {
@@ -24,6 +43,7 @@ type t = {
       (* Scratch table reused by the dirty-line union walks; reset per
          call so dirty polls allocate no fresh table. *)
   mutable on_writeback : line:int -> unit;
+  m : metrics;
 }
 
 let create ?(on_writeback = fun ~line:_ -> ()) (cfg : config) =
@@ -45,6 +65,8 @@ let create ?(on_writeback = fun ~line:_ -> ()) (cfg : config) =
       cum_hit_latency.(i) <- !acc)
     levels;
   let miss_latency = Time.add !acc cfg.memory_latency in
+  let reg = Wsp_obs.Metrics.ambient () in
+  let c = Wsp_obs.Metrics.counter reg in
   {
     cfg;
     levels;
@@ -53,6 +75,22 @@ let create ?(on_writeback = fun ~line:_ -> ()) (cfg : config) =
     line_size;
     seen = Hashtbl.create 256;
     on_writeback;
+    m =
+      {
+        m_hits = c "machine.cache.hits";
+        m_misses = c "machine.cache.misses";
+        m_evictions = c "machine.cache.evictions";
+        m_writeback_bytes = c "machine.cache.writeback_bytes";
+        m_clflush = c "machine.flush.clflush";
+        m_clflush_bytes = c "machine.flush.clflush_bytes";
+        m_flush_range = c "machine.flush.flush_range";
+        m_flush_range_bytes = c "machine.flush.flush_range_bytes";
+        m_wbinvd = c "machine.flush.wbinvd";
+        m_wbinvd_bytes = c "machine.flush.wbinvd_bytes";
+        m_nt_stores = c "machine.flush.nt_stores";
+        m_nt_flush_bytes = c "machine.flush.nt_flush_bytes";
+        m_fences = c "machine.flush.fences";
+      };
   }
 
 let config t = t.cfg
@@ -71,12 +109,16 @@ let line_of t addr =
    means it is already present — if not, it is re-inserted, which may
    cascade). *)
 let rec evict_from t i (victim : Cache.victim) =
+  C.incr t.m.m_evictions;
   let dirty = ref victim.dirty in
   for j = 0 to i - 1 do
     if Cache.invalidate t.levels.(j) ~line:victim.line then dirty := true
   done;
   if i = Array.length t.levels - 1 then begin
-    if !dirty then t.on_writeback ~line:victim.line
+    if !dirty then begin
+      C.add t.m.m_writeback_bytes t.line_size;
+      t.on_writeback ~line:victim.line
+    end
   end
   else
     let below = t.levels.(i + 1) in
@@ -113,10 +155,12 @@ let access t ~addr ~write =
   let k = probe_from t.levels line 0 n in
   let latency =
     if k < 0 then begin
+      C.incr t.m.m_misses;
       fill t ~line ~upto:(n - 1);
       t.miss_latency
     end
     else begin
+      C.incr t.m.m_hits;
       if k > 0 then fill t ~line ~upto:(k - 1);
       Array.unsafe_get t.cum_hit_latency k
     end
@@ -136,17 +180,27 @@ let invalidate_line t line =
 
 let store_nt t ~addr =
   let line = line_of t addr in
+  C.incr t.m.m_nt_stores;
   (* Any cached copy is flushed first so the line's pre-existing dirty
      bytes are not lost when the caller writes directly to backing. *)
-  if invalidate_line t line then t.on_writeback ~line;
+  if invalidate_line t line then begin
+    C.add t.m.m_nt_flush_bytes t.line_size;
+    t.on_writeback ~line
+  end;
   t.cfg.nt_store_latency
 
-let fence t = t.cfg.fence_latency
+let fence t =
+  C.incr t.m.m_fences;
+  t.cfg.fence_latency
 
 let clflush t ~addr =
   let line = line_of t addr in
+  C.incr t.m.m_clflush;
   let dirty = invalidate_line t line in
-  if dirty then t.on_writeback ~line;
+  if dirty then begin
+    C.add t.m.m_clflush_bytes t.line_size;
+    t.on_writeback ~line
+  end;
   let latency = t.cfg.clflush_issue in
   if dirty then
     Time.add latency
@@ -159,6 +213,7 @@ let flush_lines t ~addr ~len =
     (* Batched bookkeeping: invalidate the whole range first, then
        charge one issue per line and a single write-back transfer for
        the dirty total, instead of a clflush round-trip per line. *)
+    C.incr t.m.m_flush_range;
     let first = line_of t addr and last = line_of t (addr + len - 1) in
     let dirty = ref 0 in
     for line = first to last do
@@ -167,6 +222,7 @@ let flush_lines t ~addr ~len =
         t.on_writeback ~line
       end
     done;
+    C.add t.m.m_flush_range_bytes (!dirty * t.line_size);
     let issue = Time.mul t.cfg.clflush_issue (last - first + 1) in
     if !dirty = 0 then issue
     else
@@ -230,10 +286,12 @@ let total_line_slots t =
   Array.fold_left (fun acc level -> acc + Cache.line_count level) 0 t.levels
 
 let flush_all t =
+  C.incr t.m.m_wbinvd;
   let dirty = ref 0 in
   iter_dirty t (fun line ->
       incr dirty;
       t.on_writeback ~line);
+  C.add t.m.m_wbinvd_bytes (!dirty * t.line_size);
   Array.iter Cache.clear t.levels;
   let walk = Time.mul t.cfg.wbinvd_line_walk (total_line_slots t) in
   let transfer =

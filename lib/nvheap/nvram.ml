@@ -20,6 +20,7 @@ type t = {
   mutable clock : Time.t;
   mutable hook : (event -> unit) option;
   mutable fault : fault;
+  m_fences : Wsp_obs.Metrics.Counter.t;
 }
 
 let default_hierarchy () =
@@ -46,6 +47,8 @@ let create ?hierarchy ?backing ~size () =
       clock = Time.zero;
       hook = None;
       fault = No_fault;
+      m_fences =
+        Wsp_obs.Metrics.counter (Wsp_obs.Metrics.ambient ()) "nvheap.fences";
     }
   in
   Hierarchy.set_on_writeback h (fun ~line ->
@@ -161,6 +164,7 @@ let write_u64_nt t ~addr v =
 
 let fence t =
   emit t Fence;
+  Wsp_obs.Metrics.Counter.incr t.m_fences;
   charge t (Hierarchy.fence t.hierarchy);
   (* A broken fence charges its latency but never drains the
      write-combining buffers — the deliberate-sabotage mode the

@@ -11,6 +11,9 @@ type t = {
   mutable gen : int;
   mutable head : int;  (* next free word index; word 0 is the gen word *)
   mutable hook : (event -> unit) option;
+  m_appends : Wsp_obs.Metrics.Counter.t;
+  m_append_words : Wsp_obs.Metrics.Counter.t;
+  m_truncates : Wsp_obs.Metrics.Counter.t;
 }
 
 let set_hook t hook = t.hook <- hook
@@ -44,9 +47,19 @@ let write_gen t ~mode gen =
   write_word t ~mode 0 (Int64.of_int (gen land 0xffff));
   if mode = Durable then Nvram.fence t.nvram
 
+let log_metrics () =
+  let reg = Wsp_obs.Metrics.ambient () in
+  ( Wsp_obs.Metrics.counter reg "nvheap.log.appends",
+    Wsp_obs.Metrics.counter reg "nvheap.log.append_words",
+    Wsp_obs.Metrics.counter reg "nvheap.log.truncates" )
+
 let create nvram ~base ~len =
   if base mod 8 <> 0 || len < 64 then invalid_arg "Rawlog.create: bad region";
-  let t = { nvram; base; words = len / 8; gen = 1; head = 1; hook = None } in
+  let m_appends, m_append_words, m_truncates = log_metrics () in
+  let t =
+    { nvram; base; words = len / 8; gen = 1; head = 1; hook = None;
+      m_appends; m_append_words; m_truncates }
+  in
   write_gen t ~mode:Durable 1;
   t
 
@@ -74,6 +87,8 @@ let append t ~mode ~kind values =
   let needed = record_words n in
   if t.head + needed > t.words then raise Log_full;
   emit t (Append { kind; n_values = n });
+  Wsp_obs.Metrics.Counter.incr t.m_appends;
+  Wsp_obs.Metrics.Counter.add t.m_append_words needed;
   write_word t ~mode t.head (encode_word ~gen:t.gen (header_chunk ~kind ~n));
   Array.iteri
     (fun i v ->
@@ -87,6 +102,7 @@ let append t ~mode ~kind values =
 
 let truncate t ~mode =
   emit t Truncate;
+  Wsp_obs.Metrics.Counter.incr t.m_truncates;
   t.gen <- (t.gen + 1) land 0xffff;
   if t.gen = 0 then t.gen <- 1;
   t.head <- 1;
@@ -127,7 +143,11 @@ let scan_persistent t =
   scan_with t (fun i -> Nvram.peek_u64 t.nvram ~addr:(word_addr t i))
 
 let attach nvram ~base ~len =
-  let t = { nvram; base; words = len / 8; gen = 1; head = 1; hook = None } in
+  let m_appends, m_append_words, m_truncates = log_metrics () in
+  let t =
+    { nvram; base; words = len / 8; gen = 1; head = 1; hook = None;
+      m_appends; m_append_words; m_truncates }
+  in
   t.gen <- gen_of_header (read_word t 0);
   if t.gen = 0 then begin
     (* Never formatted: format now. *)

@@ -35,6 +35,8 @@ type t = {
   mutable committed : int;
   mutable aborted : int;
   mutable hook : (event -> unit) option;
+  m_commits : Wsp_obs.Metrics.Counter.t;
+  m_aborts : Wsp_obs.Metrics.Counter.t;
 }
 
 let set_hook t hook = t.hook <- hook
@@ -84,6 +86,10 @@ let create ?(costs = Config.Costs.default) ~nvram ~config ~log () =
     committed = 0;
     aborted = 0;
     hook = None;
+    m_commits =
+      Wsp_obs.Metrics.counter (Wsp_obs.Metrics.ambient ()) "nvheap.txn.commits";
+    m_aborts =
+      Wsp_obs.Metrics.counter (Wsp_obs.Metrics.ambient ()) "nvheap.txn.aborts";
   }
 
 let config t = t.config
@@ -169,7 +175,8 @@ let flush_written_lines t lines =
 
 let commit t =
   match t.config.Config.logging with
-  | Config.No_log -> t.committed <- t.committed + 1
+  | Config.No_log -> t.committed <- t.committed + 1;
+      Wsp_obs.Metrics.Counter.incr t.m_commits
   | Config.Undo ->
       let tx = active t in
       emit t (Commit tx.txid);
@@ -183,7 +190,8 @@ let commit t =
         Rawlog.truncate t.log ~mode:(log_mode t)
       end;
       t.active <- None;
-      t.committed <- t.committed + 1
+      t.committed <- t.committed + 1;
+      Wsp_obs.Metrics.Counter.incr t.m_commits
   | Config.Redo ->
       let tx = active t in
       emit t (Commit tx.txid);
@@ -224,11 +232,13 @@ let commit t =
             tearing down a durable transaction context orders the log. *)
          Nvram.fence t.nvram);
       t.active <- None;
-      t.committed <- t.committed + 1
+      t.committed <- t.committed + 1;
+      Wsp_obs.Metrics.Counter.incr t.m_commits
 
 let abort t =
   match t.config.Config.logging with
-  | Config.No_log -> t.aborted <- t.aborted + 1
+  | Config.No_log -> t.aborted <- t.aborted + 1;
+      Wsp_obs.Metrics.Counter.incr t.m_aborts
   | Config.Undo ->
       let tx = active t in
       emit t (Abort tx.txid);
@@ -236,12 +246,14 @@ let abort t =
       List.iter (fun (addr, old) -> Nvram.write_u64 t.nvram ~addr old) tx.undo_order;
       if tx.began_in_log then Rawlog.truncate t.log ~mode:(log_mode t);
       t.active <- None;
-      t.aborted <- t.aborted + 1
+      t.aborted <- t.aborted + 1;
+      Wsp_obs.Metrics.Counter.incr t.m_aborts
   | Config.Redo ->
       let tx = active t in
       emit t (Abort tx.txid);
       t.active <- None;
-      t.aborted <- t.aborted + 1
+      t.aborted <- t.aborted + 1;
+      Wsp_obs.Metrics.Counter.incr t.m_aborts
 
 let with_tx t f =
   begin_tx t;

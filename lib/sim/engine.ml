@@ -1,7 +1,21 @@
-type t = { mutable clock : Time.t; queue : (t -> unit) Event_queue.t }
+type t = {
+  mutable clock : Time.t;
+  queue : (t -> unit) Event_queue.t;
+  m_dispatched : Wsp_obs.Metrics.Counter.t;
+  m_depth : Wsp_obs.Metrics.Gauge.t;
+}
+
 type event_id = Event_queue.id
 
-let create ?(now = Time.zero) () = { clock = now; queue = Event_queue.create () }
+let create ?(now = Time.zero) () =
+  let reg = Wsp_obs.Metrics.ambient () in
+  {
+    clock = now;
+    queue = Event_queue.create ();
+    m_dispatched = Wsp_obs.Metrics.counter reg "sim.engine.events_dispatched";
+    m_depth = Wsp_obs.Metrics.gauge reg "sim.engine.queue_depth";
+  }
+
 let now t = t.clock
 
 let schedule_at t ~at f =
@@ -9,7 +23,10 @@ let schedule_at t ~at f =
     invalid_arg
       (Fmt.str "Engine.schedule_at: %a is before now (%a)" Time.pp at Time.pp
          t.clock);
-  Event_queue.push t.queue ~at f
+  let id = Event_queue.push t.queue ~at f in
+  Wsp_obs.Metrics.Gauge.set t.m_depth
+    (float_of_int (Event_queue.length t.queue));
+  id
 
 let schedule t ~after f =
   if Time.is_negative after then invalid_arg "Engine.schedule: negative delay";
@@ -23,6 +40,7 @@ let step t =
   | None -> false
   | Some (at, f) ->
       t.clock <- at;
+      Wsp_obs.Metrics.Counter.incr t.m_dispatched;
       f t;
       true
 

@@ -63,7 +63,37 @@ let push t ~at payload =
   sift_up t (t.size - 1);
   seq
 
-let cancel t id = Hashtbl.remove t.pending id
+(* Lazy deletion alone lets a schedule/cancel-heavy workload (timeout
+   timers that almost always get cancelled) grow the heap without bound
+   while [length] stays small. Once cancelled entries outnumber live
+   ones, rebuild the heap from the live entries (Floyd's bottom-up
+   heapify, O(live)). The rebuild is paid for by the >= size/2 cancels
+   since the last one, so push/pop/cancel stay amortized O(log n) in the
+   number of *live* events. *)
+let compact_threshold = 64
+
+let compact t =
+  let n = ref 0 in
+  for i = 0 to t.size - 1 do
+    let e = t.heap.(i) in
+    if Hashtbl.mem t.pending e.seq then begin
+      t.heap.(!n) <- e;
+      incr n
+    end
+  done;
+  t.size <- !n;
+  for i = (t.size / 2) - 1 downto 0 do
+    sift_down t i
+  done
+
+let cancel t id =
+  if Hashtbl.mem t.pending id then begin
+    Hashtbl.remove t.pending id;
+    if t.size > compact_threshold && t.size > 2 * Hashtbl.length t.pending then
+      compact t
+  end
+
+let heap_size t = t.size
 
 let pop_raw t =
   if t.size = 0 then None

@@ -1,8 +1,9 @@
 (** A priority queue of timed events.
 
     Events at equal timestamps are delivered in insertion order, which
-    keeps simulations deterministic. Cancellation is O(1) (lazy deletion:
-    cancelled entries are dropped when they surface). *)
+    keeps simulations deterministic. Cancellation is amortized O(1)
+    (lazy deletion: cancelled entries are dropped when they surface, and
+    the heap is compacted when they outnumber live entries). *)
 
 type 'a t
 
@@ -19,7 +20,12 @@ val push : 'a t -> at:Time.t -> 'a -> id
 
 val cancel : 'a t -> id -> unit
 (** Cancelling an already-delivered or already-cancelled event is a
-    no-op. *)
+    no-op. When cancelled entries come to outnumber live ones the heap
+    is compacted, so cancel-heavy workloads stay O(live events). *)
+
+val heap_size : 'a t -> int
+(** Physical heap entries, including lazily-deleted ones — exposed so
+    tests can pin down the compaction bound; always >= [length]. *)
 
 val peek_time : 'a t -> Time.t option
 (** Timestamp of the next live event, if any. *)

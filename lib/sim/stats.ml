@@ -47,7 +47,13 @@ let of_list xs =
 
 let percentile xs p =
   if xs = [] then invalid_arg "Stats.percentile: empty";
-  assert (p >= 0.0 && p <= 100.0);
+  (* Not an assert: under -noassert an out-of-range or NaN [p] would
+     silently index past the sorted sample and return garbage. NaN fails
+     every comparison, so it needs its own test. *)
+  if Float.is_nan p || p < 0.0 || p > 100.0 then
+    invalid_arg (Fmt.str "Stats.percentile: p=%g not in [0,100]" p);
+  if List.exists Float.is_nan xs then
+    invalid_arg "Stats.percentile: NaN sample";
   let arr = Array.of_list xs in
   Array.sort Float.compare arr;
   let n = Array.length arr in
@@ -67,7 +73,8 @@ module Histogram = struct
   type h = { lo : float; hi : float; counts : int array; mutable total : int }
 
   let create ~lo ~hi ~buckets =
-    assert (hi > lo && buckets > 0);
+    if not (hi > lo && buckets > 0) then
+      invalid_arg "Stats.Histogram.create: need hi > lo and buckets > 0";
     { lo; hi; counts = Array.make buckets 0; total = 0 }
 
   let add h x =

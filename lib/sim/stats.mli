@@ -30,7 +30,9 @@ val of_list : float list -> summary
 
 val percentile : float list -> float -> float
 (** [percentile xs p] is the [p]-th percentile (0–100) by linear
-    interpolation of the sorted sample. The list must be non-empty. *)
+    interpolation of the sorted sample. Raises [Invalid_argument] when
+    the list is empty, when [p] is NaN or outside [0, 100], or when a
+    sample is NaN. *)
 
 val pp_summary : Format.formatter -> summary -> unit
 

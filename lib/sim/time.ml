@@ -8,6 +8,7 @@ let of_float_ps x =
      but negative spans are allowed for arithmetic intermediates. *)
   int_of_float (Float.round x)
 
+let to_ps t = t
 let ns x = of_float_ps (x *. 1e3)
 let us x = of_float_ps (x *. 1e6)
 let ms x = of_float_ps (x *. 1e9)

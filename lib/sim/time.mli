@@ -17,6 +17,10 @@ val zero : t
 val ps : int -> t
 (** [ps n] is [n] picoseconds. *)
 
+val to_ps : t -> int
+(** The picosecond count itself — the timestamp unit the observability
+    layer ([Wsp_obs]) records against. *)
+
 val ns : float -> t
 (** [ns x] is [x] nanoseconds, rounded to the nearest picosecond. *)
 

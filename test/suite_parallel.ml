@@ -54,6 +54,32 @@ let prop_tests =
          (fun (jobs, xs) ->
            Parallel.map ~jobs (fun x -> x lxor 42) xs
            = List.map (fun x -> x lxor 42) xs));
+    QCheck_alcotest.to_alcotest
+      (QCheck2.Test.make
+         ~name:"failure path: earliest failing input wins, success preserves \
+                order"
+         ~count:100
+         QCheck2.Gen.(
+           triple (int_range 1 8)
+             (list_size (int_range 0 40) (int_range 0 1000))
+             (list_size (int_range 0 5) (int_range 0 39)))
+         (fun (jobs, xs, fail_idxs) ->
+           (* Mark a random subset of positions as failing; the map must
+              either return every result in input order (no marked index
+              in range) or surface exactly the earliest marked input's
+              exception, regardless of how domains interleave. *)
+           let n = List.length xs in
+           let fails = List.filter (fun i -> i < n) fail_idxs in
+           let f_at i x =
+             if List.mem i fails then failwith (string_of_int i) else x * 2
+           in
+           let indexed = List.mapi (fun i x -> (i, x)) xs in
+           match Parallel.map ~jobs (fun (i, x) -> f_at i x) indexed with
+           | results ->
+               fails = [] && results = List.map (fun x -> x * 2) xs
+           | exception Failure msg ->
+               fails <> []
+               && int_of_string msg = List.fold_left min max_int fails));
   ]
 
 (* --- Output capture ------------------------------------------------------ *)

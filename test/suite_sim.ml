@@ -194,6 +194,37 @@ let stats_tests =
         Alcotest.(check (float 1e-9)) "p50" 3.0 (Stats.percentile xs 50.0);
         Alcotest.(check (float 1e-9)) "p100" 5.0 (Stats.percentile xs 100.0);
         Alcotest.(check (float 1e-9)) "p25" 2.0 (Stats.percentile xs 25.0));
+    Alcotest.test_case "percentile boundary ranks" `Quick (fun () ->
+        (* Single element: every p maps onto it, including the
+           rank-interpolation edges p=0 and p=100. *)
+        Alcotest.(check (float 1e-9)) "singleton p0" 7.0
+          (Stats.percentile [ 7.0 ] 0.0);
+        Alcotest.(check (float 1e-9)) "singleton p50" 7.0
+          (Stats.percentile [ 7.0 ] 50.0);
+        Alcotest.(check (float 1e-9)) "singleton p100" 7.0
+          (Stats.percentile [ 7.0 ] 100.0);
+        (* Two elements: p=100 must index the last element, not one past. *)
+        Alcotest.(check (float 1e-9)) "pair p100" 9.0
+          (Stats.percentile [ 1.0; 9.0 ] 100.0);
+        Alcotest.(check (float 1e-9)) "pair p0" 1.0
+          (Stats.percentile [ 9.0; 1.0 ] 0.0));
+    Alcotest.test_case "percentile rejects bad inputs" `Quick (fun () ->
+        let raises f =
+          try
+            ignore (f ());
+            false
+          with Invalid_argument _ -> true
+        in
+        Alcotest.(check bool) "empty" true
+          (raises (fun () -> Stats.percentile [] 50.0));
+        Alcotest.(check bool) "p<0" true
+          (raises (fun () -> Stats.percentile [ 1.0 ] (-0.5)));
+        Alcotest.(check bool) "p>100" true
+          (raises (fun () -> Stats.percentile [ 1.0 ] 100.5));
+        Alcotest.(check bool) "NaN p" true
+          (raises (fun () -> Stats.percentile [ 1.0 ] Float.nan));
+        Alcotest.(check bool) "NaN sample" true
+          (raises (fun () -> Stats.percentile [ 1.0; Float.nan ] 50.0)));
     Alcotest.test_case "histogram buckets" `Quick (fun () ->
         let h = Stats.Histogram.create ~lo:0.0 ~hi:10.0 ~buckets:10 in
         List.iter (Stats.Histogram.add h) [ 0.5; 1.5; 1.6; 9.9; -5.0; 15.0 ];
@@ -264,6 +295,47 @@ let event_queue_tests =
         match Event_queue.peek_time q with
         | Some at -> Alcotest.check check_time "peek" (Time.ns 9.0) at
         | None -> Alcotest.fail "expected an event");
+    Alcotest.test_case "cancel-heavy load keeps the heap bounded" `Quick
+      (fun () ->
+        (* A timeout-timer workload: schedule, then almost always cancel.
+           With lazy deletion alone the heap grows by one entry per
+           iteration; compaction must keep physical size O(live). *)
+        let q = Event_queue.create () in
+        let keep = ref [] in
+        for i = 1 to 10_000 do
+          let id = Event_queue.push q ~at:(Time.ps i) i in
+          if i mod 100 = 0 then keep := (i, id) :: !keep
+          else Event_queue.cancel q id
+        done;
+        Alcotest.(check int) "live entries" 100 (Event_queue.length q);
+        Alcotest.(check bool)
+          (Printf.sprintf "heap stays near live size (heap=%d)"
+             (Event_queue.heap_size q))
+          true
+          (Event_queue.heap_size q <= 2 * Event_queue.length q + 64);
+        (* Everything that survived still pops, in order. *)
+        let popped = ref [] in
+        let rec drain () =
+          match Event_queue.pop q with
+          | Some (_, x) ->
+              popped := x :: !popped;
+              drain ()
+          | None -> ()
+        in
+        drain ();
+        Alcotest.(check (list int)) "survivors in order"
+          (List.rev_map fst !keep |> List.sort compare)
+          (List.rev !popped));
+    Alcotest.test_case "compaction preserves cancel of delivered ids" `Quick
+      (fun () ->
+        let q = Event_queue.create () in
+        let ids = List.init 200 (fun i -> Event_queue.push q ~at:(Time.ps i) i) in
+        (* Cancel all but the last few, forcing at least one compaction. *)
+        List.iteri (fun i id -> if i < 190 then Event_queue.cancel q id) ids;
+        Alcotest.(check int) "live" 10 (Event_queue.length q);
+        (* Double-cancel and cancel-after-pop stay harmless. *)
+        List.iter (Event_queue.cancel q) ids;
+        Alcotest.(check int) "still empty" 0 (Event_queue.length q));
   ]
 
 let event_queue_props =
