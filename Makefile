@@ -1,8 +1,8 @@
 # Convenience targets. `make bench` gates the microbenchmarks on the
 # tier-1 build + test suite so a perf number is never reported for a
-# broken tree; it writes BENCH_3.json next to this Makefile.
+# broken tree; it writes BENCH_4.json next to this Makefile.
 
-.PHONY: all build test check bench clean
+.PHONY: all build test check lint bench clean
 
 all: build
 
@@ -17,6 +17,12 @@ test: build
 # seed; exits non-zero on any violation.
 check: build
 	dune exec bin/wsp_sim.exe -- check --points 1000 --seed 42 --protocol
+
+# Static persistency-ordering lint over every registered workload. The
+# seed workloads are certified clean except for two known redundant-
+# trailing-fence advisories, hence the R3 allowlist.
+lint: build
+	dune exec bin/wsp_sim.exe -- lint --expect R3
 
 bench: test
 	dune exec bench/main.exe -- --micro --json

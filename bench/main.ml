@@ -9,7 +9,7 @@
      main.exe --full          paper-scale parameters (slow)
      main.exe --micro         run the Bechamel microbenchmarks (alone when
                               no experiment is named)
-     main.exe --micro --json  …and write the estimates to BENCH_3.json
+     main.exe --micro --json  …and write the estimates to BENCH_4.json
 
    Independent experiments fan out over a domain pool (WSP_JOBS caps the
    worker count; WSP_JOBS=1 forces the sequential path). *)
@@ -40,6 +40,26 @@ let dirty_poll_hierarchy () =
   h
 
 let checker_bench_points = 32
+
+(* Static-analyzer inputs: the same deterministic hash-table workload at
+   three transaction counts, recorded once here so only Rules.analyze is
+   inside the timed region. The events/sec scaling over trace length is
+   the analyzer's O(events) claim made measurable. *)
+let analyzer_traces =
+  lazy
+    (List.map
+       (fun txns ->
+         let recording =
+           Wsp_check.Checker.record_workload ~txns ~ops_per_txn:3
+             ~kind:Wsp_check.Checker.Hash_table
+             ~config:Wsp_nvheap.Config.foc_ul ~seed:1 ()
+         in
+         (txns, recording, Array.length recording.Wsp_check.Trace.events))
+       [ 8; 32; 128 ])
+
+let analyzer_bench_name txns = Printf.sprintf "analyze-%dtx" txns
+
+let lint_bench_txns = 6
 
 let microbench_tests () =
   let open Bechamel in
@@ -131,6 +151,28 @@ let microbench_tests () =
                 ~kind:Wsp_check.Checker.Hash_table
                 ~config:Wsp_nvheap.Config.foc_ul ~seed:1 ())))
   in
+  (* Analyzer single-trace throughput at three trace lengths (same
+     machine model the CLI's lint uses), plus the full-registry lint
+     fan-out at pool widths 1 and 4: record + analyze of every seed
+     workload, the shape `wsp_sim lint` runs in CI. *)
+  let analyze_machine =
+    Wsp_analysis.Rules.default_machine ~config:Wsp_nvheap.Config.foc_ul ()
+  in
+  let analyze_tests =
+    List.map
+      (fun (txns, recording, _events) ->
+        Test.make ~name:(analyzer_bench_name txns)
+          (Staged.stage (fun () ->
+               ignore (Wsp_analysis.Rules.analyze analyze_machine recording))))
+      (Lazy.force analyzer_traces)
+  in
+  let lint_registry jobs =
+    Test.make ~name:(Printf.sprintf "lint-registry-j%d" jobs)
+      (Staged.stage (fun () ->
+           ignore
+             (Wsp_analysis.Analyzer.lint ~jobs ~txns:lint_bench_txns
+                ~workloads:Wsp_analysis.Analyzer.registry ())))
+  in
   [
     nvram_rw;
     dirty_poll;
@@ -142,11 +184,13 @@ let microbench_tests () =
     save_cycle;
     checker_points;
   ]
+  @ analyze_tests
+  @ [ lint_registry 1; lint_registry 4 ]
 
 (* Every microbenchmark body runs on the calling domain; the checker one
    pins ~jobs:1 explicitly. A benchmark that fans out records its own
    width here instead of inheriting the top-level pool default. *)
-let bench_jobs _name = 1
+let bench_jobs = function "lint-registry-j4" -> 4 | _ -> 1
 
 (* Runs every microbenchmark; (name, ns-per-run) in declaration order. *)
 let measure_microbenches () =
@@ -176,6 +220,16 @@ let checker_points_per_sec results =
       Some (float_of_int checker_bench_points *. 1e9 /. ns)
   | _ -> None
 
+(* Trace events analysed per second, from the longest analyzer trace
+   (the regime where per-trace setup is fully amortised). *)
+let analyzer_events_per_sec results =
+  match List.rev (Lazy.force analyzer_traces) with
+  | (txns, _, events) :: _ -> (
+      match List.assoc_opt (analyzer_bench_name txns) results with
+      | Some ns when ns > 0.0 -> Some (float_of_int events *. 1e9 /. ns)
+      | _ -> None)
+  | [] -> None
+
 let dirty_poll_speedup results =
   match
     (List.assoc_opt "dirty-poll" results, List.assoc_opt "dirty-poll-slow" results)
@@ -193,7 +247,7 @@ let json_escape s =
     s;
   Buffer.contents b
 
-(* BENCH_3.json: the perf trajectory file future PRs diff against. *)
+(* BENCH_4.json: the perf trajectory file future PRs diff against. *)
 let write_json ~path results =
   let oc = open_out path in
   output_string oc "{\n  \"benchmarks\": [\n";
@@ -210,6 +264,10 @@ let write_json ~path results =
   | None -> ());
   (match checker_points_per_sec results with
   | Some pps -> Printf.fprintf oc ",\n  \"checker_points_per_sec\": %.0f" pps
+  | None -> ());
+  (match analyzer_events_per_sec results with
+  | Some eps ->
+      Printf.fprintf oc ",\n  \"analyzer_events_per_sec\": %.0f" eps
   | None -> ());
   (* Everything the benchmark bodies touched, from the merged ambient
      registries: cache traffic, flush totals, txn counts, save steps. *)
@@ -233,8 +291,12 @@ let run_microbenches ~json () =
   (match checker_points_per_sec results with
   | Some pps -> Printf.printf "  checker throughput: %.0f crash points/sec\n" pps
   | None -> ());
+  (match analyzer_events_per_sec results with
+  | Some eps ->
+      Printf.printf "  analyzer throughput: %.0f trace events/sec\n" eps
+  | None -> ());
   if json then begin
-    let path = "BENCH_3.json" in
+    let path = "BENCH_4.json" in
     write_json ~path results;
     Printf.printf "  wrote %s\n" path
   end

@@ -5,6 +5,8 @@
      list        list the available experiments
      cycle       run one end-to-end power-failure cycle and report it
      window      measure a PSU's residual energy window
+     check       crash-consistency checking via power-fail injection
+     lint        static persistency-ordering analysis (no recovery runs)
      storm       run the cluster recovery-storm model *)
 
 open Cmdliner
@@ -396,6 +398,117 @@ let check_cmd =
       $ jobs_arg $ broken_arg $ protocol_arg $ no_shrink_arg $ seed_arg
       $ verbose_arg $ metrics_arg $ trace_arg)
 
+(* --- lint ------------------------------------------------------------- *)
+
+let lint_cmd =
+  let module Checker = Wsp_check.Checker in
+  let module Rules = Wsp_analysis.Rules in
+  let module Analyzer = Wsp_analysis.Analyzer in
+  let fault_conv =
+    let parse = function
+      | "none" -> Ok Checker.No_fault
+      | "fences" -> Ok Checker.Broken_fences
+      | "wsp-save" -> Ok Checker.Broken_wsp_save
+      | s -> Error (`Msg (Printf.sprintf "unknown fault %S (none|fences|wsp-save)" s))
+    in
+    Arg.conv (parse, fun ppf f -> Fmt.string ppf (Checker.fault_name f))
+  in
+  let rule_conv =
+    let parse s =
+      match Rules.rule_of_name s with
+      | Some r -> Ok r
+      | None -> Error (`Msg (Printf.sprintf "unknown rule %S (R1..R5)" s))
+    in
+    Arg.conv (parse, fun ppf r -> Fmt.string ppf (Rules.rule_name r))
+  in
+  let workload_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "workload" ] ~docv:"WORKLOAD"
+          ~doc:"Limit to one structure (btree, hash_table, skiplist, \
+                block_kv, bank, avl) or a full id like $(b,btree/foc-ul).")
+  in
+  let config_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "config" ] ~docv:"CONFIG"
+          ~doc:"Limit to one configuration slug (foc-ul, foc-stm, fof, \
+                fof-ul, fof-stm).")
+  in
+  let broken_arg =
+    Arg.(
+      value & opt fault_conv Checker.No_fault
+      & info [ "broken" ] ~docv:"FAULT"
+          ~doc:"Deliberate sabotage to inject (none, fences, wsp-save); the \
+                analyzer must convict it statically.")
+  in
+  let txns_arg =
+    Arg.(value & opt int 32 & info [ "txns" ] ~docv:"N" ~doc:"Transactions per workload.")
+  in
+  let jobs_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:"Worker domains for the workload fan-out (default: \
+                $(b,WSP_JOBS) or the core count).")
+  in
+  let json_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:"Also write the machine-readable report to $(docv) ($(b,-) \
+                for stdout). Byte-identical across $(b,--jobs) widths.")
+  in
+  let expect_arg =
+    Arg.(
+      value & opt_all rule_conv []
+      & info [ "expect" ] ~docv:"RULE"
+          ~doc:"Allowlist a rule id (repeatable): its diagnostics are \
+                reported but do not affect the exit code.")
+  in
+  let strict_arg =
+    Arg.(
+      value & flag
+      & info [ "strict" ]
+          ~doc:"Fail (exit 1) on unexpected advisories too, not just errors.")
+  in
+  let run workload config broken txns jobs json expect strict psu platform busy
+      seed verbose metrics trace =
+    setup_logs verbose;
+    with_obs metrics trace @@ fun () ->
+    let jobs = if jobs > 0 then Some jobs else None in
+    match Analyzer.find ?workload ?config () with
+    | [] ->
+        Printf.eprintf "no workload matches the given filters\n";
+        2
+    | workloads ->
+        let reports =
+          Analyzer.lint ?jobs ~fault:broken ~txns ~seed ~psu ~platform ~busy
+            ~workloads ()
+        in
+        Fmt.pr "%a" (Analyzer.pp_human ~expect) reports;
+        (match json with
+        | Some "-" -> print_string (Analyzer.to_json ~expect reports)
+        | Some path -> write_file path (Analyzer.to_json ~expect reports)
+        | None -> ());
+        let errs, advs = Analyzer.errors ~expect reports in
+        if errs > 0 || (strict && advs > 0) then 1 else 0
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "Static persistency-ordering analysis: build the persist-before DAG \
+          from a recorded trace and report ordering violations, heap-lifetime \
+          bugs, redundant flushes, and flush-on-fail budget gaps without \
+          executing recovery")
+    Term.(
+      const run $ workload_arg $ config_arg $ broken_arg $ txns_arg $ jobs_arg
+      $ json_arg $ expect_arg $ strict_arg $ psu_arg $ platform_arg $ busy_arg
+      $ seed_arg $ verbose_arg $ metrics_arg $ trace_arg)
+
 (* --- storm ------------------------------------------------------------ *)
 
 let storm_cmd =
@@ -435,4 +548,12 @@ let () =
   exit
     (Cmd.eval'
        (Cmd.group info
-          [ experiment_cmd; list_cmd; cycle_cmd; window_cmd; check_cmd; storm_cmd ]))
+          [
+            experiment_cmd;
+            list_cmd;
+            cycle_cmd;
+            window_cmd;
+            check_cmd;
+            lint_cmd;
+            storm_cmd;
+          ]))

@@ -106,7 +106,8 @@ let () =
   | System.Recovered { resume_latency; _ } ->
       Printf.printf "         power failure -> resumed in %s\n"
         (Time.to_string resume_latency)
-  | o -> failwith (System.outcome_name o));
+  | (System.Invalid_marker | System.No_image) as o ->
+      failwith (System.outcome_name o));
   let heap = System.attach_heap ~config:Config.fof_ul sys in
   let bank = Btree.attach heap in
   assert (Int64.equal (total_balance bank) expected_total);

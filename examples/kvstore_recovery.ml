@@ -95,7 +95,8 @@ let wsp_cycle () =
         (count_correct table entries) entries;
       Printf.printf "   runtime cost %s (no flushes), resumed in %s\n"
         (Time.to_string runtime) (Time.to_string resume_latency)
-  | outcome -> failwith (Wsp_core.System.outcome_name outcome)
+  | (Wsp_core.System.Invalid_marker | Wsp_core.System.No_image) as outcome ->
+      failwith (Wsp_core.System.outcome_name outcome)
 
 let () =
   bare_crash ();

@@ -39,7 +39,8 @@ let () =
   (match System.power_on_and_restore sys with
   | System.Recovered { resume_latency; _ } ->
       Printf.printf "recovered in %s\n" (Time.to_string resume_latency)
-  | outcome -> failwith (System.outcome_name outcome));
+  | (System.Invalid_marker | System.No_image) as outcome ->
+      failwith (System.outcome_name outcome));
 
   (* The application re-attaches and finds its state intact. *)
   let table = Hash_table.attach (System.attach_heap sys) in

@@ -1,0 +1,186 @@
+(* Frontier form of the persist-before DAG: see the interface comment.
+   All tables are keyed by line number; the per-line record is the tip
+   of that line's store → flush → fence chain. *)
+
+type line_state = {
+  mutable last_store : int;  (* newest store node; -1 = never *)
+  mutable dirty : bool;  (* program view *)
+  mutable flush : int;  (* flush covering last_store, -1 = none *)
+  mutable fence : int;  (* fence sealing that flush, -1 = none *)
+}
+
+type t = {
+  fences_broken : bool;
+  line_size : int;
+  lines : (int, line_state) Hashtbl.t;
+  mutable unfenced : int list;  (* lines flushed, awaiting a fence *)
+  mutable nt_pending : int;
+  mutable nt_last : int;
+  mutable epoch : int;
+  machine_dirty : (int, unit) Hashtbl.t;
+  mutable max_footprint : int;
+  mutable first_store : int;
+}
+
+let create ~fences_broken ~line_size =
+  {
+    fences_broken;
+    line_size;
+    lines = Hashtbl.create 1024;
+    unfenced = [];
+    nt_pending = 0;
+    nt_last = -1;
+    epoch = 0;
+    machine_dirty = Hashtbl.create 1024;
+    max_footprint = 0;
+    first_store = -1;
+  }
+
+let line_of t addr = addr / t.line_size
+
+let state t line =
+  match Hashtbl.find_opt t.lines line with
+  | Some s -> s
+  | None ->
+      let s = { last_store = -1; dirty = false; flush = -1; fence = -1 } in
+      Hashtbl.add t.lines line s;
+      s
+
+let note_footprint t =
+  let fp = (Hashtbl.length t.machine_dirty * t.line_size) + (8 * t.nt_pending) in
+  if fp > t.max_footprint then t.max_footprint <- fp
+
+let store t ~idx ~addr ~len =
+  if t.first_store < 0 then t.first_store <- idx;
+  let first = line_of t addr and last = line_of t (addr + max 1 len - 1) in
+  for line = first to last do
+    let s = state t line in
+    s.last_store <- idx;
+    s.dirty <- true;
+    s.flush <- -1;
+    s.fence <- -1;
+    Hashtbl.replace t.machine_dirty line ()
+  done;
+  (* A re-dirtied line's pending flush no longer covers it. *)
+  if t.unfenced <> [] then
+    t.unfenced <-
+      List.filter
+        (fun l -> not (l >= first && l <= last && (state t l).flush < 0))
+        t.unfenced;
+  note_footprint t
+
+let store_nt t ~idx ~addr =
+  ignore addr;
+  t.nt_pending <- t.nt_pending + 1;
+  t.nt_last <- idx;
+  note_footprint t
+
+(* An explicit write-back covers the line like a flush instruction (the
+   simulator's NT-displacement and clflush write-backs are synchronous);
+   a silent eviction cleans only the machine view — program-order rules
+   must not credit it. *)
+let writeback t ~idx ~line ~explicit =
+  Hashtbl.remove t.machine_dirty line;
+  if explicit then begin
+    let s = state t line in
+    if s.dirty then begin
+      s.dirty <- false;
+      s.flush <- idx;
+      t.unfenced <- line :: t.unfenced
+    end
+  end
+
+type flush_result = { covered : int list; redundant : bool }
+
+let flush_one t ~idx line acc =
+  let s = state t line in
+  if s.dirty then begin
+    s.dirty <- false;
+    s.flush <- idx;
+    t.unfenced <- line :: t.unfenced;
+    line :: acc
+  end
+  else acc
+
+let flush_line t ~idx ~addr =
+  let covered = flush_one t ~idx (line_of t addr) [] in
+  { covered; redundant = covered = [] }
+
+let flush_range t ~idx ~addr ~len =
+  if len <= 0 then { covered = []; redundant = true }
+  else begin
+    let first = line_of t addr and last = line_of t (addr + len - 1) in
+    let covered = ref [] in
+    for line = first to last do
+      covered := flush_one t ~idx line !covered
+    done;
+    { covered = List.rev !covered; redundant = !covered = [] }
+  end
+
+type fence_result =
+  | Drained of { flushed_lines : int list; nt_drained : int }
+  | Fence_broken
+  | Fence_redundant
+
+let seal t ~idx =
+  List.iter
+    (fun line ->
+      let s = state t line in
+      (* Only seal a flush that still covers the line's newest store. *)
+      if s.flush >= 0 && s.fence < 0 then s.fence <- idx)
+    t.unfenced
+
+let fence t ~idx =
+  if t.fences_broken then Fence_broken
+  else if t.unfenced = [] && t.nt_pending = 0 then Fence_redundant
+  else begin
+    let flushed_lines = List.rev t.unfenced in
+    let nt_drained = t.nt_pending in
+    seal t ~idx;
+    t.unfenced <- [];
+    t.nt_pending <- 0;
+    t.nt_last <- -1;
+    t.epoch <- t.epoch + 1;
+    Drained { flushed_lines; nt_drained }
+  end
+
+let wbinvd t ~idx =
+  (* Covers every program-dirty line, then seals everything: the save
+     hardware's flush does not depend on mfence, so this works even on a
+     fences_broken machine. *)
+  Hashtbl.iter
+    (fun _ s ->
+      if s.dirty then begin
+        s.dirty <- false;
+        s.flush <- idx
+      end;
+      if s.flush >= 0 && s.fence < 0 then s.fence <- idx)
+    t.lines;
+  Hashtbl.reset t.machine_dirty;
+  t.unfenced <- [];
+  t.nt_pending <- 0;
+  t.nt_last <- -1;
+  t.epoch <- t.epoch + 1
+
+type status =
+  | Never_stored
+  | Dirty of { store : int }
+  | Flushed of { store : int; flush : int }
+  | Persist_ordered of { store : int; flush : int; fence : int }
+
+let status t ~line =
+  match Hashtbl.find_opt t.lines line with
+  | None -> Never_stored
+  | Some s ->
+      if s.last_store < 0 then Never_stored
+      else if s.dirty then Dirty { store = s.last_store }
+      else if s.fence >= 0 then
+        Persist_ordered { store = s.last_store; flush = s.flush; fence = s.fence }
+      else if s.flush >= 0 then Flushed { store = s.last_store; flush = s.flush }
+      else Dirty { store = s.last_store }
+
+let nt_pending t = t.nt_pending
+let nt_last t = t.nt_last
+let epoch t = t.epoch
+let max_footprint_bytes t = t.max_footprint
+let first_store t = t.first_store

@@ -1,0 +1,102 @@
+(** The persist-before DAG, kept in frontier form.
+
+    Static persistency analysis orders three node kinds per cache line —
+    stores, the flushes that cover them, and the fences that seal those
+    flushes — with edges store → flush → fence, and a global epoch split
+    at every working fence ("Lost in Interpretation", Klimis et al.;
+    x86-style buffered epoch persistency). The full DAG over an N-event
+    trace is never materialised: every rule only ever queries the {e
+    latest} store/flush/fence chain of a line, so the DAG is kept in its
+    transitive-reduction frontier — per line, the newest store node, the
+    flush covering it (if any), and the fence sealing that flush (if
+    any), each identified by its trace event index so diagnostics can
+    cite the witness path.
+
+    Two dirtiness views are deliberately maintained:
+
+    - the {b program-order view} ([status]) ignores silent cache
+      evictions: a line is dirty from its last store until an {e
+      explicit} flush covers it. This is what ordering rules (R1/R3)
+      reason about — an eviction persists the data in this simulator,
+      but no program may rely on one.
+    - the {b machine view} ([max_footprint_bytes]) subtracts every
+      write-back, silent or explicit, and adds undrained write-combining
+      bytes: the true worst-case dirty footprint the flush-on-fail save
+      path must cover (R5).
+
+    A machine with [fences_broken] (the checker's [Broken_fences]
+    sabotage) executes fences that order and drain nothing; since the
+    sabotage is invisible in the event trace (the fence event still
+    fires), it is a property of the analysed machine model, not of the
+    trace. *)
+
+type t
+
+val create : fences_broken:bool -> line_size:int -> t
+
+val line_of : t -> int -> int
+(** The cache line containing a byte address. *)
+
+(** {1 Transitions} — one call per trace event, in trace order, with the
+    event's index in the full stream. *)
+
+val store : t -> idx:int -> addr:int -> len:int -> unit
+(** A cached store: every covered line gets a fresh store node; any
+    flush/fence chain hanging off the previous store is severed. *)
+
+val store_nt : t -> idx:int -> addr:int -> unit
+(** An 8-byte non-temporal store enters the write-combining buffers;
+    undrained until a working {!fence} (or {!wbinvd}). *)
+
+val writeback : t -> idx:int -> line:int -> explicit:bool -> unit
+(** A dirty line left the hierarchy. Explicit write-backs (flush
+    instructions, NT displacement) count as a covering flush in the
+    program view; silent evictions only clean the machine view. *)
+
+type flush_result = {
+  covered : int list;  (** Program-dirty lines this flush covered. *)
+  redundant : bool;  (** No line in range was program-dirty. *)
+}
+
+val flush_line : t -> idx:int -> addr:int -> flush_result
+val flush_range : t -> idx:int -> addr:int -> len:int -> flush_result
+
+type fence_result =
+  | Drained of { flushed_lines : int list; nt_drained : int }
+      (** Sealed these flushed lines / drained this many NT stores. *)
+  | Fence_broken  (** The machine's fences are sabotaged: no effect. *)
+  | Fence_redundant  (** Nothing to order: no unfenced flush, no NT. *)
+
+val fence : t -> idx:int -> fence_result
+
+val wbinvd : t -> idx:int -> unit
+(** Synchronous write-back-and-invalidate: covers and seals every line
+    and drains the WC buffers even on a [fences_broken] machine (the
+    flush-on-fail save hardware does not go through [mfence]). *)
+
+(** {1 Queries} *)
+
+type status =
+  | Never_stored
+  | Dirty of { store : int }
+  | Flushed of { store : int; flush : int }
+      (** Covered but the flush is not yet sealed by a fence. *)
+  | Persist_ordered of { store : int; flush : int; fence : int }
+
+val status : t -> line:int -> status
+
+val nt_pending : t -> int
+(** Undrained non-temporal stores (count). *)
+
+val nt_last : t -> int
+(** Event index of the newest undrained NT store; [-1] if none. *)
+
+val epoch : t -> int
+(** Number of epoch splits so far (working fences + wbinvds). *)
+
+val max_footprint_bytes : t -> int
+(** Machine-view high-water mark: dirty lines resident in the hierarchy
+    plus undrained write-combining bytes. *)
+
+val first_store : t -> int
+(** Event index of the first cached store; [-1] if none. *)

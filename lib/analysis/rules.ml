@@ -1,0 +1,434 @@
+open Wsp_nvheap
+module Trace = Wsp_check.Trace
+module Hierarchy = Wsp_machine.Hierarchy
+module IntMap = Map.Make (Int)
+
+type machine = {
+  config : Config.t;
+  fences_broken : bool;
+  wsp_save_broken : bool;
+  hierarchy : Hierarchy.config;
+  platform : Wsp_machine.Platform.t;
+  psu : Wsp_power.Psu.spec;
+  busy : bool;
+}
+
+let default_machine ~config () =
+  {
+    config;
+    fences_broken = false;
+    wsp_save_broken = false;
+    hierarchy =
+      Wsp_machine.Platform.core_hierarchy Wsp_machine.Platform.intel_c5528;
+    platform = Wsp_machine.Platform.intel_c5528;
+    psu = Wsp_power.Psu.atx_1050;
+    busy = false;
+  }
+
+type severity = Error | Advisory
+
+let severity_name = function Error -> "error" | Advisory -> "advisory"
+
+type rule = R1 | R2 | R3 | R4 | R5
+
+let rule_name = function
+  | R1 -> "R1"
+  | R2 -> "R2"
+  | R3 -> "R3"
+  | R4 -> "R4"
+  | R5 -> "R5"
+
+let rule_slug = function
+  | R1 -> "unflushed-commit"
+  | R2 -> "unsealed-commit-record"
+  | R3 -> "redundant-flush-fence"
+  | R4 -> "heap-lifetime"
+  | R5 -> "fof-reliance-gap"
+
+let rule_of_name s =
+  match String.uppercase_ascii (String.trim s) with
+  | "R1" -> Some R1
+  | "R2" -> Some R2
+  | "R3" -> Some R3
+  | "R4" -> Some R4
+  | "R5" -> Some R5
+  | _ -> None
+
+type diagnostic = {
+  rule : rule;
+  severity : severity;
+  message : string;
+  line : int option;
+  txid : int64 option;
+  witness : int list;
+  wasted_ns : float option;
+}
+
+type stats = {
+  events : int;
+  mem_events : int;
+  txns : int;
+  epochs : int;
+  max_dirty_bytes : int;
+}
+
+type result = { diagnostics : diagnostic list; stats : stats }
+
+(* --- analysis state ------------------------------------------------- *)
+
+type st = {
+  m : machine;
+  pdag : Pdag.t;
+  alloc_base : int;
+  alloc_limit : int;
+  mutable diags : diagnostic list;  (* accumulated newest-first *)
+  mutable mem_events : int;
+  mutable txns : int;
+  (* transaction / log tracking *)
+  mutable cur_tx : int64 option;
+  mutable undo_payload : (int64 * int list) option;
+      (* Commit-event written_lines awaiting their k_commit append *)
+  redo_acc : (int, int64) Hashtbl.t;
+      (* line -> last committing txid since the last truncation *)
+  mutable open_commit : (int * int64 option) option;
+      (* k_commit append idx whose NT words are not yet drained *)
+  mutable r2_nt_last : int;
+  (* heap lifetime *)
+  mutable allocated : int IntMap.t;  (* payload addr -> size *)
+  mutable freed : (int * int) IntMap.t;  (* addr -> size, free event idx *)
+  pending_headers : (int, unit) Hashtbl.t;
+  mutable in_rollback : bool;
+  mutable tx_heap_journal : Alloc.event list;  (* newest first *)
+}
+
+let emit st d = st.diags <- d :: st.diags
+
+let diag ?line ?txid ?wasted_ns st rule severity witness fmt =
+  Fmt.kstr
+    (fun message ->
+      emit st { rule; severity; message; line; txid; witness; wasted_ns })
+    fmt
+
+let flush_on_commit st = st.m.config.Config.flush_on_commit
+let logging st = st.m.config.Config.logging
+
+(* --- R1: written lines persist-ordered before the commit record ----- *)
+
+(* One diagnostic per commit: the first offending line anchors the
+   witness; the message carries the total count. [lines] holds
+   line-aligned byte addresses (the {!Txn.Commit} payload), converted
+   to cache-line numbers here. *)
+let check_commit_lines st ~commit_idx ~txid ~what lines =
+  let lines = List.map (Pdag.line_of st.pdag) lines in
+  let offending =
+    List.filter_map
+      (fun line ->
+        match Pdag.status st.pdag ~line with
+        | Pdag.Never_stored | Pdag.Persist_ordered _ -> None
+        | Pdag.Dirty { store } -> Some (line, store, None)
+        | Pdag.Flushed { store; flush } -> Some (line, store, Some flush))
+      lines
+  in
+  match offending with
+  | [] -> ()
+  | (line, store, flush) :: _ ->
+      let witness =
+        match flush with
+        | None -> [ store; commit_idx ]
+        | Some f -> [ store; f; commit_idx ]
+      in
+      let how =
+        match flush with
+        | None -> "never flushed"
+        | Some _ -> "flushed but not fenced"
+      in
+      diag st ~line ?txid R1 Error witness
+        "%d of %d written line(s) not persist-ordered before %s (line %d %s)"
+        (List.length offending) (List.length lines) what line how
+
+(* --- R2: the commit record's NT words must drain ------------------- *)
+
+let r2_trigger st ~idx ~because =
+  match st.open_commit with
+  | None -> ()
+  | Some (append_idx, txid) ->
+      st.open_commit <- None;
+      let witness =
+        List.sort_uniq compare
+          (append_idx :: (if st.r2_nt_last >= 0 then [ st.r2_nt_last ] else [])
+          @ (if idx >= 0 then [ idx ] else []))
+      in
+      diag st ?txid R2 Error witness
+        "commit record not fenced before %s: its non-temporal words can \
+         still be lost"
+        because
+
+(* --- R4: heap lifetime ---------------------------------------------- *)
+
+let in_heap st addr = addr >= st.alloc_base && addr < st.alloc_limit
+
+let covering_block map addr len =
+  match IntMap.find_last_opt (fun a -> a <= addr) map with
+  | Some (a, size) when addr + len <= a + size -> Some (a, size)
+  | _ -> None
+
+let check_heap_store st ~idx ~addr ~len =
+  if
+    in_heap st addr && not st.in_rollback
+    && not (len = 8 && Hashtbl.mem st.pending_headers addr)
+  then
+    match covering_block st.allocated addr len with
+    | Some _ -> ()
+    | None -> (
+        let line = Pdag.line_of st.pdag addr in
+        match IntMap.find_last_opt (fun a -> a <= addr) st.freed with
+        | Some (a, (size, free_idx)) when addr + len <= a + size ->
+            diag st ~line ?txid:st.cur_tx R4 Error [ free_idx; idx ]
+              "store to freed heap block (addr %d, freed block [%d,+%d))" addr
+              a size
+        | _ ->
+            diag st ~line ?txid:st.cur_tx R4 Error [ idx ]
+              "store to unallocated heap address %d" addr)
+
+let heap_event st ~idx ev =
+  (match ev with
+  | Alloc.Alloc { addr; size } ->
+      st.allocated <- IntMap.add addr size st.allocated;
+      (* Reused addresses are live again. *)
+      st.freed <- IntMap.remove addr st.freed
+  | Alloc.Free { addr; size } ->
+      st.allocated <- IntMap.remove addr st.allocated;
+      st.freed <- IntMap.add addr (size, idx) st.freed
+  | Alloc.Header_write { addr } -> Hashtbl.replace st.pending_headers addr ());
+  (* Journal payload-lifetime changes for undo-abort reversal. *)
+  match ev with
+  | (Alloc.Alloc _ | Alloc.Free _)
+    when logging st = Config.Undo && Option.is_some st.cur_tx ->
+      st.tx_heap_journal <- ev :: st.tx_heap_journal
+  | Alloc.Alloc _ | Alloc.Free _ | Alloc.Header_write _ -> ()
+
+let revert_heap_journal st =
+  List.iter
+    (function
+      | Alloc.Alloc { addr; _ } -> st.allocated <- IntMap.remove addr st.allocated
+      | Alloc.Free { addr; size } ->
+          st.allocated <- IntMap.add addr size st.allocated;
+          st.freed <- IntMap.remove addr st.freed
+      | Alloc.Header_write _ -> ())
+    st.tx_heap_journal;
+  st.tx_heap_journal <- []
+
+(* --- the walk -------------------------------------------------------- *)
+
+let leave_rollback st = st.in_rollback <- false
+
+let step st i (ev : Trace.event) =
+  match ev with
+  | Trace.Mem mem -> (
+      st.mem_events <- st.mem_events + 1;
+      match mem with
+      | Nvram.Store { addr; len } ->
+          r2_trigger st ~idx:i ~because:"a later store";
+          check_heap_store st ~idx:i ~addr ~len;
+          Pdag.store st.pdag ~idx:i ~addr ~len
+      | Nvram.Store_nt { addr } ->
+          leave_rollback st;
+          Pdag.store_nt st.pdag ~idx:i ~addr;
+          if st.open_commit <> None then st.r2_nt_last <- i
+      | Nvram.Fence -> (
+          leave_rollback st;
+          match Pdag.fence st.pdag ~idx:i with
+          | Pdag.Drained _ -> st.open_commit <- None
+          | Pdag.Fence_broken -> ()
+          | Pdag.Fence_redundant ->
+              if not st.m.fences_broken then
+                diag st R3 Advisory [ i ]
+                  ~wasted_ns:
+                    (Wsp_sim.Time.to_ns st.m.hierarchy.Hierarchy.fence_latency)
+                  "redundant fence: no unfenced flush and no pending \
+                   non-temporal data")
+      | Nvram.Clflush { addr } ->
+          leave_rollback st;
+          let r = Pdag.flush_line st.pdag ~idx:i ~addr in
+          if r.Pdag.redundant && not st.m.fences_broken then
+            diag st R3 Advisory [ i ]
+              ~line:(Pdag.line_of st.pdag addr)
+              ~wasted_ns:
+                (Wsp_sim.Time.to_ns st.m.hierarchy.Hierarchy.clflush_issue)
+              "redundant clflush: line %d has no unflushed store"
+              (Pdag.line_of st.pdag addr)
+      | Nvram.Flush_range { addr; len } ->
+          leave_rollback st;
+          let r = Pdag.flush_range st.pdag ~idx:i ~addr ~len in
+          if r.Pdag.redundant && not st.m.fences_broken then begin
+            let n_lines =
+              if len <= 0 then 1
+              else
+                Pdag.line_of st.pdag (addr + len - 1)
+                - Pdag.line_of st.pdag addr + 1
+            in
+            diag st R3 Advisory [ i ]
+              ~wasted_ns:
+                (Wsp_sim.Time.to_ns
+                   (Wsp_sim.Time.mul st.m.hierarchy.Hierarchy.clflush_issue
+                      n_lines))
+              "redundant flush of %d-byte range: no covered line dirty" len
+          end
+      | Nvram.Wbinvd ->
+          leave_rollback st;
+          st.open_commit <- None;
+          Pdag.wbinvd st.pdag ~idx:i)
+  | Trace.Wb { line; explicit } ->
+      Pdag.writeback st.pdag ~idx:i ~line ~explicit
+  | Trace.Heap ev -> heap_event st ~idx:i ev
+  | Trace.Tx tx -> (
+      leave_rollback st;
+      match tx with
+      | Txn.Begin txid ->
+          st.cur_tx <- Some txid;
+          st.tx_heap_journal <- []
+      | Txn.Commit { txid; written_lines } -> (
+          st.txns <- st.txns + 1;
+          st.tx_heap_journal <- [];
+          match logging st with
+          | Config.Undo ->
+              if flush_on_commit st then
+                st.undo_payload <- Some (txid, written_lines)
+          | Config.Redo ->
+              if flush_on_commit st then
+                List.iter
+                  (fun line -> Hashtbl.replace st.redo_acc line txid)
+                  written_lines
+          | Config.No_log -> ())
+      | Txn.Abort _ ->
+          if logging st = Config.Undo then begin
+            revert_heap_journal st;
+            st.in_rollback <- true
+          end;
+          st.tx_heap_journal <- [])
+  | Trace.Log log -> (
+      match log with
+      | Rawlog.Append { kind; n_values = _ } ->
+          r2_trigger st ~idx:i ~because:"a later log append";
+          leave_rollback st;
+          if kind = Txn.k_commit && flush_on_commit st then begin
+            (match (logging st, st.undo_payload) with
+            | Config.Undo, Some (txid, lines) ->
+                st.undo_payload <- None;
+                check_commit_lines st ~commit_idx:i ~txid:(Some txid)
+                  ~what:"its commit record" lines
+            | (Config.Undo | Config.Redo | Config.No_log), _ -> ());
+            (* The record's own NT words start draining obligations. *)
+            st.open_commit <- Some (i, st.cur_tx);
+            st.r2_nt_last <- -1
+          end
+      | Rawlog.Truncate ->
+          r2_trigger st ~idx:i ~because:"log truncation";
+          leave_rollback st;
+          if logging st = Config.Redo && flush_on_commit st then begin
+            let lines =
+              Hashtbl.fold (fun line _ acc -> line :: acc) st.redo_acc []
+              |> List.sort compare
+            in
+            Hashtbl.reset st.redo_acc;
+            check_commit_lines st ~commit_idx:i ~txid:st.cur_tx
+              ~what:"redo-log truncation" lines
+          end)
+
+(* --- R5: flush-on-fail reliance ------------------------------------- *)
+
+let check_fof_budget st =
+  if not (flush_on_commit st) then begin
+    let footprint = Pdag.max_footprint_bytes st.pdag in
+    if st.m.wsp_save_broken && footprint > 0 then
+      diag st R5 Error
+        (if Pdag.first_store st.pdag >= 0 then [ Pdag.first_store st.pdag ]
+         else [])
+        "flush-on-fail reliance with a broken WSP save: %d dirty bytes would \
+         never reach the NVDIMM image"
+        footprint
+    else begin
+      let b =
+        Wsp_core.System.save_budget ~platform:st.m.platform ~psu:st.m.psu
+          ~busy:st.m.busy ~dirty_bytes:footprint ()
+      in
+      if not b.Wsp_core.System.fits then
+        diag st R5 Error
+          (if Pdag.first_store st.pdag >= 0 then [ Pdag.first_store st.pdag ]
+           else [])
+          "residual-energy budget blown: save path needs %s (detection %s + \
+           host save %s at %d dirty bytes) but the worst-case %s window is %s"
+          (Wsp_sim.Time.to_string b.Wsp_core.System.total)
+          (Wsp_sim.Time.to_string b.Wsp_core.System.detection)
+          (Wsp_sim.Time.to_string b.Wsp_core.System.host_save)
+          footprint st.m.psu.Wsp_power.Psu.name
+          (Wsp_sim.Time.to_string b.Wsp_core.System.window)
+    end
+  end
+
+(* --- entry point ----------------------------------------------------- *)
+
+let severity_rank = function Error -> 0 | Advisory -> 1
+let rule_rank = function R1 -> 1 | R2 -> 2 | R3 -> 3 | R4 -> 4 | R5 -> 5
+
+let diag_key d =
+  ( severity_rank d.severity,
+    (match d.witness with [] -> max_int | i :: _ -> i),
+    rule_rank d.rule,
+    Option.value d.line ~default:(-1),
+    d.message )
+
+let analyze m (recording : Trace.recording) =
+  let st =
+    {
+      m;
+      pdag =
+        Pdag.create ~fences_broken:m.fences_broken
+          ~line_size:recording.Trace.line_size;
+      alloc_base = recording.Trace.alloc_base;
+      alloc_limit = recording.Trace.alloc_limit;
+      diags = [];
+      mem_events = 0;
+      txns = 0;
+      cur_tx = None;
+      undo_payload = None;
+      redo_acc = Hashtbl.create 256;
+      open_commit = None;
+      r2_nt_last = -1;
+      allocated = IntMap.empty;
+      freed = IntMap.empty;
+      pending_headers = Hashtbl.create 64;
+      in_rollback = false;
+      tx_heap_journal = [];
+    }
+  in
+  Array.iteri (fun i ev -> step st i ev) recording.Trace.events;
+  r2_trigger st ~idx:(-1) ~because:"the end of the trace";
+  (* Under flush-on-commit every non-temporal store is a log record
+     written for durability; data still pending in the write-combining
+     buffers at the end of the trace was never drained by a working
+     fence and dies with the power. Catches journalled (non-
+     transactional) protocols R2's commit-record tracking cannot see. *)
+  (if flush_on_commit st && Pdag.nt_pending st.pdag > 0 then
+     let witness =
+       if Pdag.nt_last st.pdag >= 0 then [ Pdag.nt_last st.pdag ] else []
+     in
+     diag st R2 Error witness
+       "%d non-temporal log word(s) never drained by a working fence before \
+        the end of the trace"
+       (Pdag.nt_pending st.pdag));
+  check_fof_budget st;
+  let diagnostics =
+    List.sort (fun a b -> compare (diag_key a) (diag_key b)) st.diags
+  in
+  {
+    diagnostics;
+    stats =
+      {
+        events = Array.length recording.Trace.events;
+        mem_events = st.mem_events;
+        txns = st.txns;
+        epochs = Pdag.epoch st.pdag;
+        max_dirty_bytes = Pdag.max_footprint_bytes st.pdag;
+      };
+  }

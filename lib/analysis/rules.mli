@@ -1,0 +1,89 @@
+(** The lint rule engine: one forward pass over a persistency-trace
+    recording, driving the {!Pdag} frontier and judging the rules below.
+    No recovery is executed and no crash points are enumerated — the
+    bug classes are exactly the missing-flush / missing-fence /
+    redundant-flush taxonomy of "Persistent Memory Transactions"
+    (Marathe et al.), plus heap lifetime and the paper's own
+    flush-on-fail energy-budget obligation.
+
+    {b R1 — unflushed commit} (error, flush-on-commit only): a line in a
+    transaction's written set is not persist-ordered (flushed {e and}
+    fenced) before the commit record that discards (undo) or stops
+    replaying (redo, at truncation) the log records protecting it.
+
+    {b R2 — unsealed commit record} (error, flush-on-commit only): a
+    durable-mode commit record's non-temporal words are not drained by a
+    working fence before a later store, log operation, or the end of the
+    trace makes the program depend on them.
+
+    {b R3 — redundant flush / fence} (advisory): a flush instruction
+    covering no program-dirty line, or a fence with nothing to order —
+    correct but wasted simulated time, estimated from the machine
+    model's calibrated latency tables. Suppressed on a [fences_broken]
+    machine, where fence semantics are void anyway.
+
+    {b R4 — heap lifetime} (error): a store into the allocator region
+    that hits no currently-allocated payload (freed or never allocated).
+    Allocator-header words and undo-rollback writes are exempt.
+
+    {b R5 — flush-on-fail reliance gap} (error, flush-on-fail only): the
+    trace's worst-case dirty footprint cannot be saved — either the
+    machine's WSP save is sabotaged ([wsp_save_broken]) while dirty data
+    exists, or {!Wsp_core.System.save_budget} says the PSU's worst-case
+    residual window cannot cover the Figure-4 save path at that
+    footprint. *)
+
+open Wsp_nvheap
+
+type machine = {
+  config : Config.t;  (** Persistence configuration the trace ran under. *)
+  fences_broken : bool;  (** The checker's [Broken_fences] sabotage. *)
+  wsp_save_broken : bool;  (** The checker's [Broken_wsp_save] sabotage. *)
+  hierarchy : Wsp_machine.Hierarchy.config;
+      (** Latency tables for R3 waste estimates. *)
+  platform : Wsp_machine.Platform.t;  (** R5 budget: load + save costs. *)
+  psu : Wsp_power.Psu.spec;  (** R5 budget: residual window. *)
+  busy : bool;  (** R5 budget: DC load drawn during the window. *)
+}
+
+val default_machine : config:Config.t -> unit -> machine
+(** Intel C5528 / 1050 W PSU / idle, no sabotage — matching
+    {!Wsp_core.System.create} defaults. *)
+
+type severity = Error | Advisory
+
+val severity_name : severity -> string
+
+type rule = R1 | R2 | R3 | R4 | R5
+
+val rule_name : rule -> string
+(** ["R1"].. ["R5"] — the ids the CLI's [--expect] flag takes. *)
+
+val rule_slug : rule -> string
+val rule_of_name : string -> rule option
+
+type diagnostic = {
+  rule : rule;
+  severity : severity;
+  message : string;
+  line : int option;  (** Cache line number, when line-specific. *)
+  txid : int64 option;  (** Transaction, when attributable. *)
+  witness : int list;
+      (** Ascending trace-event indices forming the shortest violating
+          path (e.g. store → flush → commit-record append). *)
+  wasted_ns : float option;  (** R3: estimated wasted simulated time. *)
+}
+
+type stats = {
+  events : int;  (** Full interleaved trace length. *)
+  mem_events : int;
+  txns : int;  (** Commits observed. *)
+  epochs : int;  (** Working-fence epoch splits. *)
+  max_dirty_bytes : int;  (** Machine-view footprint high-water mark. *)
+}
+
+type result = { diagnostics : diagnostic list; stats : stats }
+
+val analyze : machine -> Wsp_check.Trace.recording -> result
+(** One pass, O(events); diagnostics are sorted canonically (errors
+    first, then by witness position) so reports are deterministic. *)

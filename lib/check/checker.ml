@@ -68,7 +68,9 @@ let log_size = Units.Size.kib 128
 let buckets = 256
 let skiplist_seed = 7
 
-let heap_len = function Block_kv -> region_bytes / 2 | _ -> region_bytes
+let heap_len = function
+  | Block_kv -> region_bytes / 2
+  | Btree | Hash_table | Skiplist -> region_bytes
 let device_base = region_bytes / 2
 let device_len = region_bytes / 2
 
@@ -181,7 +183,7 @@ let run_script env st ~kind script =
               st.in_commit <- false)
             ops)
         script
-  | _ ->
+  | Btree | Hash_table | Skiplist ->
       List.iter
         (fun ops ->
           Pheap.begin_tx env.heap;
@@ -198,13 +200,26 @@ let run_script env st ~kind script =
         script
 
 (* Records the full persistency trace of one complete execution. *)
-let record ~kind ~config ~fault script =
+let record' ~kind ~config ~fault script =
   let env = make_env ~kind ~config ~fault () in
   let tr = Ptrace.create () in
   Ptrace.instrument tr env.heap;
   run_script env (fresh_state ()) ~kind script;
   Ptrace.detach env.heap;
-  tr
+  (tr, env)
+
+let record ~kind ~config ~fault script =
+  fst (record' ~kind ~config ~fault script)
+
+(* The static analyzer's entry point: the same deterministic seeded
+   workload [check] explores, but recorded once with no crash
+   enumeration, bundled with the heap geometry. *)
+let record_workload ?(txns = 32) ?(ops_per_txn = 3) ?(keyspace = 40)
+    ?(setup_entries = 16) ?(fault = No_fault) ~kind ~config ~seed () =
+  let rng = Rng.create ~seed in
+  let script = gen_script ~rng ~txns ~ops_per_txn ~keyspace ~setup_entries in
+  let tr, env = record' ~kind ~config ~fault script in
+  Ptrace.snapshot tr env.heap
 
 (* Re-executes the script, cutting power before memory event [point].
    Returns the volatile image at the crash instant, or None if the trace
@@ -241,7 +256,7 @@ let recover_env ~kind ~config env =
         Blockstore.attach env.nvram ~base:device_base ~len:device_len ()
       in
       (block_kv_handle (Block_kv.recover ~buckets ~heap ~device ()), heap)
-  | _ ->
+  | (Btree | Hash_table | Skiplist) as kind ->
       let heap =
         Pheap.attach_in ~config ~log_size ~nvram:env.nvram ~base:0
           ~len:(heap_len kind) ()

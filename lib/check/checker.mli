@@ -76,6 +76,24 @@ type fault =
 
 val fault_name : fault -> string
 
+(** {1 Recording without crash enumeration} *)
+
+val record_workload :
+  ?txns:int ->
+  ?ops_per_txn:int ->
+  ?keyspace:int ->
+  ?setup_entries:int ->
+  ?fault:fault ->
+  kind:kind ->
+  config:Config.t ->
+  seed:int ->
+  unit ->
+  Trace.recording
+(** Records one complete execution of the same deterministic seeded
+    workload {!check} explores — no crash points, no recovery — and
+    returns the trace with its heap geometry: the static analyzer's
+    input. Defaults match {!check}. *)
+
 (** {1 Checking} *)
 
 type violation = {

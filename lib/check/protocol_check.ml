@@ -49,7 +49,7 @@ let run_one ~strategy ~validate_marker ~seed step =
     | System.Recovered _
       when validate_marker && report.System.marker_written_at = None ->
         Some "resumed from an image whose valid marker was never written"
-    | _ -> None
+    | System.Recovered _ | System.Invalid_marker | System.No_image -> None
   in
   { step; strategy; outcome; data_intact; violation }
 

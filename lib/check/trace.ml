@@ -4,27 +4,69 @@ type event =
   | Mem of Nvram.event
   | Log of Rawlog.event
   | Tx of Txn.event
+  | Wb of { line : int; explicit : bool }
+  | Heap of Alloc.event
 
 type t = { mutable rev : event list; mutable mem : int }
 
 let create () = { rev = []; mem = 0 }
 
 let instrument t heap =
+  (* Baseline: blocks allocated before recording began (structure setup)
+     are replayed as synthetic Alloc events so lifetime tracking starts
+     from the true heap state. iter_allocated walks addresses ascending,
+     so the baseline is deterministic. *)
+  Alloc.iter_allocated (Pheap.allocator heap) (fun ~addr ~size ->
+      t.rev <- Heap (Alloc.Alloc { addr; size }) :: t.rev);
   Nvram.set_hook (Pheap.nvram heap)
     (Some
        (fun e ->
          t.rev <- Mem e :: t.rev;
          t.mem <- t.mem + 1));
   Rawlog.set_hook (Pheap.log heap) (Some (fun e -> t.rev <- Log e :: t.rev));
-  Txn.set_hook (Pheap.txn heap) (Some (fun e -> t.rev <- Tx e :: t.rev))
+  Txn.set_hook (Pheap.txn heap) (Some (fun e -> t.rev <- Tx e :: t.rev));
+  Alloc.set_hook (Pheap.allocator heap)
+    (Some (fun e -> t.rev <- Heap e :: t.rev));
+  (* Machine-level tap: only write-backs are recorded — stores and fences
+     are already visible as [Mem] events, but the moment a dirty line
+     leaves the hierarchy (especially a silent capacity eviction) is
+     something only the cache model knows. *)
+  Wsp_machine.Hierarchy.set_on_op
+    (Nvram.hierarchy (Pheap.nvram heap))
+    (Some
+       (function
+         | Wsp_machine.Hierarchy.Op_writeback { line; explicit } ->
+             t.rev <- Wb { line; explicit } :: t.rev
+         | Wsp_machine.Hierarchy.Op_store _ | Wsp_machine.Hierarchy.Op_fence
+           ->
+             ()))
 
 let detach heap =
   Nvram.set_hook (Pheap.nvram heap) None;
   Rawlog.set_hook (Pheap.log heap) None;
-  Txn.set_hook (Pheap.txn heap) None
+  Txn.set_hook (Pheap.txn heap) None;
+  Alloc.set_hook (Pheap.allocator heap) None;
+  Wsp_machine.Hierarchy.set_on_op (Nvram.hierarchy (Pheap.nvram heap)) None
 
 let mem_length t = t.mem
 let events t = Array.of_list (List.rev t.rev)
+
+type recording = {
+  events : event array;
+  line_size : int;
+  alloc_base : int;
+  alloc_limit : int;
+}
+
+let snapshot t heap =
+  let nv = Pheap.nvram heap in
+  let al = Pheap.allocator heap in
+  {
+    events = events t;
+    line_size = Nvram.line_size nv;
+    alloc_base = Alloc.base al;
+    alloc_limit = Alloc.limit al;
+  }
 
 let pp_event ppf = function
   | Mem (Nvram.Store { addr; len }) -> Fmt.pf ppf "store[%d,+%d]" addr len
@@ -37,8 +79,15 @@ let pp_event ppf = function
       Fmt.pf ppf "log-append(kind=%d,n=%d)" kind n_values
   | Log Rawlog.Truncate -> Fmt.pf ppf "log-truncate"
   | Tx (Txn.Begin txid) -> Fmt.pf ppf "tx-begin(%Ld)" txid
-  | Tx (Txn.Commit txid) -> Fmt.pf ppf "tx-commit(%Ld)" txid
+  | Tx (Txn.Commit { txid; written_lines }) ->
+      Fmt.pf ppf "tx-commit(%Ld,%d lines)" txid (List.length written_lines)
   | Tx (Txn.Abort txid) -> Fmt.pf ppf "tx-abort(%Ld)" txid
+  | Wb { line; explicit } ->
+      Fmt.pf ppf "writeback[line %d,%s]" line
+        (if explicit then "flush" else "evict")
+  | Heap (Alloc.Alloc { addr; size }) -> Fmt.pf ppf "alloc[%d,+%d]" addr size
+  | Heap (Alloc.Free { addr; size }) -> Fmt.pf ppf "free[%d,+%d]" addr size
+  | Heap (Alloc.Header_write { addr }) -> Fmt.pf ppf "heap-header[%d]" addr
 
 (* Index in the full stream of the [k]-th memory event, or None. *)
 let mem_pos stream k =
@@ -53,7 +102,7 @@ let mem_pos stream k =
                raise Exit
              end;
              incr seen
-         | _ -> ())
+         | Log _ | Tx _ | Wb _ | Heap _ -> ())
        stream
    with Exit -> ());
   !pos
@@ -74,7 +123,7 @@ let describe_mem stream k =
            | (Log _ | Tx _) when !context = None ->
                context := Some stream.(j);
                raise Exit
-           | _ -> ()
+           | Mem _ | Log _ | Tx _ | Wb _ | Heap _ -> ()
          done
        with Exit -> ());
       match !context with

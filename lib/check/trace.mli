@@ -14,6 +14,15 @@ type event =
   | Mem of Nvram.event
   | Log of Rawlog.event
   | Tx of Txn.event
+  | Wb of { line : int; explicit : bool }
+      (** A dirty cache line left the hierarchy — [explicit] for flush
+          instructions and NT displacement, [false] for silent capacity
+          evictions. Machine-level enrichment for the static analyzer;
+          not a crash point (the corresponding flush already is one). *)
+  | Heap of Alloc.event
+      (** Allocator lifetime annotations (alloc/free/header-write). At
+          {!instrument} time every block already allocated is replayed
+          as a synthetic [Alloc] baseline event. *)
 
 type t
 
@@ -32,6 +41,18 @@ val mem_length : t -> int
 
 val events : t -> event array
 (** The full interleaved stream, in program order. *)
+
+type recording = {
+  events : event array;  (** The full interleaved stream. *)
+  line_size : int;  (** Cache-line size all line addresses refer to. *)
+  alloc_base : int;  (** First byte of the allocator heap region. *)
+  alloc_limit : int;  (** One past the last heap byte. *)
+}
+(** A finished trace bundled with the heap geometry a consumer needs to
+    interpret it — the static analyzer's input. *)
+
+val snapshot : t -> Pheap.t -> recording
+(** The recording so far, with geometry read off the given heap. *)
 
 val mem_event : event array -> int -> event option
 (** The [k]-th memory event of a stream. *)

@@ -140,7 +140,8 @@ let power_off t engine =
         t.report.emergency_save <- true;
         (match Nvdimm.state t.nvdimm with
         | Nvdimm.Active -> Nvdimm.enter_self_refresh t.nvdimm
-        | _ -> ());
+        | Nvdimm.Self_refresh | Nvdimm.Saving | Nvdimm.Saved
+        | Nvdimm.Restoring | Nvdimm.Lost -> ());
         Nvdimm.initiate_save t.nvdimm ~on_complete:(fun engine result ->
             t.report.nvdimm_done_at <- Some (Engine.now engine);
             t.report.nvdimm_ok <- result = `Saved);
@@ -506,3 +507,47 @@ let power_on_and_restore t =
 let run_failure_cycle t =
   inject_power_failure t;
   power_on_and_restore t
+
+(* --- static save-budget analysis ---------------------------------- *)
+
+type save_budget = {
+  window : Time.t;
+  detection : Time.t;
+  host_save : Time.t;
+  total : Time.t;
+  fits : bool;
+}
+
+(* The Figure-4 critical path priced without building a machine: the
+   static analyzer's FoF reliance check asks whether the worst-case
+   residual window covers detection plus the host save for a given dirty
+   footprint. Mirrors the dynamic path for the Restore_reinit /
+   Virtualized_replay strategies (no ACPI device suspend on the save
+   side) and the Power_monitor's default latencies; the window takes the
+   PSU's worst run-to-run jitter, so a [fits] budget holds across the
+   jittered dynamic runs too. *)
+let save_budget ?(platform = Platform.intel_c5528) ?(psu = Psu.atx_1050)
+    ?(busy = false) ~dirty_bytes () =
+  let load =
+    if busy then platform.Platform.power_busy else platform.Platform.power_idle
+  in
+  let nominal =
+    Time.min
+      (Units.Energy.duration_at psu.Psu.residual_energy load)
+      psu.Psu.max_hold
+  in
+  let window = Time.scale nominal (1.0 -. psu.Psu.run_jitter) in
+  let detection =
+    Time.add Power_monitor.default_detect_latency
+      Power_monitor.default_serial_latency
+  in
+  let host_save =
+    Time.add
+      (Time.add platform.Platform.ipi_latency
+         platform.Platform.context_save_latency)
+      (Time.add
+         (Flush.wbinvd_time platform ~dirty_bytes)
+         (Time.add marker_step_latency Power_monitor.default_i2c_latency))
+  in
+  let total = Time.add detection host_save in
+  { window; detection; host_save; total; fits = Time.(total <= window) }

@@ -85,6 +85,35 @@ val host_save_latency : save_report -> Time.t option
 (** Interrupt to NVDIMM-save initiation — the part that must fit in the
     residual energy window. *)
 
+(** {1 Static save-budget analysis} *)
+
+type save_budget = {
+  window : Time.t;
+      (** Worst-case residual-energy window: the PSU's nominal window at
+          the given load, derated by its run-to-run jitter. *)
+  detection : Time.t;  (** Monitor polling + serial interrupt delivery. *)
+  host_save : Time.t;
+      (** Interrupt to NVDIMM-save initiation: IPI + context save +
+          wbinvd at the given dirty footprint + marker + I2C signal. *)
+  total : Time.t;  (** [detection + host_save]. *)
+  fits : bool;  (** [total <= window]. *)
+}
+
+val save_budget :
+  ?platform:Platform.t ->
+  ?psu:Wsp_power.Psu.spec ->
+  ?busy:bool ->
+  dirty_bytes:int ->
+  unit ->
+  save_budget
+(** Prices the Figure-4 save path statically — no engine, no machine —
+    against the worst-case residual window. Models the
+    [Restore_reinit]/[Virtualized_replay] strategies (no ACPI suspend on
+    the save side) with the {!Wsp_power.Power_monitor} default
+    latencies. Defaults match {!create}: Intel C5528, 1050 W PSU, idle
+    load. The static analyzer's FoF reliance check (rule R5) feeds the
+    max observed dirty footprint in as [dirty_bytes]. *)
+
 type t
 
 val create :

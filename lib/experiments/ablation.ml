@@ -42,7 +42,9 @@ let marker_data ?(seed = 51) () =
       System.inject_power_failure sys;
       let outcome = System.power_on_and_restore sys in
       let claimed_recovery =
-        match outcome with System.Recovered _ -> true | _ -> false
+        match outcome with
+        | System.Recovered _ -> true
+        | System.Invalid_marker | System.No_image -> false
       in
       {
         marker_enabled = validate_marker;
@@ -70,7 +72,7 @@ let strategy_data ?(seed = 53) () =
       let resume =
         match outcome with
         | System.Recovered { resume_latency; _ } -> Some resume_latency
-        | _ -> None
+        | System.Invalid_marker | System.No_image -> None
       in
       {
         strategy;
@@ -78,7 +80,7 @@ let strategy_data ?(seed = 53) () =
         resume;
         survived = (match outcome with
                    | System.Recovered _ -> verify sys addr expected
-                   | _ -> false);
+                   | System.Invalid_marker | System.No_image -> false);
       })
     [ System.Acpi_save; System.Restore_reinit; System.Virtualized_replay ]
 

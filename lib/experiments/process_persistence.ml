@@ -36,7 +36,7 @@ let data ?(seed = 77) () =
           state_preserved = "heap + stacks + thread contexts + OS state";
           device_story = "device stack must be restarted/replayed";
         }
-    | o ->
+    | (System.Invalid_marker | System.No_image) as o ->
         {
           label = "Whole-system (WSP)";
           outcome = System.outcome_name o;
@@ -75,7 +75,7 @@ let data ?(seed = 77) () =
               state_preserved = "nothing: recover from the back end";
               device_story = "fresh kernel";
             })
-    | o ->
+    | (System.Invalid_marker | System.No_image) as o ->
         {
           label;
           outcome = System.outcome_name o;

@@ -30,6 +30,16 @@ type metrics = {
   m_fences : Wsp_obs.Metrics.Counter.t;
 }
 
+(* Machine-level persistency ops, beneath the memory-event stream the
+   NVRAM publishes: the one fact only the hierarchy knows is *when a
+   dirty line leaves it* — explicitly (flush instructions) or silently
+   (capacity eviction). The static persistency analyzer needs the
+   silent write-backs to track the true dirty footprint. *)
+type op =
+  | Op_store of { line : int }
+  | Op_writeback of { line : int; explicit : bool }
+  | Op_fence
+
 type t = {
   cfg : config;
   levels : Cache.t array;  (* levels.(0) is L1; last is the LLC. *)
@@ -43,8 +53,13 @@ type t = {
       (* Scratch table reused by the dirty-line union walks; reset per
          call so dirty polls allocate no fresh table. *)
   mutable on_writeback : line:int -> unit;
+  mutable on_op : (op -> unit) option;
+      (* Persistency-op tap for the static analyzer; [None] keeps the
+         access path emission-free (an option probe, no closure call). *)
   m : metrics;
 }
+
+let emit t op = match t.on_op with None -> () | Some f -> f op
 
 let create ?(on_writeback = fun ~line:_ -> ()) (cfg : config) =
   (match cfg.levels with
@@ -75,6 +90,7 @@ let create ?(on_writeback = fun ~line:_ -> ()) (cfg : config) =
     line_size;
     seen = Hashtbl.create 256;
     on_writeback;
+    on_op = None;
     m =
       {
         m_hits = c "machine.cache.hits";
@@ -96,6 +112,7 @@ let create ?(on_writeback = fun ~line:_ -> ()) (cfg : config) =
 let config t = t.cfg
 let line_size t = t.line_size
 let set_on_writeback t f = t.on_writeback <- f
+let set_on_op t f = t.on_op <- f
 let llc t = t.levels.(Array.length t.levels - 1)
 
 let line_of t addr =
@@ -117,6 +134,7 @@ let rec evict_from t i (victim : Cache.victim) =
   if i = Array.length t.levels - 1 then begin
     if !dirty then begin
       C.add t.m.m_writeback_bytes t.line_size;
+      emit t (Op_writeback { line = victim.line; explicit = false });
       t.on_writeback ~line:victim.line
     end
   end
@@ -165,7 +183,10 @@ let access t ~addr ~write =
       Array.unsafe_get t.cum_hit_latency k
     end
   in
-  if write then Cache.set_dirty t.levels.(0) ~line;
+  if write then begin
+    Cache.set_dirty t.levels.(0) ~line;
+    emit t (Op_store { line })
+  end;
   latency
 
 let load t ~addr = access t ~addr ~write:false
@@ -185,12 +206,14 @@ let store_nt t ~addr =
      bytes are not lost when the caller writes directly to backing. *)
   if invalidate_line t line then begin
     C.add t.m.m_nt_flush_bytes t.line_size;
+    emit t (Op_writeback { line; explicit = true });
     t.on_writeback ~line
   end;
   t.cfg.nt_store_latency
 
 let fence t =
   C.incr t.m.m_fences;
+  emit t Op_fence;
   t.cfg.fence_latency
 
 let clflush t ~addr =
@@ -199,6 +222,7 @@ let clflush t ~addr =
   let dirty = invalidate_line t line in
   if dirty then begin
     C.add t.m.m_clflush_bytes t.line_size;
+    emit t (Op_writeback { line; explicit = true });
     t.on_writeback ~line
   end;
   let latency = t.cfg.clflush_issue in
@@ -219,6 +243,7 @@ let flush_lines t ~addr ~len =
     for line = first to last do
       if invalidate_line t line then begin
         incr dirty;
+        emit t (Op_writeback { line; explicit = true });
         t.on_writeback ~line
       end
     done;
@@ -290,6 +315,7 @@ let flush_all t =
   let dirty = ref 0 in
   iter_dirty t (fun line ->
       incr dirty;
+      emit t (Op_writeback { line; explicit = true });
       t.on_writeback ~line);
   C.add t.m.m_wbinvd_bytes (!dirty * t.line_size);
   Array.iter Cache.clear t.levels;

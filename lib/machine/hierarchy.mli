@@ -33,6 +33,19 @@ type config = {
           of dirty lines, cf. Figure 8). *)
 }
 
+type op =
+  | Op_store of { line : int }  (** A cached store dirtied [line]. *)
+  | Op_writeback of { line : int; explicit : bool }
+      (** A dirty [line] left the hierarchy. [explicit] for flush
+          instructions and NT-store displacement; [false] for silent
+          capacity evictions — the distinction the static persistency
+          analyzer needs, since only explicit write-backs are ordering
+          points a program may rely on. *)
+  | Op_fence  (** An [mfence] was executed (whether or not it drains). *)
+(** The machine-level persistency-op stream, beneath the {!Wsp_nvheap}
+    event hooks: the hierarchy is the only component that knows when
+    dirty lines silently leave the caches. *)
+
 type t
 
 val create : ?on_writeback:(line:int -> unit) -> config -> t
@@ -41,6 +54,10 @@ val config : t -> config
 val line_size : t -> int
 
 val set_on_writeback : t -> (line:int -> unit) -> unit
+
+val set_on_op : t -> (op -> unit) option -> unit
+(** Installs (or with [None] removes) the persistency-op tap. [None] by
+    default; the access path pays only an option probe when untapped. *)
 
 val load : t -> addr:int -> Time.t
 (** Reads one word; returns the charged latency. *)

@@ -80,7 +80,8 @@ let exit_self_refresh t =
 let initiate_save t ~on_complete =
   (match t.state with
   | Self_refresh -> ()
-  | s -> invalid_arg (Fmt.str "Nvdimm.initiate_save: module is %s" (state_name s)));
+  | (Active | Saving | Saved | Restoring | Lost) as s ->
+      invalid_arg (Fmt.str "Nvdimm.initiate_save: module is %s" (state_name s)));
   t.state <- Saving;
   let duration = save_duration t in
   let can_finish =
@@ -121,7 +122,7 @@ let host_power_lost t =
 let initiate_restore t ~on_complete =
   (match t.state with
   | Self_refresh | Saved | Lost -> ()
-  | s ->
+  | (Active | Saving | Restoring) as s ->
       invalid_arg (Fmt.str "Nvdimm.initiate_restore: module is %s" (state_name s)));
   if not (Flash.image_complete t.flash) then
     ignore (Engine.schedule t.engine ~after:Time.zero (fun engine -> on_complete engine `No_image))

@@ -2,12 +2,21 @@
    region. header = (payload_size << 1) | used. A block's payload address
    is header address + 8. *)
 
+type event =
+  | Alloc of { addr : int; size : int }
+  | Free of { addr : int; size : int }
+  | Header_write of { addr : int }
+
 type t = {
   nvram : Nvram.t;
   base : int;
   limit : int;  (* one past the last byte *)
   mutable free_list : int list;  (* header addresses, unordered *)
+  mutable hook : (event -> unit) option;
 }
+
+let set_hook t hook = t.hook <- hook
+let emit t ev = match t.hook with None -> () | Some f -> f ev
 
 let header_size = 8
 let align n = (n + 7) land lnot 7
@@ -21,6 +30,7 @@ let read_header t addr =
 
 let write_header t ?on_header_write addr ~size ~used =
   (match on_header_write with Some f -> f ~addr | None -> ());
+  emit t (Header_write { addr });
   let w = Int64.logor (Int64.shift_left (Int64.of_int size) 1) (if used then 1L else 0L) in
   Nvram.write_u64 t.nvram ~addr w
 
@@ -29,7 +39,7 @@ let create nvram ~base ~len =
     invalid_arg "Alloc.create: region too small";
   if base mod 8 <> 0 then invalid_arg "Alloc.create: unaligned base";
   let len = len land lnot 7 in
-  let t = { nvram; base; limit = base + len; free_list = [] } in
+  let t = { nvram; base; limit = base + len; free_list = []; hook = None } in
   write_header t base ~size:(len - header_size) ~used:false;
   t.free_list <- [ base ];
   t
@@ -60,7 +70,7 @@ let recover t =
 
 let attach nvram ~base ~len =
   let len = len land lnot 7 in
-  let t = { nvram; base; limit = base + len; free_list = [] } in
+  let t = { nvram; base; limit = base + len; free_list = []; hook = None } in
   recover t;
   t
 
@@ -81,6 +91,7 @@ let alloc t ?on_header_write n =
   | Some (hdr, size, rest) ->
       let remainder = size - n in
       if remainder >= header_size + min_payload then begin
+        emit t (Alloc { addr = hdr + header_size; size = n });
         (* Split: the tail becomes a new free block. *)
         let tail_hdr = hdr + header_size + n in
         write_header t ?on_header_write tail_hdr
@@ -89,6 +100,7 @@ let alloc t ?on_header_write n =
         t.free_list <- tail_hdr :: rest
       end
       else begin
+        emit t (Alloc { addr = hdr + header_size; size });
         write_header t ?on_header_write hdr ~size ~used:true;
         t.free_list <- rest
       end;
@@ -101,6 +113,7 @@ let free t ?on_header_write payload =
   if hdr < t.base || hdr >= t.limit then invalid_arg "Alloc.free: bad address";
   let size, used = read_header t hdr in
   if not used then invalid_arg "Alloc.free: double free";
+  emit t (Free { addr = payload; size });
   (* Coalesce with a free right neighbour so long churn does not
      fragment the region unboundedly. *)
   let next = next_block t hdr size in

@@ -10,6 +10,18 @@
     transactional configurations must log them (the {!Pheap} facade does
     this automatically). *)
 
+type event =
+  | Alloc of { addr : int; size : int }
+      (** A payload of [size] bytes (already aligned/rounded) was handed
+          out at [addr]. Emitted before the header mutations. *)
+  | Free of { addr : int; size : int }
+      (** The payload at [addr] (of [size] bytes) was returned. Emitted
+          before the header mutations. *)
+  | Header_write of { addr : int }
+      (** A block-header word at [addr] is about to be written — lets a
+          trace consumer whitelist allocator-metadata stores that are
+          not stores to any payload. *)
+
 type t
 
 val create : Nvram.t -> base:int -> len:int -> t
@@ -21,6 +33,10 @@ val attach : Nvram.t -> base:int -> len:int -> t
 
 val base : t -> int
 val limit : t -> int
+
+val set_hook : t -> (event -> unit) option -> unit
+(** Installs (or clears) the allocation-event hook, the companion of
+    {!Nvram.set_hook} for heap-lifetime tracking (use-after-free lint). *)
 
 val alloc : t -> ?on_header_write:(addr:int -> unit) -> int -> int
 (** [alloc t n] returns the address of an [n]-byte payload ([n > 0];

@@ -69,6 +69,7 @@ let emit t ev = match t.hook with None -> () | Some f -> f ev
 
 let size t = Bytes.length t.backing
 let line_size t = t.line_size
+let hierarchy t = t.hierarchy
 let clock t = t.clock
 let reset_clock t = t.clock <- Time.zero
 let charge t span = t.clock <- Time.add t.clock span

@@ -31,6 +31,11 @@ val create :
 val size : t -> int
 val line_size : t -> int
 
+val hierarchy : t -> Wsp_machine.Hierarchy.t
+(** The cache hierarchy behind this NVRAM — exposed so instrumentation
+    (e.g. the static analyzer's trace recorder) can tap its
+    {!Wsp_machine.Hierarchy.set_on_op} persistency-op stream. *)
+
 val clock : t -> Time.t
 (** Simulated time consumed by memory operations so far. *)
 

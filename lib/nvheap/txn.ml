@@ -20,7 +20,10 @@ type tx = {
   mutable began_in_log : bool;  (* Begin record written (lazy) *)
 }
 
-type event = Begin of int64 | Commit of int64 | Abort of int64
+type event =
+  | Begin of int64
+  | Commit of { txid : int64; written_lines : int list }
+  | Abort of int64
 
 type t = {
   nvram : Nvram.t;
@@ -173,13 +176,23 @@ let flush_written_lines t lines =
   Hashtbl.iter (fun line () -> Nvram.clflush t.nvram ~addr:line) lines;
   Nvram.fence t.nvram
 
+(* The written-line set carried on Commit events: sorted so trace
+   consumers (checker, static analyzer) see a canonical order. *)
+let undo_commit_lines tx =
+  Hashtbl.fold (fun line () acc -> line :: acc) tx.written_lines []
+  |> List.sort_uniq compare
+
+let redo_commit_lines t tx =
+  List.rev_map (fun addr -> line_base t addr) tx.write_order
+  |> List.sort_uniq compare
+
 let commit t =
   match t.config.Config.logging with
   | Config.No_log -> t.committed <- t.committed + 1;
       Wsp_obs.Metrics.Counter.incr t.m_commits
   | Config.Undo ->
       let tx = active t in
-      emit t (Commit tx.txid);
+      emit t (Commit { txid = tx.txid; written_lines = undo_commit_lines tx });
       Nvram.charge t.nvram t.costs.Config.Costs.tx_commit_base;
       if tx.began_in_log then begin
         (* Undo protocol: written data must be durable before the undo
@@ -194,7 +207,7 @@ let commit t =
       Wsp_obs.Metrics.Counter.incr t.m_commits
   | Config.Redo ->
       let tx = active t in
-      emit t (Commit tx.txid);
+      emit t (Commit { txid = tx.txid; written_lines = redo_commit_lines t tx });
       Nvram.charge t.nvram t.costs.Config.Costs.tx_commit_base;
       Nvram.charge t.nvram
         (Time.mul t.costs.Config.Costs.stm_validate tx.read_set);

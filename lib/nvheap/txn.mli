@@ -46,13 +46,35 @@ val log : t -> Rawlog.t
 
 val in_tx : t -> bool
 
-type event = Begin of int64 | Commit of int64 | Abort of int64
+type event =
+  | Begin of int64
+  | Commit of { txid : int64; written_lines : int list }
+      (** [written_lines] is the sorted set of line-base addresses the
+          transaction wrote (including undo-logged allocator headers) —
+          exactly the lines the commit protocol must make durable, so
+          trace consumers need not re-derive it from raw stores. Empty
+          for read-only transactions. *)
+  | Abort of int64
 (** Transaction-boundary annotations for the checker's persistency
     trace, fired before the boundary's first store. [Commit] marks commit
     {e entry}: stores announced between it and the next [Begin] are the
     commit protocol itself (log records, in-place apply, truncation). *)
 
 val set_hook : t -> (event -> unit) option -> unit
+
+(** {1 Log record kinds}
+
+    The record-kind tags this manager writes through {!Rawlog.append},
+    exported so trace consumers can classify [Rawlog] append events. *)
+
+val k_begin : int
+val k_undo : int
+val k_redo : int
+val k_commit : int
+
+val redo_truncate_interval : int
+(** Redo (FoC) logs are truncated, with data flushes, every this many
+    writing commits. *)
 
 val begin_tx : t -> unit
 (** Raises [Invalid_argument] if a transaction is already open. *)

@@ -106,7 +106,7 @@ let clash name existing wanted =
 let counter t name =
   match Hashtbl.find_opt t.metrics name with
   | Some (C c) -> c
-  | Some m -> clash name m "counter"
+  | Some ((G _ | H _) as m) -> clash name m "counter"
   | None ->
       let c = Counter.make () in
       Hashtbl.add t.metrics name (C c);
@@ -115,7 +115,7 @@ let counter t name =
 let gauge t name =
   match Hashtbl.find_opt t.metrics name with
   | Some (G g) -> g
-  | Some m -> clash name m "gauge"
+  | Some ((C _ | H _) as m) -> clash name m "gauge"
   | None ->
       let g = Gauge.make () in
       Hashtbl.add t.metrics name (G g);
@@ -124,7 +124,7 @@ let gauge t name =
 let histogram t name =
   match Hashtbl.find_opt t.metrics name with
   | Some (H h) -> h
-  | Some m -> clash name m "histogram"
+  | Some ((C _ | G _) as m) -> clash name m "histogram"
   | None ->
       let h = Histogram.make () in
       Hashtbl.add t.metrics name (H h);
@@ -180,13 +180,13 @@ let to_json t =
   in
   Buffer.add_char buf '{';
   section "\"counters\":{"
-    (function C c when Counter.value c <> 0 -> Some c | _ -> None)
+    (function C c when Counter.value c <> 0 -> Some c | C _ | G _ | H _ -> None)
     (fun c -> Buffer.add_string buf (string_of_int (Counter.value c)));
   section ",\"gauges\":{"
-    (function G g when Gauge.touched g -> Some g | _ -> None)
+    (function G g when Gauge.touched g -> Some g | C _ | G _ | H _ -> None)
     (fun g -> Buffer.add_string buf (float_repr (Gauge.peak g)));
   section ",\"histograms\":{"
-    (function H h when Histogram.count h > 0 -> Some h | _ -> None)
+    (function H h when Histogram.count h > 0 -> Some h | C _ | G _ | H _ -> None)
     (fun h ->
       Buffer.add_string buf
         (Printf.sprintf "{\"count\":%d,\"sum\":%d,\"max\":%d,\"buckets\":["

@@ -7,8 +7,13 @@ type t = {
   mutable triggered : bool;
 }
 
-let create ~engine ~psu ?(detect_latency = Time.us 10.0)
-    ?(serial_latency = Time.us 90.0) ?(i2c_latency = Time.us 120.0) () =
+let default_detect_latency = Time.us 10.0
+let default_serial_latency = Time.us 90.0
+let default_i2c_latency = Time.us 120.0
+
+let create ~engine ~psu ?(detect_latency = default_detect_latency)
+    ?(serial_latency = default_serial_latency)
+    ?(i2c_latency = default_i2c_latency) () =
   let t = { engine; i2c_latency; handlers = []; triggered = false } in
   Psu.on_pwr_ok_drop psu (fun engine ->
       t.triggered <- true;

@@ -20,6 +20,13 @@ val create :
   t
 (** Defaults: 10 µs detection, 90 µs serial, 120 µs per I2C command. *)
 
+val default_detect_latency : Time.t
+val default_serial_latency : Time.t
+val default_i2c_latency : Time.t
+(** The [create] defaults, exported so static budget analysis (the
+    lint's FoF reliance check) can reproduce the save path's detection
+    and signalling costs without building a machine. *)
+
 val on_power_fail : t -> (Engine.t -> unit) -> unit
 (** Registers the host's serial-line interrupt handler; it fires
     [detect_latency + serial_latency] after [PWR_OK] drops. *)

@@ -141,7 +141,8 @@ let system_tests =
         match System.power_on_and_restore sys with
         | System.Recovered _ ->
             Alcotest.(check bool) "data" true (verify sys addr 256)
-        | o -> Alcotest.failf "outcome %s" (System.outcome_name o));
+        | (System.Invalid_marker | System.No_image) as o ->
+            Alcotest.failf "outcome %s" (System.outcome_name o));
     Alcotest.test_case "save works on every platform/PSU pair in Figure 7"
       `Quick (fun () ->
         List.iter
@@ -173,7 +174,8 @@ let system_tests =
         Alcotest.(check bool) "emergency save ran" true r.System.emergency_save;
         match System.power_on_and_restore sys with
         | System.Invalid_marker -> ()
-        | o -> Alcotest.failf "expected invalid-marker, got %s" (System.outcome_name o));
+        | (System.Recovered _ | System.No_image) as o ->
+            Alcotest.failf "expected invalid-marker, got %s" (System.outcome_name o));
     Alcotest.test_case "marker is cleared after a successful resume" `Quick
       (fun () ->
         let sys = System.create () in
@@ -189,13 +191,15 @@ let system_tests =
         let addr = populate sys 128 in
         (match System.run_failure_cycle sys with
         | System.Recovered _ -> ()
-        | o -> Alcotest.failf "first cycle: %s" (System.outcome_name o));
+        | (System.Invalid_marker | System.No_image) as o ->
+            Alcotest.failf "first cycle: %s" (System.outcome_name o));
         (* Mutate state, fail again. *)
         let heap = System.attach_heap sys in
         Pheap.write_u64 heap ~addr 999L;
         (match System.run_failure_cycle sys with
         | System.Recovered _ -> ()
-        | o -> Alcotest.failf "second cycle: %s" (System.outcome_name o));
+        | (System.Invalid_marker | System.No_image) as o ->
+            Alcotest.failf "second cycle: %s" (System.outcome_name o));
         let heap' = System.attach_heap sys in
         Alcotest.(check int64) "second-epoch write survived" 999L
           (Pheap.read_u64 heap' ~addr));
@@ -216,7 +220,8 @@ let system_tests =
         match System.power_on_and_restore sys with
         | System.Recovered _ ->
             Alcotest.(check bool) "data intact" true (verify sys addr 128)
-        | o -> Alcotest.failf "retry failed: %s" (System.outcome_name o));
+        | (System.Invalid_marker | System.No_image) as o ->
+            Alcotest.failf "retry failed: %s" (System.outcome_name o));
     Alcotest.test_case "device restart strategies affect resume latency" `Quick
       (fun () ->
         let resume strategy =
@@ -225,7 +230,8 @@ let system_tests =
           match System.run_failure_cycle sys with
           | System.Recovered { resume_latency; ios_failed; ios_replayed } ->
               (resume_latency, ios_failed, ios_replayed)
-          | o -> Alcotest.failf "outcome %s" (System.outcome_name o)
+          | (System.Invalid_marker | System.No_image) as o ->
+              Alcotest.failf "outcome %s" (System.outcome_name o)
         in
         let _, failed_reinit, replayed_reinit = resume System.Restore_reinit in
         Alcotest.(check bool) "reinit fails I/Os" true (failed_reinit > 0);
@@ -291,7 +297,7 @@ let system_props =
                         (Pheap.read_u64 heap' ~addr:(addr + (8 * i)))
                         expected.(i))
                     (Array.init words (fun i -> i))
-           | _ -> false));
+           | System.Invalid_marker | System.No_image -> false));
   ]
 
 let suite =
