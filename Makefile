@@ -1,6 +1,6 @@
 # Convenience targets. `make bench` gates the microbenchmarks on the
 # tier-1 build + test suite so a perf number is never reported for a
-# broken tree; it writes BENCH_4.json next to this Makefile.
+# broken tree; it writes BENCH_5.json next to this Makefile.
 
 .PHONY: all build test check lint bench clean
 

@@ -107,6 +107,7 @@ let write_file path contents =
    leaves its observability behind. *)
 let with_obs metrics trace f =
   if trace <> None then Wsp_obs.Tracer.set_enabled true;
+  if metrics <> None then Wsp_nvheap.Event_obs.set_enabled true;
   let export () =
     (match metrics with
     | Some path ->
@@ -475,8 +476,17 @@ let lint_cmd =
       & info [ "strict" ]
           ~doc:"Fail (exit 1) on unexpected advisories too, not just errors.")
   in
-  let run workload config broken txns jobs json expect strict psu platform busy
-      seed verbose metrics trace =
+  let live_arg =
+    Arg.(
+      value & flag
+      & info [ "live" ]
+          ~doc:"Stream events from the running workloads straight into the \
+                rule engine instead of recording a trace first — constant \
+                memory in the trace length. Verdicts and JSON output are \
+                identical to the recorded mode.")
+  in
+  let run workload config broken txns jobs live json expect strict psu platform
+      busy seed verbose metrics trace =
     setup_logs verbose;
     with_obs metrics trace @@ fun () ->
     let jobs = if jobs > 0 then Some jobs else None in
@@ -486,8 +496,8 @@ let lint_cmd =
         2
     | workloads ->
         let reports =
-          Analyzer.lint ?jobs ~fault:broken ~txns ~seed ~psu ~platform ~busy
-            ~workloads ()
+          Analyzer.lint ?jobs ~live ~fault:broken ~txns ~seed ~psu ~platform
+            ~busy ~workloads ()
         in
         Fmt.pr "%a" (Analyzer.pp_human ~expect) reports;
         (match json with
@@ -506,8 +516,8 @@ let lint_cmd =
           executing recovery")
     Term.(
       const run $ workload_arg $ config_arg $ broken_arg $ txns_arg $ jobs_arg
-      $ json_arg $ expect_arg $ strict_arg $ psu_arg $ platform_arg $ busy_arg
-      $ seed_arg $ verbose_arg $ metrics_arg $ trace_arg)
+      $ live_arg $ json_arg $ expect_arg $ strict_arg $ psu_arg $ platform_arg
+      $ busy_arg $ seed_arg $ verbose_arg $ metrics_arg $ trace_arg)
 
 (* --- storm ------------------------------------------------------------ *)
 

@@ -6,9 +6,26 @@ module Trace = Wsp_check.Trace
 type workload = {
   name : string;
   config : Config.t;
-  record :
-    fault:Checker.fault -> txns:int -> seed:int -> Trace.recording;
+  run :
+    fault:Checker.fault ->
+    txns:int ->
+    seed:int ->
+    observe:(Pheap.t -> unit) ->
+    finish:(Pheap.t -> unit) ->
+    unit;
 }
+
+(* Batch recording, derived from the streaming shape: attach a trace in
+   [observe], snapshot it in [finish]. *)
+let record_of_run w ~fault ~txns ~seed =
+  let tr = Trace.create () in
+  let out = ref None in
+  w.run ~fault ~txns ~seed
+    ~observe:(fun heap -> Trace.instrument tr heap)
+    ~finish:(fun heap ->
+      Trace.detach tr;
+      out := Some (Trace.snapshot tr heap));
+  Option.get !out
 
 (* "FoC + UL" -> "foc-ul", "FoF" -> "fof" *)
 let config_slug (c : Config.t) =
@@ -26,7 +43,7 @@ let apply_fault nvram = function
 (* A transfer workload the checker's insert/delete scripts cannot
    express: aborted transactions (undo rollback over data *and*
    allocator metadata) and alloc/free churn inside transactions. *)
-let record_bank ~config ~fault ~txns ~seed =
+let run_bank ~config ~fault ~txns ~seed ~observe ~finish =
   let heap =
     Pheap.create ~config ~size:(Units.Size.mib 1)
       ~log_size:(Units.Size.kib 128) ()
@@ -40,8 +57,7 @@ let record_bank ~config ~fault ~txns ~seed =
   apply_fault nvram fault;
   (* Setup is mkfs, not under analysis: force it durable and clean. *)
   Nvram.wbinvd nvram;
-  let tr = Trace.create () in
-  Trace.instrument tr heap;
+  observe heap;
   let rng = Rng.create ~seed in
   let scratch = ref None in
   for t = 1 to txns do
@@ -76,12 +92,11 @@ let record_bank ~config ~fault ~txns ~seed =
       match fresh with Some blk -> scratch := Some blk | None -> ()
     end
   done;
-  Trace.detach heap;
-  Trace.snapshot tr heap
+  finish heap
 
 (* The AVL tree backs the experiments' LDAP-directory workload (table1)
    but is not one of the checker's structures — lint covers it here. *)
-let record_avl ~config ~fault ~txns ~seed =
+let run_avl ~config ~fault ~txns ~seed ~observe ~finish =
   let heap =
     Pheap.create ~config ~size:(Units.Size.mib 1)
       ~log_size:(Units.Size.kib 128) ()
@@ -93,8 +108,7 @@ let record_avl ~config ~fault ~txns ~seed =
   done;
   apply_fault nvram fault;
   Nvram.wbinvd nvram;
-  let tr = Trace.create () in
-  Trace.instrument tr heap;
+  observe heap;
   let rng = Rng.create ~seed in
   for _ = 1 to txns do
     Pheap.begin_tx heap;
@@ -105,8 +119,7 @@ let record_avl ~config ~fault ~txns ~seed =
     done;
     Pheap.commit heap
   done;
-  Trace.detach heap;
-  Trace.snapshot tr heap
+  finish heap
 
 (* --- the registry ---------------------------------------------------- *)
 
@@ -114,9 +127,10 @@ let checker_workload kind config =
   {
     name = Checker.kind_name kind ^ "/" ^ config_slug config;
     config;
-    record =
-      (fun ~fault ~txns ~seed ->
-        Checker.record_workload ~txns ~fault ~kind ~config ~seed ());
+    run =
+      (fun ~fault ~txns ~seed ~observe ~finish ->
+        Checker.run_workload ~txns ~fault ~kind ~config ~seed ~observe ~finish
+          ());
   }
 
 let registry =
@@ -133,7 +147,9 @@ let registry =
         {
           name = "bank/" ^ config_slug config;
           config;
-          record = (fun ~fault ~txns ~seed -> record_bank ~config ~fault ~txns ~seed);
+          run =
+            (fun ~fault ~txns ~seed ~observe ~finish ->
+              run_bank ~config ~fault ~txns ~seed ~observe ~finish);
         })
       main_configs
   @ List.map
@@ -141,7 +157,9 @@ let registry =
         {
           name = "avl/" ^ config_slug config;
           config;
-          record = (fun ~fault ~txns ~seed -> record_avl ~config ~fault ~txns ~seed);
+          run =
+            (fun ~fault ~txns ~seed ~observe ~finish ->
+              run_avl ~config ~fault ~txns ~seed ~observe ~finish);
         })
       [ Config.foc_ul; Config.fof ]
 
@@ -167,10 +185,35 @@ type report = {
   witness_text : (int * string) list;
 }
 
-let lint ?jobs ?(fault = Checker.No_fault) ?(txns = 32) ?(seed = 1) ?psu
-    ?platform ?(busy = false) ~workloads () =
+(* Streaming analysis of one workload: no recording is materialised —
+   the rule engine rides the heap's event bus while the workload runs.
+   Witness indices match recorded-trace indices because the baseline is
+   replayed first, exactly as [Trace.instrument] does. *)
+let stream_one machine w ~fault ~txns ~seed =
+  let stream = ref None in
+  let sub = ref None in
+  w.run ~fault ~txns ~seed
+    ~observe:(fun heap ->
+      let nv = Pheap.nvram heap in
+      let al = Pheap.allocator heap in
+      let s =
+        Rules.stream_create machine ~line_size:(Nvram.line_size nv)
+          ~alloc_base:(Alloc.base al) ~alloc_limit:(Alloc.limit al)
+      in
+      Trace.iter_baseline heap (Rules.stream_step s);
+      sub := Some (Wsp_events.Bus.subscribe (Pheap.bus heap) (Rules.stream_step s));
+      stream := Some s)
+    ~finish:(fun _heap ->
+      match !sub with
+      | Some s ->
+          Wsp_events.Bus.unsubscribe s;
+          sub := None
+      | None -> ());
+  Rules.stream_finish (Option.get !stream)
+
+let lint ?jobs ?(live = false) ?(fault = Checker.No_fault) ?(txns = 32)
+    ?(seed = 1) ?psu ?platform ?(busy = false) ~workloads () =
   let analyze_one w =
-    let recording = w.record ~fault ~txns ~seed in
     let base = Rules.default_machine ~config:w.config () in
     let machine =
       {
@@ -182,18 +225,30 @@ let lint ?jobs ?(fault = Checker.No_fault) ?(txns = 32) ?(seed = 1) ?psu
         busy;
       }
     in
-    let result = Rules.analyze machine recording in
-    let cited =
-      List.concat_map (fun d -> d.Rules.witness) result.Rules.diagnostics
-      |> List.sort_uniq compare
-    in
-    let witness_text =
-      List.filter_map
-        (fun i ->
-          if i >= 0 && i < Array.length recording.Trace.events then
-            Some (i, Fmt.str "%a" Trace.pp_event recording.Trace.events.(i))
-          else None)
-        cited
+    let result, witness_text =
+      if live then
+        (* No trace exists to render witness indices against; the human
+           report falls back to bare [#idx] references. Diagnostics and
+           stats — everything the JSON carries — are identical to the
+           recorded path. *)
+        (stream_one machine w ~fault ~txns ~seed, [])
+      else begin
+        let recording = record_of_run w ~fault ~txns ~seed in
+        let result = Rules.analyze machine recording in
+        let cited =
+          List.concat_map (fun d -> d.Rules.witness) result.Rules.diagnostics
+          |> List.sort_uniq compare
+        in
+        let witness_text =
+          List.filter_map
+            (fun i ->
+              if i >= 0 && i < Array.length recording.Trace.events then
+                Some (i, Fmt.str "%a" Trace.pp_event recording.Trace.events.(i))
+              else None)
+            cited
+        in
+        (result, witness_text)
+      end
     in
     {
       workload = w.name;

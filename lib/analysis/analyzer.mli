@@ -9,11 +9,18 @@
 type workload = {
   name : string;  (** ["btree/foc-ul"] — structure slash config slug. *)
   config : Wsp_nvheap.Config.t;
-  record :
+  run :
     fault:Wsp_check.Checker.fault ->
     txns:int ->
     seed:int ->
-    Wsp_check.Trace.recording;
+    observe:(Wsp_nvheap.Pheap.t -> unit) ->
+    finish:(Wsp_nvheap.Pheap.t -> unit) ->
+    unit;
+      (** One deterministic execution with caller-chosen observation:
+          [observe] receives the heap after setup (mkfs is not under
+          analysis) and before the first operation under analysis;
+          [finish] after the last. Batch recording and live streaming
+          are both built on this shape. *)
 }
 
 val config_slug : Wsp_nvheap.Config.t -> string
@@ -42,6 +49,7 @@ type report = {
 
 val lint :
   ?jobs:int ->
+  ?live:bool ->
   ?fault:Wsp_check.Checker.fault ->
   ?txns:int ->
   ?seed:int ->
@@ -54,7 +62,15 @@ val lint :
 (** Records and analyses each workload, fanning out over
     {!Wsp_sim.Parallel.map}; results come back in workload order
     regardless of [jobs]. Defaults: no sabotage, 32 transactions, seed
-    1, the {!Rules.default_machine} platform/PSU, idle load. *)
+    1, the {!Rules.default_machine} platform/PSU, idle load.
+
+    [live] (default [false]) streams instead of recording: the rule
+    engine subscribes to each heap's {!Wsp_nvheap.Pheap.bus} and judges
+    events as the workload executes, never materialising a trace —
+    constant memory in the trace length. Diagnostics, stats and JSON are
+    identical to the recorded path; only the human report's witness
+    rendering degrades to bare [#idx] references (there is no trace to
+    quote events from). *)
 
 val errors : expect:Rules.rule list -> report list -> int * int
 (** [(unexpected_errors, unexpected_advisories)]: diagnostics whose rule

@@ -366,7 +366,7 @@ let check_fof_budget st =
     end
   end
 
-(* --- entry point ----------------------------------------------------- *)
+(* --- entry points ---------------------------------------------------- *)
 
 let severity_rank = function Error -> 0 | Advisory -> 1
 let rule_rank = function R1 -> 1 | R2 -> 2 | R3 -> 3 | R4 -> 4 | R5 -> 5
@@ -378,15 +378,15 @@ let diag_key d =
     Option.value d.line ~default:(-1),
     d.message )
 
-let analyze m (recording : Trace.recording) =
+type stream = { st : st; mutable idx : int }
+
+let stream_create m ~line_size ~alloc_base ~alloc_limit =
   let st =
     {
       m;
-      pdag =
-        Pdag.create ~fences_broken:m.fences_broken
-          ~line_size:recording.Trace.line_size;
-      alloc_base = recording.Trace.alloc_base;
-      alloc_limit = recording.Trace.alloc_limit;
+      pdag = Pdag.create ~fences_broken:m.fences_broken ~line_size;
+      alloc_base;
+      alloc_limit;
       diags = [];
       mem_events = 0;
       txns = 0;
@@ -402,7 +402,14 @@ let analyze m (recording : Trace.recording) =
       tx_heap_journal = [];
     }
   in
-  Array.iteri (fun i ev -> step st i ev) recording.Trace.events;
+  { st; idx = 0 }
+
+let stream_step s ev =
+  step s.st s.idx ev;
+  s.idx <- s.idx + 1
+
+let stream_finish s =
+  let st = s.st in
   r2_trigger st ~idx:(-1) ~because:"the end of the trace";
   (* Under flush-on-commit every non-temporal store is a log record
      written for durability; data still pending in the write-combining
@@ -425,10 +432,19 @@ let analyze m (recording : Trace.recording) =
     diagnostics;
     stats =
       {
-        events = Array.length recording.Trace.events;
+        events = s.idx;
         mem_events = st.mem_events;
         txns = st.txns;
         epochs = Pdag.epoch st.pdag;
         max_dirty_bytes = Pdag.max_footprint_bytes st.pdag;
       };
   }
+
+let analyze m (recording : Trace.recording) =
+  let s =
+    stream_create m ~line_size:recording.Trace.line_size
+      ~alloc_base:recording.Trace.alloc_base
+      ~alloc_limit:recording.Trace.alloc_limit
+  in
+  Array.iter (stream_step s) recording.Trace.events;
+  stream_finish s

@@ -87,3 +87,28 @@ type result = { diagnostics : diagnostic list; stats : stats }
 val analyze : machine -> Wsp_check.Trace.recording -> result
 (** One pass, O(events); diagnostics are sorted canonically (errors
     first, then by witness position) so reports are deterministic. *)
+
+(** {1 Streaming}
+
+    The same pass fed one event at a time — what the analyzer's live
+    mode subscribes to a heap's {!Wsp_nvheap.Pheap.bus}: no recording
+    is materialised, the {!Pdag} frontier is the only state. [analyze]
+    is exactly [stream_create] / [stream_step] per event /
+    [stream_finish]. *)
+
+type stream
+
+val stream_create :
+  machine -> line_size:int -> alloc_base:int -> alloc_limit:int -> stream
+(** Geometry arguments mirror {!Wsp_check.Trace.recording}'s fields.
+    Feed any pre-existing allocation baseline (see
+    {!Wsp_check.Trace.iter_baseline}) before live events. *)
+
+val stream_step : stream -> Wsp_check.Trace.event -> unit
+(** Judges one event; events are implicitly numbered in arrival order,
+    matching recorded-trace indices. *)
+
+val stream_finish : stream -> result
+(** End-of-trace obligations (undrained commit records, the R5 energy
+    budget), then the canonical sort. The stream must not be fed
+    afterwards. *)

@@ -205,21 +205,40 @@ let record' ~kind ~config ~fault script =
   let tr = Ptrace.create () in
   Ptrace.instrument tr env.heap;
   run_script env (fresh_state ()) ~kind script;
-  Ptrace.detach env.heap;
+  Ptrace.detach tr;
   (tr, env)
 
 let record ~kind ~config ~fault script =
   fst (record' ~kind ~config ~fault script)
 
-(* The static analyzer's entry point: the same deterministic seeded
-   workload [check] explores, but recorded once with no crash
-   enumeration, bundled with the heap geometry. *)
-let record_workload ?(txns = 32) ?(ops_per_txn = 3) ?(keyspace = 40)
-    ?(setup_entries = 16) ?(fault = No_fault) ~kind ~config ~seed () =
+(* One complete execution of the deterministic seeded workload with
+   caller-chosen observation — the backbone shared by trace recording
+   and the streaming analyzer. *)
+let run_workload ?(txns = 32) ?(ops_per_txn = 3) ?(keyspace = 40)
+    ?(setup_entries = 16) ?(fault = No_fault) ~kind ~config ~seed ~observe
+    ~finish () =
   let rng = Rng.create ~seed in
   let script = gen_script ~rng ~txns ~ops_per_txn ~keyspace ~setup_entries in
-  let tr, env = record' ~kind ~config ~fault script in
-  Ptrace.snapshot tr env.heap
+  let env = make_env ~kind ~config ~fault () in
+  observe env.heap;
+  run_script env (fresh_state ()) ~kind script;
+  finish env.heap
+
+(* The static analyzer's batch entry point: the same deterministic
+   seeded workload [check] explores, recorded once with no crash
+   enumeration, bundled with the heap geometry. *)
+let record_workload ?txns ?ops_per_txn ?keyspace ?setup_entries ?fault ~kind
+    ~config ~seed () =
+  let tr = Ptrace.create () in
+  let out = ref None in
+  run_workload ?txns ?ops_per_txn ?keyspace ?setup_entries ?fault ~kind
+    ~config ~seed
+    ~observe:(fun heap -> Ptrace.instrument tr heap)
+    ~finish:(fun heap ->
+      Ptrace.detach tr;
+      out := Some (Ptrace.snapshot tr heap))
+    ();
+  Option.get !out
 
 (* Re-executes the script, cutting power before memory event [point].
    Returns the volatile image at the crash instant, or None if the trace
@@ -229,16 +248,18 @@ let record_workload ?(txns = 32) ?(ops_per_txn = 3) ?(keyspace = 40)
 let run_to_crash env st ~kind ~point script =
   let count = ref 0 in
   let img = ref None in
-  Nvram.set_hook env.nvram
-    (Some
-       (fun _ev ->
-         if !count >= point then begin
-           if !img = None then img := Some (Nvram.volatile_image env.nvram);
-           raise Crash_point
-         end;
-         incr count));
+  let sub =
+    Wsp_events.Bus.subscribe (Nvram.bus env.nvram) (function
+      | Event.Mem _ ->
+          if !count >= point then begin
+            if !img = None then img := Some (Nvram.volatile_image env.nvram);
+            raise Crash_point
+          end;
+          incr count
+      | Event.Log _ | Event.Tx _ | Event.Wb _ | Event.Heap _ -> ())
+  in
   (try run_script env st ~kind script with Crash_point -> ());
-  Nvram.set_hook env.nvram None;
+  Wsp_events.Bus.unsubscribe sub;
   !img
 
 (* --- recovery and oracles ------------------------------------------- *)

@@ -30,8 +30,9 @@
 open Wsp_nvheap
 
 exception Crash_point
-(** Raised by the injected hook at the chosen memory event; escapes the
-    workload and freezes the simulated machine at the crash instant. *)
+(** Raised by the injected bus subscriber at the chosen memory event;
+    escapes the workload and freezes the simulated machine at the crash
+    instant. *)
 
 (** {1 Workloads} *)
 
@@ -76,7 +77,27 @@ type fault =
 
 val fault_name : fault -> string
 
-(** {1 Recording without crash enumeration} *)
+(** {1 Single executions without crash enumeration} *)
+
+val run_workload :
+  ?txns:int ->
+  ?ops_per_txn:int ->
+  ?keyspace:int ->
+  ?setup_entries:int ->
+  ?fault:fault ->
+  kind:kind ->
+  config:Config.t ->
+  seed:int ->
+  observe:(Pheap.t -> unit) ->
+  finish:(Pheap.t -> unit) ->
+  unit ->
+  unit
+(** One complete execution of the deterministic seeded workload with
+    caller-chosen observation: [observe] receives the freshly built heap
+    before the first operation (the place to subscribe to {!Pheap.bus})
+    and [finish] receives it after the last. The streaming backbone of
+    {!record_workload} and of the analyzer's live mode. Defaults match
+    {!check}. *)
 
 val record_workload :
   ?txns:int ->

@@ -1,52 +1,46 @@
 open Wsp_nvheap
 
-type event =
+type event = Event.t =
   | Mem of Nvram.event
   | Log of Rawlog.event
   | Tx of Txn.event
   | Wb of { line : int; explicit : bool }
   | Heap of Alloc.event
 
-type t = { mutable rev : event list; mutable mem : int }
+type t = {
+  mutable rev : event list;
+  mutable mem : int;
+  mutable sub : Wsp_events.Bus.subscription option;
+}
 
-let create () = { rev = []; mem = 0 }
+let create () = { rev = []; mem = 0; sub = None }
+
+(* Baseline: blocks allocated before recording began (structure setup)
+   are replayed as synthetic Alloc events so lifetime tracking starts
+   from the true heap state. iter_allocated walks addresses ascending,
+   so the baseline is deterministic. *)
+let iter_baseline heap f =
+  Alloc.iter_allocated (Pheap.allocator heap) (fun ~addr ~size ->
+      f (Heap (Event.Alloc { addr; size })))
 
 let instrument t heap =
-  (* Baseline: blocks allocated before recording began (structure setup)
-     are replayed as synthetic Alloc events so lifetime tracking starts
-     from the true heap state. iter_allocated walks addresses ascending,
-     so the baseline is deterministic. *)
-  Alloc.iter_allocated (Pheap.allocator heap) (fun ~addr ~size ->
-      t.rev <- Heap (Alloc.Alloc { addr; size }) :: t.rev);
-  Nvram.set_hook (Pheap.nvram heap)
-    (Some
-       (fun e ->
-         t.rev <- Mem e :: t.rev;
-         t.mem <- t.mem + 1));
-  Rawlog.set_hook (Pheap.log heap) (Some (fun e -> t.rev <- Log e :: t.rev));
-  Txn.set_hook (Pheap.txn heap) (Some (fun e -> t.rev <- Tx e :: t.rev));
-  Alloc.set_hook (Pheap.allocator heap)
-    (Some (fun e -> t.rev <- Heap e :: t.rev));
-  (* Machine-level tap: only write-backs are recorded — stores and fences
-     are already visible as [Mem] events, but the moment a dirty line
-     leaves the hierarchy (especially a silent capacity eviction) is
-     something only the cache model knows. *)
-  Wsp_machine.Hierarchy.set_on_op
-    (Nvram.hierarchy (Pheap.nvram heap))
-    (Some
-       (function
-         | Wsp_machine.Hierarchy.Op_writeback { line; explicit } ->
-             t.rev <- Wb { line; explicit } :: t.rev
-         | Wsp_machine.Hierarchy.Op_store _ | Wsp_machine.Hierarchy.Op_fence
-           ->
-             ()))
+  if Option.is_some t.sub then
+    invalid_arg "Trace.instrument: trace already attached";
+  iter_baseline heap (fun ev -> t.rev <- ev :: t.rev);
+  t.sub <-
+    Some
+      (Wsp_events.Bus.subscribe (Pheap.bus heap) (fun ev ->
+           (match ev with
+           | Mem _ -> t.mem <- t.mem + 1
+           | Log _ | Tx _ | Wb _ | Heap _ -> ());
+           t.rev <- ev :: t.rev))
 
-let detach heap =
-  Nvram.set_hook (Pheap.nvram heap) None;
-  Rawlog.set_hook (Pheap.log heap) None;
-  Txn.set_hook (Pheap.txn heap) None;
-  Alloc.set_hook (Pheap.allocator heap) None;
-  Wsp_machine.Hierarchy.set_on_op (Nvram.hierarchy (Pheap.nvram heap)) None
+let detach t =
+  match t.sub with
+  | None -> ()
+  | Some sub ->
+      t.sub <- None;
+      Wsp_events.Bus.unsubscribe sub
 
 let mem_length t = t.mem
 let events t = Array.of_list (List.rev t.rev)
@@ -68,26 +62,7 @@ let snapshot t heap =
     alloc_limit = Alloc.limit al;
   }
 
-let pp_event ppf = function
-  | Mem (Nvram.Store { addr; len }) -> Fmt.pf ppf "store[%d,+%d]" addr len
-  | Mem (Nvram.Store_nt { addr }) -> Fmt.pf ppf "store-nt[%d]" addr
-  | Mem Nvram.Fence -> Fmt.pf ppf "fence"
-  | Mem (Nvram.Clflush { addr }) -> Fmt.pf ppf "clflush[%d]" addr
-  | Mem (Nvram.Flush_range { addr; len }) -> Fmt.pf ppf "flush[%d,+%d]" addr len
-  | Mem Nvram.Wbinvd -> Fmt.pf ppf "wbinvd"
-  | Log (Rawlog.Append { kind; n_values }) ->
-      Fmt.pf ppf "log-append(kind=%d,n=%d)" kind n_values
-  | Log Rawlog.Truncate -> Fmt.pf ppf "log-truncate"
-  | Tx (Txn.Begin txid) -> Fmt.pf ppf "tx-begin(%Ld)" txid
-  | Tx (Txn.Commit { txid; written_lines }) ->
-      Fmt.pf ppf "tx-commit(%Ld,%d lines)" txid (List.length written_lines)
-  | Tx (Txn.Abort txid) -> Fmt.pf ppf "tx-abort(%Ld)" txid
-  | Wb { line; explicit } ->
-      Fmt.pf ppf "writeback[line %d,%s]" line
-        (if explicit then "flush" else "evict")
-  | Heap (Alloc.Alloc { addr; size }) -> Fmt.pf ppf "alloc[%d,+%d]" addr size
-  | Heap (Alloc.Free { addr; size }) -> Fmt.pf ppf "free[%d,+%d]" addr size
-  | Heap (Alloc.Header_write { addr }) -> Fmt.pf ppf "heap-header[%d]" addr
+let pp_event = Event.pp
 
 (* Index in the full stream of the [k]-th memory event, or None. *)
 let mem_pos stream k =

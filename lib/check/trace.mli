@@ -10,7 +10,7 @@
 
 open Wsp_nvheap
 
-type event =
+type event = Wsp_nvheap.Event.t =
   | Mem of Nvram.event
   | Log of Rawlog.event
   | Tx of Txn.event
@@ -23,17 +23,31 @@ type event =
       (** Allocator lifetime annotations (alloc/free/header-write). At
           {!instrument} time every block already allocated is replayed
           as a synthetic [Alloc] baseline event. *)
+(** An equation onto {!Wsp_nvheap.Event.t}, the canonical event union —
+    this type's historical home. Code matching [Trace.Mem _] etc. keeps
+    working unchanged, but new consumers should depend on
+    [Wsp_nvheap.Event] directly and subscribe to {!Pheap.bus}. *)
 
 type t
 
 val create : unit -> t
 
 val instrument : t -> Pheap.t -> unit
-(** Installs recording hooks on the heap's NVRAM, raw log and
-    transaction manager. Recording changes no behaviour. *)
+(** Replays the allocated-block baseline, then subscribes one recorder
+    to the heap's {!Pheap.bus}. Recording changes no behaviour, and any
+    number of traces (or other observers) may record the same heap
+    concurrently. Raises [Invalid_argument] if this trace is already
+    attached. *)
 
-val detach : Pheap.t -> unit
-(** Clears all three hooks. *)
+val detach : t -> unit
+(** Removes exactly this trace's bus subscription — other observers on
+    the same heap are untouched. Idempotent. *)
+
+val iter_baseline : Pheap.t -> (event -> unit) -> unit
+(** The synthetic [Heap (Alloc _)] baseline {!instrument} replays:
+    one event per already-allocated block, addresses ascending. Exposed
+    for streaming consumers that feed an analysis directly from the bus
+    and need the same starting state. *)
 
 val mem_length : t -> int
 (** Number of memory events recorded — the size of the crash-point

@@ -52,16 +52,24 @@ type t = {
   seen : (int, unit) Hashtbl.t;
       (* Scratch table reused by the dirty-line union walks; reset per
          call so dirty polls allocate no fresh table. *)
-  mutable on_writeback : line:int -> unit;
-  mutable on_op : (op -> unit) option;
-      (* Persistency-op tap for the static analyzer; [None] keeps the
-         access path emission-free (an option probe, no closure call). *)
+  on_writeback : line:int -> explicit:bool -> unit;
+      (* Backing-store data path, fixed at creation: where dirty bytes
+         go when a line leaves the hierarchy. *)
+  ops : op Wsp_events.Bus.t;
+      (* Persistency-op stream for machine-level observers; with no
+         subscriber the access path pays only the bus's empty-array
+         branch per op. *)
   m : metrics;
 }
 
-let emit t op = match t.on_op with None -> () | Some f -> f op
+let emit t op = Wsp_events.Bus.publish t.ops op
 
-let create ?(on_writeback = fun ~line:_ -> ()) (cfg : config) =
+let config_line_size (cfg : config) =
+  match cfg.levels with
+  | [] -> invalid_arg "Hierarchy.create: no levels"
+  | first :: _ -> first.Cache.line_size
+
+let create ?(on_writeback = fun ~line:_ ~explicit:_ -> ()) (cfg : config) =
   (match cfg.levels with
   | [] -> invalid_arg "Hierarchy.create: no levels"
   | first :: rest ->
@@ -90,7 +98,7 @@ let create ?(on_writeback = fun ~line:_ -> ()) (cfg : config) =
     line_size;
     seen = Hashtbl.create 256;
     on_writeback;
-    on_op = None;
+    ops = Wsp_events.Bus.create ();
     m =
       {
         m_hits = c "machine.cache.hits";
@@ -111,8 +119,7 @@ let create ?(on_writeback = fun ~line:_ -> ()) (cfg : config) =
 
 let config t = t.cfg
 let line_size t = t.line_size
-let set_on_writeback t f = t.on_writeback <- f
-let set_on_op t f = t.on_op <- f
+let ops t = t.ops
 let llc t = t.levels.(Array.length t.levels - 1)
 
 let line_of t addr =
@@ -135,7 +142,7 @@ let rec evict_from t i (victim : Cache.victim) =
     if !dirty then begin
       C.add t.m.m_writeback_bytes t.line_size;
       emit t (Op_writeback { line = victim.line; explicit = false });
-      t.on_writeback ~line:victim.line
+      t.on_writeback ~line:victim.line ~explicit:false
     end
   end
   else
@@ -207,7 +214,7 @@ let store_nt t ~addr =
   if invalidate_line t line then begin
     C.add t.m.m_nt_flush_bytes t.line_size;
     emit t (Op_writeback { line; explicit = true });
-    t.on_writeback ~line
+    t.on_writeback ~line ~explicit:true
   end;
   t.cfg.nt_store_latency
 
@@ -223,7 +230,7 @@ let clflush t ~addr =
   if dirty then begin
     C.add t.m.m_clflush_bytes t.line_size;
     emit t (Op_writeback { line; explicit = true });
-    t.on_writeback ~line
+    t.on_writeback ~line ~explicit:true
   end;
   let latency = t.cfg.clflush_issue in
   if dirty then
@@ -244,7 +251,7 @@ let flush_lines t ~addr ~len =
       if invalidate_line t line then begin
         incr dirty;
         emit t (Op_writeback { line; explicit = true });
-        t.on_writeback ~line
+        t.on_writeback ~line ~explicit:true
       end
     done;
     C.add t.m.m_flush_range_bytes (!dirty * t.line_size);
@@ -316,7 +323,7 @@ let flush_all t =
   iter_dirty t (fun line ->
       incr dirty;
       emit t (Op_writeback { line; explicit = true });
-      t.on_writeback ~line);
+      t.on_writeback ~line ~explicit:true);
   C.add t.m.m_wbinvd_bytes (!dirty * t.line_size);
   Array.iter Cache.clear t.levels;
   let walk = Time.mul t.cfg.wbinvd_line_walk (total_line_slots t) in

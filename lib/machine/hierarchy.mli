@@ -43,21 +43,29 @@ type op =
           points a program may rely on. *)
   | Op_fence  (** An [mfence] was executed (whether or not it drains). *)
 (** The machine-level persistency-op stream, beneath the {!Wsp_nvheap}
-    event hooks: the hierarchy is the only component that knows when
+    event bus: the hierarchy is the only component that knows when
     dirty lines silently leave the caches. *)
 
 type t
 
-val create : ?on_writeback:(line:int -> unit) -> config -> t
+val create : ?on_writeback:(line:int -> explicit:bool -> unit) -> config -> t
+(** [on_writeback] is the backing store's data path — where dirty bytes
+    go when a line leaves the hierarchy ([explicit] distinguishes flush
+    instructions and NT displacement from silent capacity evictions).
+    Fixed at creation: it is wiring, not an observation hook —
+    observers subscribe to {!ops} instead. *)
 
 val config : t -> config
 val line_size : t -> int
 
-val set_on_writeback : t -> (line:int -> unit) -> unit
+val config_line_size : config -> int
+(** The shared line size of a (non-empty) level list, without building
+    the hierarchy — lets a caller size line buffers before {!create}. *)
 
-val set_on_op : t -> (op -> unit) option -> unit
-(** Installs (or with [None] removes) the persistency-op tap. [None] by
-    default; the access path pays only an option probe when untapped. *)
+val ops : t -> op Wsp_events.Bus.t
+(** The persistency-op bus. Both silent capacity evictions and explicit
+    flushes publish [Op_writeback] here — one path, any number of
+    subscribers; an unobserved hierarchy pays one branch per op. *)
 
 val load : t -> addr:int -> Time.t
 (** Reads one word; returns the charged latency. *)

@@ -2,7 +2,7 @@
    region. header = (payload_size << 1) | used. A block's payload address
    is header address + 8. *)
 
-type event =
+type event = Event.heap =
   | Alloc of { addr : int; size : int }
   | Free of { addr : int; size : int }
   | Header_write of { addr : int }
@@ -12,11 +12,9 @@ type t = {
   base : int;
   limit : int;  (* one past the last byte *)
   mutable free_list : int list;  (* header addresses, unordered *)
-  mutable hook : (event -> unit) option;
 }
 
-let set_hook t hook = t.hook <- hook
-let emit t ev = match t.hook with None -> () | Some f -> f ev
+let emit t ev = Wsp_events.Bus.publish (Nvram.bus t.nvram) (Event.Heap ev)
 
 let header_size = 8
 let align n = (n + 7) land lnot 7
@@ -39,7 +37,7 @@ let create nvram ~base ~len =
     invalid_arg "Alloc.create: region too small";
   if base mod 8 <> 0 then invalid_arg "Alloc.create: unaligned base";
   let len = len land lnot 7 in
-  let t = { nvram; base; limit = base + len; free_list = []; hook = None } in
+  let t = { nvram; base; limit = base + len; free_list = [] } in
   write_header t base ~size:(len - header_size) ~used:false;
   t.free_list <- [ base ];
   t
@@ -70,7 +68,7 @@ let recover t =
 
 let attach nvram ~base ~len =
   let len = len land lnot 7 in
-  let t = { nvram; base; limit = base + len; free_list = []; hook = None } in
+  let t = { nvram; base; limit = base + len; free_list = [] } in
   recover t;
   t
 

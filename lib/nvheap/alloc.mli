@@ -10,17 +10,20 @@
     transactional configurations must log them (the {!Pheap} facade does
     this automatically). *)
 
-type event =
+type event = Event.heap =
   | Alloc of { addr : int; size : int }
       (** A payload of [size] bytes (already aligned/rounded) was handed
-          out at [addr]. Emitted before the header mutations. *)
+          out at [addr]. Published before the header mutations. *)
   | Free of { addr : int; size : int }
-      (** The payload at [addr] (of [size] bytes) was returned. Emitted
+      (** The payload at [addr] (of [size] bytes) was returned. Published
           before the header mutations. *)
   | Header_write of { addr : int }
       (** A block-header word at [addr] is about to be written — lets a
           trace consumer whitelist allocator-metadata stores that are
           not stores to any payload. *)
+(** An equation onto {!Event.heap}: heap-lifetime annotations, published
+    on the owning {!Nvram.bus} as [Event.Heap] — the companion of the
+    memory events for use-after-free lint. *)
 
 type t
 
@@ -33,10 +36,6 @@ val attach : Nvram.t -> base:int -> len:int -> t
 
 val base : t -> int
 val limit : t -> int
-
-val set_hook : t -> (event -> unit) option -> unit
-(** Installs (or clears) the allocation-event hook, the companion of
-    {!Nvram.set_hook} for heap-lifetime tracking (use-after-free lint). *)
 
 val alloc : t -> ?on_header_write:(addr:int -> unit) -> int -> int
 (** [alloc t n] returns the address of an [n]-byte payload ([n > 0];

@@ -1,0 +1,67 @@
+(** The canonical persistency-event union — the one type every emitter
+    publishes and every observer subscribes to.
+
+    Each emitter's own event type is an equation onto a sub-type here
+    ({!Nvram.event} = {!type-mem}, {!Rawlog.event} = {!type-log},
+    {!Txn.event} = {!type-tx}, {!Alloc.event} = {!type-heap}), and
+    {!Wsp_check.Trace.event} is an equation onto {!type-t} itself — so
+    the constructors consumers always matched on ([Mem (Store _)],
+    [Tx (Commit _)], …) are unchanged; only the type's home moved.
+
+    Events are announced {e before} the primitive mutates any state, so
+    a subscriber that raises models a power failure exactly between two
+    stores (see {!Bus.publish} in [wsp_events]). *)
+
+(** {1 Per-emitter sub-streams} *)
+
+type mem =
+  | Store of { addr : int; len : int }  (** Cached write (dirties lines). *)
+  | Store_nt of { addr : int }  (** 8-byte non-temporal store. *)
+  | Fence  (** WC-buffer drain point. *)
+  | Clflush of { addr : int }
+  | Flush_range of { addr : int; len : int }
+  | Wbinvd  (** The NVRAM's persistency-affecting primitives. *)
+
+type log = Append of { kind : int; n_values : int } | Truncate
+(** Log-level annotations; the word-granular stores and fences an
+    operation issues are announced separately as {!type-mem} events. *)
+
+type tx =
+  | Begin of int64
+  | Commit of { txid : int64; written_lines : int list }
+      (** [written_lines] is the sorted set of line-base addresses the
+          transaction wrote (including undo-logged allocator headers) —
+          exactly the lines the commit protocol must make durable.
+          Empty for read-only transactions. *)
+  | Abort of int64
+(** Transaction-boundary annotations, fired before the boundary's first
+    store. [Commit] marks commit {e entry}: stores announced between it
+    and the next [Begin] are the commit protocol itself. *)
+
+type heap =
+  | Alloc of { addr : int; size : int }
+      (** A payload of [size] bytes (already aligned/rounded) was handed
+          out at [addr]. Emitted before the header mutations. *)
+  | Free of { addr : int; size : int }
+      (** The payload at [addr] (of [size] bytes) was returned. Emitted
+          before the header mutations. *)
+  | Header_write of { addr : int }
+      (** A block-header word at [addr] is about to be written — lets an
+          observer whitelist allocator-metadata stores that are not
+          stores to any payload. *)
+
+(** {1 The unified stream} *)
+
+type t =
+  | Mem of mem
+  | Log of log
+  | Tx of tx
+  | Wb of { line : int; explicit : bool }
+      (** A dirty cache line left the hierarchy — [explicit] for flush
+          instructions and NT displacement, [false] for silent capacity
+          evictions. Machine-level enrichment bridged up from
+          {!Wsp_machine.Hierarchy}; not a crash point (the corresponding
+          flush already is one). *)
+  | Heap of heap
+
+val pp : Format.formatter -> t -> unit

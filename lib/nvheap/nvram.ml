@@ -1,7 +1,8 @@
 open Wsp_sim
 module Hierarchy = Wsp_machine.Hierarchy
+module Bus = Wsp_events.Bus
 
-type event =
+type event = Event.mem =
   | Store of { addr : int; len : int }
   | Store_nt of { addr : int }
   | Fence
@@ -18,9 +19,8 @@ type t = {
   hierarchy : Hierarchy.t;
   line_size : int;
   mutable clock : Time.t;
-  mutable hook : (event -> unit) option;
+  bus : Event.t Bus.t;
   mutable fault : fault;
-  m_fences : Wsp_obs.Metrics.Counter.t;
 }
 
 let default_hierarchy () =
@@ -28,7 +28,7 @@ let default_hierarchy () =
 
 let create ?hierarchy ?backing ~size () =
   let cfg = match hierarchy with Some h -> h | None -> default_hierarchy () in
-  let h = Hierarchy.create cfg in
+  let line_size = Hierarchy.config_line_size cfg in
   let backing =
     match backing with
     | None -> Bytes.make (Units.Size.to_bytes size) '\x00'
@@ -37,35 +37,41 @@ let create ?hierarchy ?backing ~size () =
           invalid_arg "Nvram.create: backing smaller than size";
         b
   in
-  let t =
-    {
-      backing;
-      dirty = Hashtbl.create 1024;
-      wc_pending = Queue.create ();
-      hierarchy = h;
-      line_size = Hierarchy.line_size h;
-      clock = Time.zero;
-      hook = None;
-      fault = No_fault;
-      m_fences =
-        Wsp_obs.Metrics.counter (Wsp_obs.Metrics.ambient ()) "nvheap.fences";
-    }
+  let dirty = Hashtbl.create 1024 in
+  let bus = Bus.create () in
+  (* The hierarchy's write-back wiring both moves the dirty bytes to
+     backing and surfaces the machine-level fact on the unified bus:
+     silent capacity evictions and explicit flushes arrive as the same
+     [Wb] event, distinguished only by [explicit]. *)
+  let on_writeback ~line ~explicit =
+    Bus.publish bus (Event.Wb { line; explicit });
+    match Hashtbl.find_opt dirty line with
+    | None -> ()
+    | Some data ->
+        Bytes.blit data 0 backing (line * line_size) line_size;
+        Hashtbl.remove dirty line
   in
-  Hierarchy.set_on_writeback h (fun ~line ->
-      match Hashtbl.find_opt t.dirty line with
-      | None -> ()
-      | Some data ->
-          Bytes.blit data 0 t.backing (line * t.line_size) t.line_size;
-          Hashtbl.remove t.dirty line);
-  t
+  let h = Hierarchy.create ~on_writeback cfg in
+  if Event_obs.enabled () then ignore (Event_obs.attach bus);
+  {
+    backing;
+    dirty;
+    wc_pending = Queue.create ();
+    hierarchy = h;
+    line_size;
+    clock = Time.zero;
+    bus;
+    fault = No_fault;
+  }
 
-let set_hook t hook = t.hook <- hook
+let bus t = t.bus
 let set_fault t fault = t.fault <- fault
 let fault t = t.fault
 
-(* Fired before the primitive mutates anything, so a hook that raises
-   models a power failure between the preceding store and this one. *)
-let emit t ev = match t.hook with None -> () | Some f -> f ev
+(* Published before the primitive mutates anything, so a subscriber that
+   raises models a power failure between the preceding store and this
+   one. *)
+let emit t ev = Bus.publish t.bus (Event.Mem ev)
 
 let size t = Bytes.length t.backing
 let line_size t = t.line_size
@@ -165,7 +171,6 @@ let write_u64_nt t ~addr v =
 
 let fence t =
   emit t Fence;
-  Wsp_obs.Metrics.Counter.incr t.m_fences;
   charge t (Hierarchy.fence t.hierarchy);
   (* A broken fence charges its latency but never drains the
      write-combining buffers — the deliberate-sabotage mode the

@@ -32,9 +32,10 @@ val size : t -> int
 val line_size : t -> int
 
 val hierarchy : t -> Wsp_machine.Hierarchy.t
-(** The cache hierarchy behind this NVRAM — exposed so instrumentation
-    (e.g. the static analyzer's trace recorder) can tap its
-    {!Wsp_machine.Hierarchy.set_on_op} persistency-op stream. *)
+(** The cache hierarchy behind this NVRAM — exposed so machine-level
+    instrumentation can subscribe to its {!Wsp_machine.Hierarchy.ops}
+    persistency-op bus directly. Write-backs are already bridged onto
+    {!bus} as [Wb] events, so most observers never need this. *)
 
 val clock : t -> Time.t
 (** Simulated time consumed by memory operations so far. *)
@@ -72,26 +73,32 @@ val clflush : t -> addr:int -> unit
 val flush_range : t -> addr:int -> len:int -> unit
 val wbinvd : t -> unit
 
-(** {1 Persistency-event hooks}
+(** {1 The persistency event bus}
 
-    The instrumentation interface the crash-consistency checker is built
-    on: every primitive that can change (or fail to change) what a power
-    failure preserves announces itself {e before} mutating any state, so
-    a hook that raises models a crash exactly between two stores. Reads
-    are not announced — they cannot alter the persistent image. *)
+    The instrumentation interface the crash-consistency checker, the
+    metrics bridge and the static analyzer are built on: every primitive
+    that can change (or fail to change) what a power failure preserves
+    publishes itself {e before} mutating any state, so a subscriber that
+    raises models a crash exactly between two stores. Reads are not
+    announced — they cannot alter the persistent image. *)
 
-type event =
+type event = Event.mem =
   | Store of { addr : int; len : int }  (** Cached write (dirties lines). *)
   | Store_nt of { addr : int }  (** 8-byte non-temporal store. *)
   | Fence  (** WC-buffer drain point. *)
   | Clflush of { addr : int }
   | Flush_range of { addr : int; len : int }
   | Wbinvd
+(** An equation onto {!Event.mem}: this NVRAM's events arrive on {!bus}
+    wrapped as [Event.Mem]. *)
 
-val set_hook : t -> (event -> unit) option -> unit
-(** Installs (or clears) the persistency-event hook. The hook runs
-    before the primitive takes effect; an exception it raises aborts the
-    primitive with no state change. *)
+val bus : t -> Event.t Wsp_events.Bus.t
+(** The unified persistency event bus for this NVRAM and everything
+    layered on it: {!Rawlog}, {!Txn} and {!Alloc} publish their
+    annotations here too, and hierarchy write-backs arrive as [Wb]
+    events. Any number of observers may subscribe concurrently; a
+    subscriber's exception aborts the announced primitive with no state
+    change. With no subscriber, every publish is a single branch. *)
 
 (** {1 Fault injection} *)
 

@@ -44,6 +44,7 @@ let create ?hierarchy ?config ?costs ?log_size ~size () =
     ~len:(Units.Size.to_bytes size) ()
 
 let nvram t = t.nvram
+let bus t = Nvram.bus t.nvram
 let dirty_bytes t = Nvram.dirty_bytes t.nvram
 let dirty_line_count t = Nvram.dirty_line_count t.nvram
 let txn t = t.txn

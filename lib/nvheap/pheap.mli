@@ -50,10 +50,17 @@ val attach_in :
     runs recovery. [log_size] must match the value used at format time. *)
 
 val nvram : t -> Nvram.t
+
+val bus : t -> Event.t Wsp_events.Bus.t
+(** The heap's unified persistency event bus — shorthand for
+    [Nvram.bus (nvram t)]. Everything this heap does (stores, fences,
+    flushes, log appends, transaction boundaries, write-backs,
+    allocations) arrives here. *)
+
 val txn : t -> Txn.t
 
 val log : t -> Rawlog.t
-(** The transaction log, exposed so the checker can hook its events. *)
+(** The transaction log. Its events already arrive on {!bus}. *)
 
 val allocator : t -> Alloc.t
 val config : t -> Config.t

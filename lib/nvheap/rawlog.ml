@@ -2,7 +2,7 @@ exception Log_full
 
 type mode = Durable | Cached
 
-type event = Append of { kind : int; n_values : int } | Truncate
+type event = Event.log = Append of { kind : int; n_values : int } | Truncate
 
 type t = {
   nvram : Nvram.t;
@@ -10,14 +10,9 @@ type t = {
   words : int;  (* region capacity in 64-bit words, header included *)
   mutable gen : int;
   mutable head : int;  (* next free word index; word 0 is the gen word *)
-  mutable hook : (event -> unit) option;
-  m_appends : Wsp_obs.Metrics.Counter.t;
-  m_append_words : Wsp_obs.Metrics.Counter.t;
-  m_truncates : Wsp_obs.Metrics.Counter.t;
 }
 
-let set_hook t hook = t.hook <- hook
-let emit t ev = match t.hook with None -> () | Some f -> f ev
+let emit t ev = Wsp_events.Bus.publish (Nvram.bus t.nvram) (Event.Log ev)
 
 (* Word encoding: (chunk : 32 bits) << 16 | generation : 16 bits.
    Each 64-bit logical value occupies two words (low chunk, high chunk). *)
@@ -47,19 +42,9 @@ let write_gen t ~mode gen =
   write_word t ~mode 0 (Int64.of_int (gen land 0xffff));
   if mode = Durable then Nvram.fence t.nvram
 
-let log_metrics () =
-  let reg = Wsp_obs.Metrics.ambient () in
-  ( Wsp_obs.Metrics.counter reg "nvheap.log.appends",
-    Wsp_obs.Metrics.counter reg "nvheap.log.append_words",
-    Wsp_obs.Metrics.counter reg "nvheap.log.truncates" )
-
 let create nvram ~base ~len =
   if base mod 8 <> 0 || len < 64 then invalid_arg "Rawlog.create: bad region";
-  let m_appends, m_append_words, m_truncates = log_metrics () in
-  let t =
-    { nvram; base; words = len / 8; gen = 1; head = 1; hook = None;
-      m_appends; m_append_words; m_truncates }
-  in
+  let t = { nvram; base; words = len / 8; gen = 1; head = 1 } in
   write_gen t ~mode:Durable 1;
   t
 
@@ -87,8 +72,6 @@ let append t ~mode ~kind values =
   let needed = record_words n in
   if t.head + needed > t.words then raise Log_full;
   emit t (Append { kind; n_values = n });
-  Wsp_obs.Metrics.Counter.incr t.m_appends;
-  Wsp_obs.Metrics.Counter.add t.m_append_words needed;
   write_word t ~mode t.head (encode_word ~gen:t.gen (header_chunk ~kind ~n));
   Array.iteri
     (fun i v ->
@@ -102,7 +85,6 @@ let append t ~mode ~kind values =
 
 let truncate t ~mode =
   emit t Truncate;
-  Wsp_obs.Metrics.Counter.incr t.m_truncates;
   t.gen <- (t.gen + 1) land 0xffff;
   if t.gen = 0 then t.gen <- 1;
   t.head <- 1;
@@ -143,11 +125,7 @@ let scan_persistent t =
   scan_with t (fun i -> Nvram.peek_u64 t.nvram ~addr:(word_addr t i))
 
 let attach nvram ~base ~len =
-  let m_appends, m_append_words, m_truncates = log_metrics () in
-  let t =
-    { nvram; base; words = len / 8; gen = 1; head = 1; hook = None;
-      m_appends; m_append_words; m_truncates }
-  in
+  let t = { nvram; base; words = len / 8; gen = 1; head = 1 } in
   t.gen <- gen_of_header (read_word t 0);
   if t.gen = 0 then begin
     (* Never formatted: format now. *)

@@ -17,15 +17,13 @@ exception Log_full
 
 type mode = Durable | Cached
 
-type event = Append of { kind : int; n_values : int } | Truncate
-(** Log-level annotations for the checker's persistency trace; the
-    word-granular stores and fences an operation issues are announced
-    separately by the underlying {!Nvram} hook. *)
+type event = Event.log = Append of { kind : int; n_values : int } | Truncate
+(** An equation onto {!Event.log}: log-level annotations, published on
+    the owning {!Nvram.bus} as [Event.Log] at operation entry, before
+    any word is written. The word-granular stores and fences an
+    operation issues are announced separately as [Event.Mem] events. *)
 
 type t
-
-val set_hook : t -> (event -> unit) option -> unit
-(** The hook runs at operation entry, before any word is written. *)
 
 val create : Nvram.t -> base:int -> len:int -> t
 (** Formats the region: generation 1, empty log. *)

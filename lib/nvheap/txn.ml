@@ -20,7 +20,7 @@ type tx = {
   mutable began_in_log : bool;  (* Begin record written (lazy) *)
 }
 
-type event =
+type event = Event.tx =
   | Begin of int64
   | Commit of { txid : int64; written_lines : int list }
   | Abort of int64
@@ -37,13 +37,11 @@ type t = {
   unflushed : (int, unit) Hashtbl.t;  (* line-aligned addresses (FoC redo) *)
   mutable committed : int;
   mutable aborted : int;
-  mutable hook : (event -> unit) option;
   m_commits : Wsp_obs.Metrics.Counter.t;
   m_aborts : Wsp_obs.Metrics.Counter.t;
 }
 
-let set_hook t hook = t.hook <- hook
-let emit t ev = match t.hook with None -> () | Some f -> f ev
+let emit t ev = Wsp_events.Bus.publish (Nvram.bus t.nvram) (Event.Tx ev)
 
 let log_mode t : Rawlog.mode =
   if t.config.Config.flush_on_commit then Rawlog.Durable else Rawlog.Cached
@@ -88,7 +86,6 @@ let create ?(costs = Config.Costs.default) ~nvram ~config ~log () =
     unflushed = Hashtbl.create 256;
     committed = 0;
     aborted = 0;
-    hook = None;
     m_commits =
       Wsp_obs.Metrics.counter (Wsp_obs.Metrics.ambient ()) "nvheap.txn.commits";
     m_aborts =
@@ -188,7 +185,11 @@ let redo_commit_lines t tx =
 
 let commit t =
   match t.config.Config.logging with
-  | Config.No_log -> t.committed <- t.committed + 1;
+  | Config.No_log ->
+      (* No transaction machinery, so no [Commit] event for the metrics
+         bridge to count — count inline to keep totals comparable with
+         the logging configurations. *)
+      t.committed <- t.committed + 1;
       Wsp_obs.Metrics.Counter.incr t.m_commits
   | Config.Undo ->
       let tx = active t in
@@ -203,8 +204,7 @@ let commit t =
         Rawlog.truncate t.log ~mode:(log_mode t)
       end;
       t.active <- None;
-      t.committed <- t.committed + 1;
-      Wsp_obs.Metrics.Counter.incr t.m_commits
+      t.committed <- t.committed + 1
   | Config.Redo ->
       let tx = active t in
       emit t (Commit { txid = tx.txid; written_lines = redo_commit_lines t tx });
@@ -245,12 +245,12 @@ let commit t =
             tearing down a durable transaction context orders the log. *)
          Nvram.fence t.nvram);
       t.active <- None;
-      t.committed <- t.committed + 1;
-      Wsp_obs.Metrics.Counter.incr t.m_commits
+      t.committed <- t.committed + 1
 
 let abort t =
   match t.config.Config.logging with
-  | Config.No_log -> t.aborted <- t.aborted + 1;
+  | Config.No_log ->
+      t.aborted <- t.aborted + 1;
       Wsp_obs.Metrics.Counter.incr t.m_aborts
   | Config.Undo ->
       let tx = active t in
@@ -259,14 +259,12 @@ let abort t =
       List.iter (fun (addr, old) -> Nvram.write_u64 t.nvram ~addr old) tx.undo_order;
       if tx.began_in_log then Rawlog.truncate t.log ~mode:(log_mode t);
       t.active <- None;
-      t.aborted <- t.aborted + 1;
-      Wsp_obs.Metrics.Counter.incr t.m_aborts
+      t.aborted <- t.aborted + 1
   | Config.Redo ->
       let tx = active t in
       emit t (Abort tx.txid);
       t.active <- None;
-      t.aborted <- t.aborted + 1;
-      Wsp_obs.Metrics.Counter.incr t.m_aborts
+      t.aborted <- t.aborted + 1
 
 let with_tx t f =
   begin_tx t;

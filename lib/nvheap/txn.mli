@@ -46,7 +46,7 @@ val log : t -> Rawlog.t
 
 val in_tx : t -> bool
 
-type event =
+type event = Event.tx =
   | Begin of int64
   | Commit of { txid : int64; written_lines : int list }
       (** [written_lines] is the sorted set of line-base addresses the
@@ -55,12 +55,12 @@ type event =
           trace consumers need not re-derive it from raw stores. Empty
           for read-only transactions. *)
   | Abort of int64
-(** Transaction-boundary annotations for the checker's persistency
-    trace, fired before the boundary's first store. [Commit] marks commit
-    {e entry}: stores announced between it and the next [Begin] are the
-    commit protocol itself (log records, in-place apply, truncation). *)
-
-val set_hook : t -> (event -> unit) option -> unit
+(** An equation onto {!Event.tx}: transaction-boundary annotations,
+    published on the owning {!Nvram.bus} as [Event.Tx] before the
+    boundary's first store. [Commit] marks commit {e entry}: stores
+    announced between it and the next [Begin] are the commit protocol
+    itself (log records, in-place apply, truncation). The [No_log]
+    configuration has no transaction machinery and publishes nothing. *)
 
 (** {1 Log record kinds}
 

@@ -142,7 +142,7 @@ let cache_props =
 
 (* --- Hierarchy ----------------------------------------------------------- *)
 
-let tiny_hierarchy ?(on_writeback = fun ~line:_ -> ()) () =
+let tiny_hierarchy ?(on_writeback = fun ~line:_ ~explicit:_ -> ()) () =
   Hierarchy.create ~on_writeback
     {
       Hierarchy.levels =
@@ -194,7 +194,7 @@ let hierarchy_tests =
         Alcotest.(check int) "bytes" 64 (Hierarchy.dirty_bytes h));
     Alcotest.test_case "LLC eviction of dirty line writes back" `Quick (fun () ->
         let written = ref [] in
-        let h = tiny_hierarchy ~on_writeback:(fun ~line -> written := line :: !written) () in
+        let h = tiny_hierarchy ~on_writeback:(fun ~line ~explicit:_ -> written := line :: !written) () in
         (* L2: 8 sets x 4 ways; lines 0,8,16,24,32 map to L2 set 0. *)
         ignore (Hierarchy.store h ~addr:0);
         List.iter
@@ -204,7 +204,7 @@ let hierarchy_tests =
         Alcotest.(check (list int)) "no longer dirty" [] (Hierarchy.dirty_lines h));
     Alcotest.test_case "clflush writes back and invalidates" `Quick (fun () ->
         let written = ref [] in
-        let h = tiny_hierarchy ~on_writeback:(fun ~line -> written := line :: !written) () in
+        let h = tiny_hierarchy ~on_writeback:(fun ~line ~explicit:_ -> written := line :: !written) () in
         ignore (Hierarchy.store h ~addr:130);
         let cost = Hierarchy.clflush h ~addr:130 in
         Alcotest.(check (list int)) "written" [ 2 ] !written;
@@ -217,7 +217,7 @@ let hierarchy_tests =
     Alcotest.test_case "flush_all cleans everything and walks all slots" `Quick
       (fun () ->
         let written = ref 0 in
-        let h = tiny_hierarchy ~on_writeback:(fun ~line:_ -> incr written) () in
+        let h = tiny_hierarchy ~on_writeback:(fun ~line:_ ~explicit:_ -> incr written) () in
         for i = 0 to 9 do
           ignore (Hierarchy.store h ~addr:(i * 64))
         done;
@@ -230,7 +230,7 @@ let hierarchy_tests =
         Alcotest.(check bool) "cost includes walk" true Time.(cost >= Time.ns 280.0));
     Alcotest.test_case "drop_volatile loses dirty data silently" `Quick (fun () ->
         let written = ref 0 in
-        let h = tiny_hierarchy ~on_writeback:(fun ~line:_ -> incr written) () in
+        let h = tiny_hierarchy ~on_writeback:(fun ~line:_ ~explicit:_ -> incr written) () in
         ignore (Hierarchy.store h ~addr:0);
         Hierarchy.drop_volatile h;
         Alcotest.(check int) "no write-back" 0 !written;
@@ -238,7 +238,7 @@ let hierarchy_tests =
     Alcotest.test_case "store_nt flushes a dirty cached line first" `Quick
       (fun () ->
         let written = ref [] in
-        let h = tiny_hierarchy ~on_writeback:(fun ~line -> written := line :: !written) () in
+        let h = tiny_hierarchy ~on_writeback:(fun ~line ~explicit:_ -> written := line :: !written) () in
         ignore (Hierarchy.store h ~addr:0);
         ignore (Hierarchy.store_nt h ~addr:8);
         Alcotest.(check (list int)) "line 0 written back" [ 0 ] !written);
@@ -284,7 +284,7 @@ let hierarchy_props =
            let written = Hashtbl.create 16 in
            let h =
              tiny_hierarchy
-               ~on_writeback:(fun ~line -> Hashtbl.replace written line ())
+               ~on_writeback:(fun ~line ~explicit:_ -> Hashtbl.replace written line ())
                ()
            in
            List.iter (fun l -> ignore (Hierarchy.store h ~addr:(l * 64))) lines;

@@ -551,9 +551,13 @@ let rawlog_torn_tests =
           let nv, log = mk_log () in
           Rawlog.append log ~mode:Rawlog.Durable ~kind:1 [| 1L |];
           let n = ref 0 in
-          Nvram.set_hook nv (Some (fun _ -> incr n));
+          let sub =
+            Wsp_events.Bus.subscribe (Nvram.bus nv) (function
+              | Event.Mem _ -> incr n
+              | Event.Log _ | Event.Tx _ | Event.Wb _ | Event.Heap _ -> ())
+          in
           Rawlog.append log ~mode:Rawlog.Durable ~kind:2 [| 33L; 44L |];
-          Nvram.set_hook nv None;
+          Wsp_events.Bus.unsubscribe sub;
           !n
         in
         Alcotest.(check int) "events = stores + fence" (1 + (2 * 2) + 1)
@@ -562,11 +566,14 @@ let rawlog_torn_tests =
           let nv, log = mk_log () in
           Rawlog.append log ~mode:Rawlog.Durable ~kind:1 [| 1L |];
           let n = ref 0 in
-          Nvram.set_hook nv
-            (Some (fun _ -> if !n >= cut then raise Cut else incr n));
+          let sub =
+            Wsp_events.Bus.subscribe (Nvram.bus nv) (function
+              | Event.Mem _ -> if !n >= cut then raise Cut else incr n
+              | Event.Log _ | Event.Tx _ | Event.Wb _ | Event.Heap _ -> ())
+          in
           (try Rawlog.append log ~mode:Rawlog.Durable ~kind:2 [| 33L; 44L |]
            with Cut -> ());
-          Nvram.set_hook nv None;
+          Wsp_events.Bus.unsubscribe sub;
           Nvram.crash nv;
           let log' = Rawlog.attach nv ~base:0 ~len:4096 in
           match Rawlog.scan log' with

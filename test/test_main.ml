@@ -1,6 +1,7 @@
 let () =
   Alcotest.run "wsp"
-    (Suite_sim.suite @ Suite_obs.suite @ Suite_parallel.suite @ Suite_machine.suite
+    (Suite_sim.suite @ Suite_obs.suite @ Suite_events.suite
+   @ Suite_parallel.suite @ Suite_machine.suite
    @ Suite_power.suite
    @ Suite_nvdimm.suite @ Suite_nvheap.suite @ Suite_store.suite
    @ Suite_structures.suite @ Suite_core.suite @ Suite_cluster.suite
