@@ -1,8 +1,8 @@
 # Convenience targets. `make bench` gates the microbenchmarks on the
 # tier-1 build + test suite so a perf number is never reported for a
-# broken tree; it writes BENCH_5.json next to this Makefile.
+# broken tree; it writes BENCH_6.json next to this Makefile.
 
-.PHONY: all build test check lint bench clean
+.PHONY: all build test check lint bench ci-determinism clean
 
 all: build
 
@@ -26,6 +26,13 @@ lint: build
 
 bench: test
 	dune exec bench/main.exe -- --micro --json
+
+# Determinism gate: the checker's incremental engine must produce
+# byte-identical JSON to the full-replay reference, lint must produce
+# byte-identical JSON at any job width, and the record-once lint
+# fan-out must not be slower in parallel (j4 wall <= 1.5x j1).
+ci-determinism: build
+	sh scripts/ci_determinism.sh
 
 clean:
 	dune clean

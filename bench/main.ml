@@ -9,7 +9,7 @@
      main.exe --full          paper-scale parameters (slow)
      main.exe --micro         run the Bechamel microbenchmarks (alone when
                               no experiment is named)
-     main.exe --micro --json  …and write the estimates to BENCH_5.json
+     main.exe --micro --json  …and write the estimates to BENCH_6.json
 
    Independent experiments fan out over a domain pool (WSP_JOBS caps the
    worker count; WSP_JOBS=1 forces the sequential path). *)
@@ -160,13 +160,25 @@ let microbench_tests () =
   (* Crash-consistency checker throughput: one full record → inject →
      recover → judge cycle over [checker_bench_points] crash points,
      sequentially (jobs:1) so ns/run divides into an honest per-point
-     cost. The derived points/sec lands in BENCH_2.json. *)
+     cost. The -full twin forces the reference engine (workload
+     re-execution per point), kept as the before/after baseline of the
+     incremental snapshot-replay engine, which is the default. *)
   let checker_points =
     Test.make ~name:"checker-32pts"
       (Staged.stage (fun () ->
            ignore
              (Wsp_check.Checker.check ~jobs:1 ~points:checker_bench_points
                 ~txns:6 ~ops_per_txn:3 ~shrink:false
+                ~kind:Wsp_check.Checker.Hash_table
+                ~config:Wsp_nvheap.Config.foc_ul ~seed:1 ())))
+  in
+  let checker_points_full =
+    Test.make ~name:"checker-32pts-full"
+      (Staged.stage (fun () ->
+           ignore
+             (Wsp_check.Checker.check ~jobs:1 ~points:checker_bench_points
+                ~txns:6 ~ops_per_txn:3 ~shrink:false
+                ~engine:Wsp_check.Checker.Full_replay
                 ~kind:Wsp_check.Checker.Hash_table
                 ~config:Wsp_nvheap.Config.foc_ul ~seed:1 ())))
   in
@@ -185,6 +197,13 @@ let microbench_tests () =
                ignore (Wsp_analysis.Rules.analyze analyze_machine recording))))
       (Lazy.force analyzer_traces)
   in
+  (* One untimed registry lint before the timed widths: the first lint
+     pays heap growth and lazy-initialisation costs that would otherwise
+     bias whichever job width happens to run first (they run j1-first,
+     which made j1 look slower than j4 on warm-up alone). *)
+  ignore
+    (Wsp_analysis.Analyzer.lint ~jobs:1 ~txns:lint_bench_txns
+       ~workloads:Wsp_analysis.Analyzer.registry ());
   let lint_registry jobs =
     Test.make ~name:(Printf.sprintf "lint-registry-j%d" jobs)
       (Staged.stage (fun () ->
@@ -203,20 +222,31 @@ let microbench_tests () =
     avl_insert;
     save_cycle;
     checker_points;
+    checker_points_full;
   ]
   @ analyze_tests
-  @ [ lint_registry 1; lint_registry 4 ]
+  @ List.map lint_registry [ 1; 2; 4; 8 ]
 
-(* Every microbenchmark body runs on the calling domain; the checker one
-   pins ~jobs:1 explicitly. A benchmark that fans out records its own
-   width here instead of inheriting the top-level pool default. *)
-let bench_jobs = function "lint-registry-j4" -> 4 | _ -> 1
+(* Every microbenchmark body runs on the calling domain; the checker ones
+   pin ~jobs:1 explicitly. A benchmark that fans out records its own
+   width here instead of inheriting the top-level pool default. (The
+   requested lint width is a cap: Parallel.map clamps the spawned domains
+   to the hardware count, which is how j8 stays sane on small boxes.) *)
+let bench_jobs = function
+  | "lint-registry-j2" -> 2
+  | "lint-registry-j4" -> 4
+  | "lint-registry-j8" -> 8
+  | _ -> 1
 
 (* Runs every microbenchmark; (name, ns-per-run) in declaration order. *)
 let measure_microbenches () =
   let open Bechamel in
   let instances = [ Toolkit.Instance.monotonic_clock ] in
-  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~kde:(Some 100) () in
+  (* 1.5s per test: the registry-lint and checker bodies run ~0.2-0.4s
+     each, so a 0.5s quota left OLS with two samples and noise-dominated
+     estimates (the j1/j4 ordering flipped between runs on warm-up
+     effects alone). *)
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 1.5) ~kde:(Some 100) () in
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
   in
@@ -239,11 +269,21 @@ let measure_microbenches () =
     tests
 
 (* Crash points judged per second, derived from the checker microbench
-   (each run explores [checker_bench_points] points sequentially). *)
+   (each run explores [checker_bench_points] points sequentially). The
+   headline number is the incremental engine's; the speedup relates it
+   to the full-replay reference. *)
 let checker_points_per_sec results =
   match List.assoc_opt "checker-32pts" results with
   | Some ns when ns > 0.0 ->
       Some (float_of_int checker_bench_points *. 1e9 /. ns)
+  | _ -> None
+
+let checker_speedup results =
+  match
+    ( List.assoc_opt "checker-32pts" results,
+      List.assoc_opt "checker-32pts-full" results )
+  with
+  | Some inc, Some full when inc > 0.0 -> Some (full /. inc)
   | _ -> None
 
 (* Trace events analysed per second, from the longest analyzer trace
@@ -273,7 +313,7 @@ let json_escape s =
     s;
   Buffer.contents b
 
-(* BENCH_5.json: the perf trajectory file future PRs diff against. *)
+(* BENCH_6.json: the perf trajectory file future PRs diff against. *)
 let write_json ~path results =
   let oc = open_out path in
   output_string oc "{\n  \"benchmarks\": [\n";
@@ -290,6 +330,9 @@ let write_json ~path results =
   | None -> ());
   (match checker_points_per_sec results with
   | Some pps -> Printf.fprintf oc ",\n  \"checker_points_per_sec\": %.0f" pps
+  | None -> ());
+  (match checker_speedup results with
+  | Some s -> Printf.fprintf oc ",\n  \"checker_incremental_speedup\": %.1f" s
   | None -> ());
   (match analyzer_events_per_sec results with
   | Some eps ->
@@ -317,12 +360,16 @@ let run_microbenches ~json () =
   (match checker_points_per_sec results with
   | Some pps -> Printf.printf "  checker throughput: %.0f crash points/sec\n" pps
   | None -> ());
+  (match checker_speedup results with
+  | Some s ->
+      Printf.printf "  incremental-engine speedup over full replay: %.1fx\n" s
+  | None -> ());
   (match analyzer_events_per_sec results with
   | Some eps ->
       Printf.printf "  analyzer throughput: %.0f trace events/sec\n" eps
   | None -> ());
   if json then begin
-    let path = "BENCH_5.json" in
+    let path = "BENCH_6.json" in
     write_json ~path results;
     Printf.printf "  wrote %s\n" path
   end

@@ -350,8 +350,34 @@ let check_cmd =
   let no_shrink_arg =
     Arg.(value & flag & info [ "no-shrink" ] ~doc:"Skip minimising failing traces.")
   in
-  let run workloads configs points txns jobs broken protocol no_shrink seed
-      verbose metrics trace =
+  let full_replay_arg =
+    Arg.(
+      value & flag
+      & info [ "full-replay" ]
+          ~doc:"Use the reference engine (re-execute the workload from \
+                scratch per crash point) instead of the default incremental \
+                snapshot-replay engine. Verdicts are identical; this exists \
+                for cross-checking and benchmarking.")
+  in
+  let stride_arg =
+    Arg.(
+      value & opt int 256
+      & info [ "stride" ] ~docv:"N"
+          ~doc:"Incremental engine's snapshot interval in crash points (also \
+                its parallel chunk size); 0 disables waypoints so every chunk \
+                replays from the base image.")
+  in
+  let json_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:"Also write the machine-readable reports to $(docv) ($(b,-) \
+                for stdout). Byte-identical across $(b,--jobs) widths and \
+                engines.")
+  in
+  let run workloads configs points txns jobs broken protocol no_shrink
+      full_replay stride json seed verbose metrics trace =
     setup_logs verbose;
     with_obs metrics trace @@ fun () ->
     let jobs = if jobs > 0 then Some jobs else None in
@@ -360,6 +386,9 @@ let check_cmd =
       if configs = [] then [ Config.foc_ul; Config.foc_stm; Config.fof ]
       else configs
     in
+    let engine =
+      if full_replay then Checker.Full_replay else Checker.Incremental
+    in
     let reports =
       List.concat_map
         (fun kind ->
@@ -367,13 +396,18 @@ let check_cmd =
             (fun config ->
               let r =
                 Checker.check ?jobs ~points ~txns ~fault:broken
-                  ~shrink:(not no_shrink) ~kind ~config ~seed ()
+                  ~shrink:(not no_shrink) ~engine ~snapshot_stride:stride
+                  ~kind ~config ~seed ()
               in
               Fmt.pr "%a@." Checker.pp_report r;
               r)
             configs)
         workloads
     in
+    (match json with
+    | Some "-" -> print_string (Checker.reports_to_json reports)
+    | Some path -> write_file path (Checker.reports_to_json reports)
+    | None -> ());
     let workload_violations =
       List.exists (fun r -> r.Checker.violations <> []) reports
     in
@@ -396,8 +430,9 @@ let check_cmd =
           run on each crash image")
     Term.(
       const run $ workloads_arg $ configs_arg $ points_arg $ txns_arg
-      $ jobs_arg $ broken_arg $ protocol_arg $ no_shrink_arg $ seed_arg
-      $ verbose_arg $ metrics_arg $ trace_arg)
+      $ jobs_arg $ broken_arg $ protocol_arg $ no_shrink_arg $ full_replay_arg
+      $ stride_arg $ json_arg $ seed_arg $ verbose_arg $ metrics_arg
+      $ trace_arg)
 
 (* --- lint ------------------------------------------------------------- *)
 

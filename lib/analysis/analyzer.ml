@@ -16,15 +16,18 @@ type workload = {
 }
 
 (* Batch recording, derived from the streaming shape: attach a trace in
-   [observe], snapshot it in [finish]. *)
+   [observe], snapshot it in [finish]. The detach lives in [Fun.protect]
+   so a raising workload cannot leave the recorder subscribed to a bus
+   that outlives it. *)
 let record_of_run w ~fault ~txns ~seed =
   let tr = Trace.create () in
   let out = ref None in
-  w.run ~fault ~txns ~seed
-    ~observe:(fun heap -> Trace.instrument tr heap)
-    ~finish:(fun heap ->
-      Trace.detach tr;
-      out := Some (Trace.snapshot tr heap));
+  Fun.protect
+    ~finally:(fun () -> Trace.detach tr)
+    (fun () ->
+      w.run ~fault ~txns ~seed
+        ~observe:(fun heap -> Trace.instrument tr heap)
+        ~finish:(fun heap -> out := Some (Trace.snapshot tr heap)));
   Option.get !out
 
 (* "FoC + UL" -> "foc-ul", "FoF" -> "fof" *)
@@ -192,49 +195,75 @@ type report = {
 let stream_one machine w ~fault ~txns ~seed =
   let stream = ref None in
   let sub = ref None in
-  w.run ~fault ~txns ~seed
-    ~observe:(fun heap ->
-      let nv = Pheap.nvram heap in
-      let al = Pheap.allocator heap in
-      let s =
-        Rules.stream_create machine ~line_size:(Nvram.line_size nv)
-          ~alloc_base:(Alloc.base al) ~alloc_limit:(Alloc.limit al)
-      in
-      Trace.iter_baseline heap (Rules.stream_step s);
-      sub := Some (Wsp_events.Bus.subscribe (Pheap.bus heap) (Rules.stream_step s));
-      stream := Some s)
-    ~finish:(fun _heap ->
-      match !sub with
-      | Some s ->
-          Wsp_events.Bus.unsubscribe s;
-          sub := None
-      | None -> ());
+  let unsubscribe () =
+    match !sub with
+    | Some s ->
+        Wsp_events.Bus.unsubscribe s;
+        sub := None
+    | None -> ()
+  in
+  (* [unsubscribe] runs in [Fun.protect] (idempotently, since [finish]
+     also calls it on the normal path): a raising workload must not
+     leave the rule engine subscribed to the heap's bus. *)
+  Fun.protect ~finally:unsubscribe (fun () ->
+      w.run ~fault ~txns ~seed
+        ~observe:(fun heap ->
+          let nv = Pheap.nvram heap in
+          let al = Pheap.allocator heap in
+          let s =
+            Rules.stream_create machine ~line_size:(Nvram.line_size nv)
+              ~alloc_base:(Alloc.base al) ~alloc_limit:(Alloc.limit al)
+          in
+          Trace.iter_baseline heap (Rules.stream_step s);
+          sub :=
+            Some
+              (Wsp_events.Bus.subscribe (Pheap.bus heap) (Rules.stream_step s));
+          stream := Some s)
+        ~finish:(fun _heap -> unsubscribe ()));
   Rules.stream_finish (Option.get !stream)
 
 let lint ?jobs ?(live = false) ?(fault = Checker.No_fault) ?(txns = 32)
     ?(seed = 1) ?psu ?platform ?(busy = false) ~workloads () =
-  let analyze_one w =
+  let machine_of w =
     let base = Rules.default_machine ~config:w.config () in
-    let machine =
-      {
-        base with
-        Rules.fences_broken = fault = Checker.Broken_fences;
-        wsp_save_broken = fault = Checker.Broken_wsp_save;
-        psu = Option.value psu ~default:base.Rules.psu;
-        platform = Option.value platform ~default:base.Rules.platform;
-        busy;
-      }
+    {
+      base with
+      Rules.fences_broken = fault = Checker.Broken_fences;
+      wsp_save_broken = fault = Checker.Broken_wsp_save;
+      psu = Option.value psu ~default:base.Rules.psu;
+      platform = Option.value platform ~default:base.Rules.platform;
+      busy;
+    }
+  in
+  let make_report w (result, witness_text) =
+    {
+      workload = w.name;
+      config_name = config_slug w.config;
+      fault;
+      result;
+      witness_text;
+    }
+  in
+  if live then
+    (* No trace exists to render witness indices against; the human
+       report falls back to bare [#idx] references. Diagnostics and
+       stats — everything the JSON carries — are identical to the
+       recorded path. *)
+    Parallel.map ?jobs
+      (fun w -> make_report w (stream_one (machine_of w) w ~fault ~txns ~seed, []))
+      workloads
+  else begin
+    (* Two phases: each workload's heap simulation runs exactly once,
+       then rule evaluation and witness rendering fan out over the
+       shared recordings — no job ever re-simulates a heap it only
+       needed the trace of. Both maps preserve input order, so the
+       report list (and its JSON) is independent of the job count. *)
+    let recordings =
+      Parallel.map ?jobs (fun w -> record_of_run w ~fault ~txns ~seed) workloads
     in
-    let result, witness_text =
-      if live then
-        (* No trace exists to render witness indices against; the human
-           report falls back to bare [#idx] references. Diagnostics and
-           stats — everything the JSON carries — are identical to the
-           recorded path. *)
-        (stream_one machine w ~fault ~txns ~seed, [])
-      else begin
-        let recording = record_of_run w ~fault ~txns ~seed in
-        let result = Rules.analyze machine recording in
+    Parallel.map ?jobs
+      (fun (w, recording) ->
+        let result = Rules.analyze (machine_of w) recording in
         let cited =
           List.concat_map (fun d -> d.Rules.witness) result.Rules.diagnostics
           |> List.sort_uniq compare
@@ -247,18 +276,9 @@ let lint ?jobs ?(live = false) ?(fault = Checker.No_fault) ?(txns = 32)
               else None)
             cited
         in
-        (result, witness_text)
-      end
-    in
-    {
-      workload = w.name;
-      config_name = config_slug w.config;
-      fault;
-      result;
-      witness_text;
-    }
-  in
-  Parallel.map ?jobs analyze_one workloads
+        make_report w (result, witness_text))
+      (List.combine workloads recordings)
+  end
 
 let expected ~expect (d : Rules.diagnostic) = List.mem d.Rules.rule expect
 

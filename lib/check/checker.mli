@@ -142,6 +142,17 @@ type report = {
   shrunk : shrunk option;
 }
 
+type engine =
+  | Incremental
+      (** Record one golden execution (trace + replayable mutation log +
+          committed-op journal), then reconstruct each crash state by
+          replaying only the delta from the previous point — cost
+          proportional to the post-crash suffix, not the trace. *)
+  | Full_replay
+      (** Re-execute the workload from scratch for every crash point —
+          the original O(points × trace) engine, kept as the reference
+          the incremental engine is tested against. *)
+
 val check :
   ?jobs:int ->
   ?points:int ->
@@ -151,6 +162,8 @@ val check :
   ?setup_entries:int ->
   ?fault:fault ->
   ?shrink:bool ->
+  ?engine:engine ->
+  ?snapshot_stride:int ->
   kind:kind ->
   config:Config.t ->
   seed:int ->
@@ -159,8 +172,17 @@ val check :
 (** Runs the full record → enumerate → inject → recover → judge cycle.
     Crash points fan out over {!Wsp_sim.Parallel.map} ([jobs] defaults to
     the pool's [WSP_JOBS]-aware width; results are identical at any job
-    count). [points] (default 1000) caps exploration; [shrink] (default
-    [true]) minimises the first failing trace. *)
+    count and under either [engine]). [points] (default 1000) caps
+    exploration; [shrink] (default [true]) minimises the first failing
+    trace. [snapshot_stride] (default 256) is the incremental engine's
+    waypoint interval in crash points — also its parallel chunk size; [0]
+    disables waypoints (every chunk replays from the base image, the
+    stride=∞ behaviour). *)
+
+val reports_to_json : report list -> string
+(** Stable machine-readable rendering of a batch of reports. Two runs
+    agree iff the JSON is byte-equal — the CI determinism job compares
+    engines and job counts this way. *)
 
 val pp_violation : Format.formatter -> violation -> unit
 val pp_report : Format.formatter -> report -> unit

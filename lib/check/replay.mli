@@ -1,0 +1,69 @@
+(** Golden-run recording and incremental crash-state reconstruction.
+
+    Records one complete execution of a workload through the NVRAM's
+    {!Wsp_nvheap.Nvram.tap} — every data mutation (overlay writes,
+    WC-queue appends, write-backs, drains) in exact chronological order,
+    with a {e mark} per memory event — and rebuilds the machine state at
+    any crash point by replaying only the recorded mutation ops, never
+    the workload. This turns the checker's O(points × trace) crash
+    enumeration into one execution plus O(delta) replay per point.
+
+    Because NVRAM events are published {e before} their primitive
+    mutates anything, the state a power failure at point [p] preserves
+    is exactly the recorded ops strictly preceding mark [p].
+
+    Copy-on-write waypoints: every [stride] marks the recorder snapshots
+    the full state, saving only the backing lines written back since the
+    previous waypoint (plus the small overlay/WC contents whole), so a
+    cursor can land mid-trace — each parallel chunk of crash points
+    starts at the nearest waypoint instead of replaying from zero. *)
+
+type 'a t
+(** A finished recording; ['a] is the caller's per-mark annotation
+    (the checker stores its committed-op journal position there). *)
+
+val record :
+  nvram:Wsp_nvheap.Nvram.t ->
+  ?stride:int ->
+  info:(unit -> 'a) ->
+  (unit -> unit) ->
+  'a t
+(** [record ~nvram ~stride ~info run] executes [run ()] with the tap and
+    a bus subscriber attached (both removed on exit, even if [run]
+    raises), capturing the base state first. [info] is sampled at every
+    mark, i.e. at the instant each memory event is announced — the same
+    instant the old checker's crash injection froze the machine.
+    [stride] is the waypoint interval in marks (default 256); [0]
+    disables waypoints (cursors then always restore to the base
+    state — the stride=∞ behaviour). *)
+
+val marks : 'a t -> int
+(** Number of memory events recorded — the crash-point space, equal to
+    [Trace.mem_length] of a trace of the same execution. *)
+
+val info : 'a t -> mark:int -> 'a
+(** The annotation sampled at mark [mark]. *)
+
+type 'a cursor
+(** A mutable reconstruction of the machine state at some mark. Cheap to
+    move forward; moving backward restores from the nearest preceding
+    waypoint. Independent cursors over one recording do not share state
+    (each chunk of a parallel sweep owns one). *)
+
+val cursor : 'a t -> 'a cursor
+(** A cursor positioned at mark 0 (the recording's base state). *)
+
+val seek : 'a cursor -> mark:int -> unit
+(** Positions the cursor at crash point [mark]: the state with exactly
+    the ops preceding mark [mark] applied. *)
+
+val persistent_image : 'a cursor -> Bytes.t
+(** What a power failure at the current mark preserves: the backing
+    bytes alone. Equal to [Nvram.persistent_image] at the same point of
+    a live execution. *)
+
+val volatile_image : 'a cursor -> Bytes.t
+(** Full logical contents at the current mark: backing overlaid with
+    dirty lines and undrained WC data. Equal to [Nvram.volatile_image]
+    at the same point of a live execution — what a flush-on-fail save
+    must persist. *)

@@ -209,6 +209,70 @@ let dirty_lines_slow t =
 let dirty_count_slow t = fold (fun acc way -> if way.dirty then acc + 1 else acc) 0 t
 let resident_count_slow t = fold (fun acc _ -> acc + 1) 0 t
 
+(* Snapshots capture every observable piece of tag state: per-way
+   contents, the LRU clock, and — because [iter_dirty]'s oldest-first
+   order is visible through write-back event order — the dirty list's
+   exact ordering, saved as a line array and relinked on restore. *)
+type snapshot = {
+  snap_slots : (int * bool * bool * int) array;
+      (* Per flat way slot: line, valid, dirty, age. *)
+  snap_dirty : int array;  (* Dirty lines, oldest-dirtied first. *)
+  snap_tick : int;
+  snap_resident : int;
+}
+
+let snapshot t =
+  let assoc = t.cfg.associativity in
+  let slots = Array.make (t.n_sets * assoc) (0, false, false, 0) in
+  Array.iteri
+    (fun si set ->
+      Array.iteri
+        (fun wi (w : way) ->
+          slots.((si * assoc) + wi) <- (w.line, w.valid, w.dirty, w.age))
+        set)
+    t.sets;
+  let dirty = Array.make t.dirty_n 0 in
+  let i = ref 0 in
+  iter_dirty t (fun line ->
+      dirty.(!i) <- line;
+      incr i);
+  {
+    snap_slots = slots;
+    snap_dirty = dirty;
+    snap_tick = t.tick;
+    snap_resident = t.resident_n;
+  }
+
+let restore t s =
+  let assoc = t.cfg.associativity in
+  if Array.length s.snap_slots <> t.n_sets * assoc then
+    invalid_arg "Cache.restore: snapshot from a different geometry";
+  Array.iteri
+    (fun si set ->
+      Array.iteri
+        (fun wi (w : way) ->
+          let line, valid, dirty, age = s.snap_slots.((si * assoc) + wi) in
+          w.line <- line;
+          w.valid <- valid;
+          w.dirty <- dirty;
+          w.age <- age;
+          w.dirty_prev <- w;
+          w.dirty_next <- w)
+        set)
+    t.sets;
+  let sentinel = t.dirty_list in
+  sentinel.dirty_prev <- sentinel;
+  sentinel.dirty_next <- sentinel;
+  t.dirty_n <- 0;
+  Array.iter
+    (fun line ->
+      match find_way t line with
+      | Some w -> link_dirty t w
+      | None -> assert false)
+    s.snap_dirty;
+  t.tick <- s.snap_tick;
+  t.resident_n <- s.snap_resident
+
 let clear t =
   Array.iter
     (Array.iter (fun way ->

@@ -75,6 +75,20 @@ val resident_count_slow : t -> int
     used by the invariant tests and the before/after microbenchmarks;
     not for production callers. *)
 
+type snapshot
+(** An immutable copy of the full tag state: per-way contents, LRU
+    clock, and the dirty list's exact ordering (observable through the
+    write-back order of {!iter_dirty}). *)
+
+val snapshot : t -> snapshot
+(** O(total slots) copy of the cache's state. *)
+
+val restore : t -> snapshot -> unit
+(** Rewinds [t] to a prior {!snapshot} in place. The snapshot must come
+    from a cache of the same geometry ([Invalid_argument] otherwise);
+    after restore the cache is indistinguishable from its state at
+    snapshot time, including dirty-line iteration order. *)
+
 val clear : t -> unit
 (** Invalidates everything without reporting write-backs; callers that
     need write-back semantics must consume {!dirty_lines} first. *)

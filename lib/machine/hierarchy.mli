@@ -116,3 +116,13 @@ val dirty_bytes_slow : t -> int
 
 val resident_lines : t -> int
 val total_line_slots : t -> int
+
+type snapshot
+(** Full tag state of every level (see {!Cache.snapshot}). Metric
+    counters are {e not} part of a snapshot: they describe work
+    performed, and keep accumulating across a {!restore}. *)
+
+val snapshot : t -> snapshot
+val restore : t -> snapshot -> unit
+(** Rewinds every level to the snapshot in place; requires the same
+    level geometry the snapshot was taken from. *)

@@ -12,6 +12,29 @@ type event = Event.mem =
 
 type fault = No_fault | Broken_fence
 
+(* The replay tap: a synchronous observer of every *data* mutation, in
+   exact chronological order. The event bus cannot serve this purpose —
+   events are published before the primitive mutates anything and carry
+   no payload ([Store {addr; len}] has no bytes; at publish time the
+   data is not in the NVRAM yet). Each callback fires at the moment its
+   mutation happens, so appending the calls to a log and replaying them
+   over a copy of the starting state reproduces backing, dirty-overlay
+   and write-combining contents exactly. *)
+type tap = {
+  on_slice : addr:int -> data:Bytes.t -> unit;
+      (* [data] was just written to the dirty overlay at [addr]; spans a
+         single line by construction. The recorder owns [data]. *)
+  on_nt : addr:int -> v:int64 -> unit;
+      (* An 8-byte non-temporal store was queued. *)
+  on_wb : line:int -> data:Bytes.t -> unit;
+      (* [line]'s overlay buffer [data] is being written back to
+         backing and dropped from the overlay. Ownership of [data]
+         transfers to the tap: the overlay never reuses a removed
+         buffer. *)
+  on_drain : unit -> unit;
+      (* The write-combining queue was flushed to backing. *)
+}
+
 type t = {
   backing : Bytes.t;  (* Persistent contents: survives crash. *)
   dirty : (int, Bytes.t) Hashtbl.t;  (* line number -> volatile line copy *)
@@ -21,6 +44,9 @@ type t = {
   mutable clock : Time.t;
   bus : Event.t Bus.t;
   mutable fault : fault;
+  tap : tap option ref;
+      (* A ref, not a mutable field: the hierarchy's write-back closure
+         is built before this record exists and shares the cell. *)
 }
 
 let default_hierarchy () =
@@ -39,6 +65,7 @@ let create ?hierarchy ?backing ~size () =
   in
   let dirty = Hashtbl.create 1024 in
   let bus = Bus.create () in
+  let tap = ref None in
   (* The hierarchy's write-back wiring both moves the dirty bytes to
      backing and surfaces the machine-level fact on the unified bus:
      silent capacity evictions and explicit flushes arrive as the same
@@ -48,6 +75,7 @@ let create ?hierarchy ?backing ~size () =
     match Hashtbl.find_opt dirty line with
     | None -> ()
     | Some data ->
+        (match !tap with Some tp -> tp.on_wb ~line ~data | None -> ());
         Bytes.blit data 0 backing (line * line_size) line_size;
         Hashtbl.remove dirty line
   in
@@ -62,11 +90,18 @@ let create ?hierarchy ?backing ~size () =
     clock = Time.zero;
     bus;
     fault = No_fault;
+    tap;
   }
 
 let bus t = t.bus
 let set_fault t fault = t.fault <- fault
 let fault t = t.fault
+
+let set_tap t tp =
+  (match (tp, !(t.tap)) with
+  | Some _, Some _ -> invalid_arg "Nvram.set_tap: a tap is already attached"
+  | _ -> ());
+  t.tap := tp
 
 (* Published before the primitive mutates anything, so a subscriber that
    raises models a power failure between the preceding store and this
@@ -126,7 +161,15 @@ let write_range t ~addr src ~src_off ~len =
     for byte = line_start to line_end - 1 do
       Bytes.set data (byte mod t.line_size)
         (Bytes.get src (src_off + byte - addr))
-    done
+    done;
+    (* Fired per line, after that line's bytes land: a later line's
+       hierarchy charge can evict an earlier line of this same store,
+       and the tap must see the slice before its write-back. *)
+    match !(t.tap) with
+    | Some tp ->
+        tp.on_slice ~addr:line_start
+          ~data:(Bytes.sub src (src_off + line_start - addr) (line_end - line_start))
+    | None -> ()
   done
 
 let read_u64 t ~addr =
@@ -167,7 +210,8 @@ let write_u64_nt t ~addr v =
   check_range t addr 8;
   emit t (Store_nt { addr });
   charge t (Hierarchy.store_nt t.hierarchy ~addr);
-  Queue.add (addr, v) t.wc_pending
+  Queue.add (addr, v) t.wc_pending;
+  match !(t.tap) with Some tp -> tp.on_nt ~addr ~v | None -> ()
 
 let fence t =
   emit t Fence;
@@ -182,7 +226,8 @@ let fence t =
         Bytes.set_int64_le b 0 v;
         Bytes.blit b 0 t.backing addr 8)
       t.wc_pending;
-    Queue.clear t.wc_pending
+    Queue.clear t.wc_pending;
+    match !(t.tap) with Some tp -> tp.on_drain () | None -> ()
   end
 
 let pending_nt_bytes t = 8 * Queue.length t.wc_pending
@@ -208,6 +253,7 @@ let wbinvd t =
       Bytes.blit b 0 t.backing addr 8)
     t.wc_pending;
   Queue.clear t.wc_pending;
+  (match !(t.tap) with Some tp -> tp.on_drain () | None -> ());
   assert (Hashtbl.length t.dirty = 0)
 
 let crash t =
@@ -232,3 +278,16 @@ let volatile_image t =
   img
 
 let peek_u64 t ~addr = Bytes.get_int64_le t.backing addr
+
+(* Raw-state accessors for the waypoint snapshots of the incremental
+   checker: they read the three state components the tap's op log
+   replays over, without charging time or publishing events. *)
+
+let overlay_lines t =
+  Hashtbl.fold (fun line data acc -> (line, Bytes.copy data) :: acc) t.dirty []
+
+let pending_nt t = List.rev (Queue.fold (fun acc e -> e :: acc) [] t.wc_pending)
+
+let blit_backing t ~addr ~len dst ~dst_off =
+  check_range t addr len;
+  Bytes.blit t.backing addr dst dst_off len

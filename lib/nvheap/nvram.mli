@@ -139,3 +139,50 @@ val volatile_image : t -> Bytes.t
 val peek_u64 : t -> addr:int -> int64
 (** Reads the {e backing store} directly, ignoring cached dirty data.
     Test instrumentation; charges no time. *)
+
+(** {1 The replay tap}
+
+    A synchronous observer of every {e data} mutation, in exact
+    chronological order — the raw material of the incremental
+    crash-point checker. The event bus cannot serve this purpose: events
+    are published {e before} the primitive mutates anything and carry no
+    payload, whereas replaying a crash prefix needs the bytes and the
+    exact moment they land. At most one tap may be attached; with none,
+    each mutation pays a single branch. *)
+
+type tap = {
+  on_slice : addr:int -> data:Bytes.t -> unit;
+      (** [data] was just written to the dirty overlay at [addr]. Spans
+          a single cache line by construction (multi-line stores fire
+          once per line, interleaved with any evictions they cause).
+          The callback owns [data]. *)
+  on_nt : addr:int -> v:int64 -> unit;
+      (** An 8-byte non-temporal store was appended to the
+          write-combining queue. *)
+  on_wb : line:int -> data:Bytes.t -> unit;
+      (** [line]'s dirty-overlay buffer is being written back to backing
+          and dropped from the overlay. Ownership of [data] transfers to
+          the callback — the overlay never mutates a removed buffer. *)
+  on_drain : unit -> unit;
+      (** The write-combining queue was flushed to backing (a drained
+          {!fence} or {!wbinvd}). *)
+}
+
+val set_tap : t -> tap option -> unit
+(** Attaches or detaches the tap. Raises [Invalid_argument] when a tap
+    is already attached and [Some _] is given. *)
+
+(** {1 Raw-state accessors}
+
+    Charge no time, publish no events; used by the incremental checker's
+    waypoint snapshots. *)
+
+val overlay_lines : t -> (int * Bytes.t) list
+(** Copies of the dirty-overlay buffers, as [(line, data)] pairs in
+    unspecified order. *)
+
+val pending_nt : t -> (int * int64) list
+(** The write-combining queue, oldest first. *)
+
+val blit_backing : t -> addr:int -> len:int -> Bytes.t -> dst_off:int -> unit
+(** Copies [len] backing bytes at [addr] into [dst]. *)

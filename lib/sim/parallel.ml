@@ -35,9 +35,11 @@ let default_jobs () =
         | Some n -> n
         | None -> Domain.recommended_domain_count ())
 
+let hardware_jobs () = max 1 (Domain.recommended_domain_count ())
+
 exception Worker of exn
 
-let map ?jobs f xs =
+let map ?jobs ?chunk f xs =
   let jobs = match jobs with Some j -> max j 1 | None -> default_jobs () in
   let items = Array.of_list xs in
   let n = Array.length items in
@@ -46,25 +48,45 @@ let map ?jobs f xs =
     let results = Array.make n None in
     let failures = Array.make n None in
     let next = Atomic.make 0 in
+    (* Workers claim [chunk] consecutive items per fetch so the shared
+       counter (and the domain setup cost behind each claim) amortises
+       over cheap items; the default still leaves ~8 claims per worker
+       for load balance across uneven item costs. *)
+    let chunk =
+      match chunk with
+      | Some c -> max 1 c
+      | None -> max 1 (n / (jobs * 8))
+    in
     let work () =
       let in_worker = Domain.DLS.get in_worker_key in
       let saved = !in_worker in
       in_worker := true;
       let rec loop () =
-        let i = Atomic.fetch_and_add next 1 in
-        if i < n then begin
-          (match f items.(i) with
-          | v -> results.(i) <- Some v
-          | exception e ->
-              failures.(i) <- Some (e, Printexc.get_raw_backtrace ()));
+        let base = Atomic.fetch_and_add next chunk in
+        if base < n then begin
+          for i = base to min (base + chunk) n - 1 do
+            match f items.(i) with
+            | v -> results.(i) <- Some v
+            | exception e ->
+                failures.(i) <- Some (e, Printexc.get_raw_backtrace ())
+          done;
           loop ()
         end
       in
       loop ();
       in_worker := saved
     in
+    (* Oversubscribing domains is never a win: every domain beyond the
+       core count only adds minor-GC synchronisation barriers. On a
+       single-core host this turned a 19-workload lint fan-out 3-4x
+       *slower* at --jobs 4 than sequential, so [jobs] caps concurrency
+       while the spawn count is clamped to the hardware (0 extra domains
+       on one core: the calling domain drains the queue alone, with pool
+       semantics — every job still runs; earliest failure still wins). *)
     let domains =
-      List.init (min jobs n - 1) (fun _ -> Domain.spawn work)
+      List.init
+        (min (min jobs (hardware_jobs ())) n - 1)
+        (fun _ -> Domain.spawn work)
     in
     work ();
     List.iter Domain.join domains;

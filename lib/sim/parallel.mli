@@ -18,15 +18,27 @@ val default_jobs : unit -> int
 val set_jobs : int -> unit
 (** Process-wide override of {!default_jobs} ([0] clears it). *)
 
-val map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+val hardware_jobs : unit -> int
+(** [Domain.recommended_domain_count ()], floored at 1: the number of
+    domains worth actually spawning on this host. *)
+
+val map : ?jobs:int -> ?chunk:int -> ('a -> 'b) -> 'a list -> 'b list
 (** [map f xs] applies [f] to every element, running up to [jobs]
-    applications concurrently on separate domains. Results are returned
-    in input order regardless of completion order. If any application
-    raises, every job still runs to completion and the exception of the
+    applications concurrently on separate domains. [jobs] is a
+    concurrency {e cap}: the number of domains actually spawned is
+    additionally clamped to {!hardware_jobs}, because oversubscribing
+    domains only adds GC-synchronisation overhead (a measured 3-4x
+    slowdown for [--jobs 4] on a single-core host). Workers claim
+    [chunk] consecutive inputs at a time from the shared queue
+    (default: enough to leave ~8 claims per worker), so per-claim
+    overhead amortises over cheap items. Results are returned in input
+    order regardless of completion order. If any application raises,
+    every job still runs to completion and the exception of the
     {e earliest failing input} is re-raised, so the surfaced outcome
-    does not depend on domain scheduling. With [jobs = 1] (or a
-    singleton list) no domain is spawned and the call is exactly
-    [List.map f xs]. *)
+    does not depend on domain scheduling — including on a single-core
+    host, where [jobs > 1] keeps pool semantics but spawns no extra
+    domain (the calling domain drains the whole queue). With [jobs = 1]
+    (or a singleton list) the call is exactly [List.map f xs]. *)
 
 (** {1 Capturable output}
 

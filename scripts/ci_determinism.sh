@@ -1,0 +1,65 @@
+#!/bin/sh
+# Determinism + parallel-perf gate, run by `make ci-determinism` and CI.
+#
+# Three contracts:
+#   1. The checker's incremental snapshot-replay engine (the default)
+#      produces byte-identical JSON to the full-replay reference, at the
+#      default stride and with waypoints disabled (--stride 0), on a
+#      clean cell and on a sabotaged cell with violations and a shrunk
+#      witness.
+#   2. Lint JSON is byte-identical between --jobs 1 and --jobs 4.
+#   3. The record-once lint fan-out must not regress under parallelism:
+#      j4 wall time <= 1.5x j1 (the old per-rule-re-execution fan-out
+#      was 3-4x slower at j4 on a single-core box).
+set -eu
+
+SIM="${SIM:-_build/default/bin/wsp_sim.exe}"
+cd "$(dirname "$0")/.."
+
+now_ms() { echo $(($(date +%s%N) / 1000000)); }
+
+echo "== checker: incremental vs full-replay (clean cell) =="
+"$SIM" check --workload hash_table --config undo --points 200 --txns 8 \
+  --json check-inc.json > /dev/null
+"$SIM" check --workload hash_table --config undo --points 200 --txns 8 \
+  --full-replay --json check-full.json > /dev/null
+cmp check-inc.json check-full.json
+"$SIM" check --workload hash_table --config undo --points 200 --txns 8 \
+  --stride 0 --json check-s0.json > /dev/null
+cmp check-inc.json check-s0.json
+
+echo "== checker: incremental vs full-replay (sabotaged cell, shrunk witness) =="
+rc=0
+"$SIM" check --workload block_kv --config wsp --broken wsp-save \
+  --points 120 --txns 6 --json check-bk-inc.json > /dev/null || rc=$?
+[ "$rc" -eq 1 ] || { echo "expected exit 1 from sabotaged cell, got $rc"; exit 1; }
+rc=0
+"$SIM" check --workload block_kv --config wsp --broken wsp-save \
+  --points 120 --txns 6 --full-replay --json check-bk-full.json > /dev/null || rc=$?
+[ "$rc" -eq 1 ] || { echo "expected exit 1 from sabotaged cell, got $rc"; exit 1; }
+cmp check-bk-inc.json check-bk-full.json
+
+echo "== lint: --jobs 4 JSON byte-identical to --jobs 1 =="
+"$SIM" lint --expect R3 --jobs 1 --json lint-det-j1.json > /dev/null
+"$SIM" lint --expect R3 --jobs 4 --json lint-det-j4.json > /dev/null
+cmp lint-det-j1.json lint-det-j4.json
+
+echo "== lint: parallel perf guard (j4 <= 1.5x j1) =="
+# Warm-up run so neither timed run pays first-touch costs.
+"$SIM" lint --expect R3 --jobs 1 --json /dev/null > /dev/null
+t0=$(now_ms)
+"$SIM" lint --expect R3 --jobs 1 --json /dev/null > /dev/null
+t1=$(now_ms)
+"$SIM" lint --expect R3 --jobs 4 --json /dev/null > /dev/null
+t2=$(now_ms)
+j1=$((t1 - t0))
+j4=$((t2 - t1))
+echo "lint j1: ${j1}ms, j4: ${j4}ms"
+if [ $((j4 * 2)) -gt $((j1 * 3)) ]; then
+  echo "FAIL: lint --jobs 4 took ${j4}ms > 1.5x the ${j1}ms of --jobs 1"
+  exit 1
+fi
+
+rm -f check-inc.json check-full.json check-s0.json \
+  check-bk-inc.json check-bk-full.json lint-det-j1.json lint-det-j4.json
+echo "ci-determinism: all gates passed"

@@ -151,11 +151,43 @@ let trace_tests =
         Alcotest.(check bool) "trace non-trivial" true (r.trace_length > 10));
   ]
 
+(* --- Incremental engine vs full-replay reference -------------------------- *)
+
+(* The incremental engine reconstructs every crash image from one golden
+   recording; the full-replay engine re-executes the workload per point.
+   They must be indistinguishable in everything a report exposes —
+   verdicts, violation messages, shrunk witnesses, JSON rendering —
+   across workloads, configurations, faults, seeds, and snapshot
+   strides (including 1 = waypoint per point and 0 = no waypoints at
+   all, the stride=∞ behaviour where every chunk replays from the base
+   image). [reports_to_json] is the comparison: byte equality there is
+   the same contract the CI determinism gate enforces on the CLI. *)
+let engine_equivalence_test =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name:"incremental engine == full replay" ~count:12
+       QCheck2.Gen.(
+         let kind = oneofl Checker.all_kinds in
+         let config = oneofl Config.[ foc_ul; foc_stm; fof ] in
+         let fault =
+           oneofl
+             Checker.[ No_fault; Broken_fences; Broken_wsp_save ]
+         in
+         let stride = oneofl [ 0; 1; 3; 17; 100_000 ] in
+         tup6 kind config fault stride (int_range 0 999) (int_range 2 4))
+       (fun (kind, config, fault, stride, seed, txns) ->
+         let run engine =
+           Checker.check ~jobs:1 ~points:20 ~txns ~ops_per_txn:3
+             ~setup_entries:2 ~fault ~engine ~snapshot_stride:stride ~kind
+             ~config ~seed ()
+         in
+         Checker.reports_to_json [ run Checker.Incremental ]
+         = Checker.reports_to_json [ run Checker.Full_replay ]))
+
 let suite =
   [
     ("check.certification", certification_tests);
     ("check.faults", fault_tests);
-    ("check.determinism", determinism_tests);
+    ("check.determinism", determinism_tests @ [ engine_equivalence_test ]);
     ("check.protocol", protocol_tests);
     ("check.trace", trace_tests);
   ]

@@ -545,11 +545,134 @@ let wear_tests =
         Alcotest.(check bool) "near 1" true (Wear_level.wear_ratio wl < 1.2));
   ]
 
+(* --- Snapshot / restore --------------------------------------------------- *)
+
+(* The incremental checker rewinds the machine to recorded waypoints, so
+   a restored cache must be indistinguishable from the original at
+   snapshot time under *every* observation — including LRU victim
+   choice and dirty write-back order, which only diverge several
+   operations after a sloppy restore. The properties below replay the
+   same random suffix against the live cache and against a restored
+   snapshot and demand identical observation streams. *)
+
+type cache_op =
+  | C_probe of int
+  | C_insert of int * bool
+  | C_set_dirty of int
+  | C_invalidate of int
+
+let apply_cache_op c = function
+  | C_probe l -> `Bool (Cache.probe c ~line:l)
+  | C_insert (l, d) -> (
+      match Cache.insert c ~line:l ~dirty:d with
+      | None -> `No_victim
+      | Some v -> `Victim (v.Cache.line, v.Cache.dirty))
+  | C_set_dirty l ->
+      Cache.set_dirty c ~line:l;
+      `Unit
+  | C_invalidate l -> `Bool (Cache.invalidate c ~line:l)
+
+let cache_obs c =
+  let order = ref [] in
+  Cache.iter_dirty c (fun l -> order := l :: !order);
+  ( Cache.resident_count c,
+    Cache.dirty_count c,
+    Cache.dirty_lines c,
+    List.rev !order )
+
+let gen_cache_ops =
+  QCheck2.Gen.(
+    list_size (int_range 0 60)
+      (oneof
+         [
+           map (fun l -> C_probe l) (int_range 0 31);
+           map2 (fun l d -> C_insert (l, d)) (int_range 0 31) bool;
+           map (fun l -> C_set_dirty l) (int_range 0 31);
+           map (fun l -> C_invalidate l) (int_range 0 31);
+         ]))
+
+let snapshot_tests =
+  [
+    Alcotest.test_case "restore rejects a different geometry" `Quick (fun () ->
+        let snap = Cache.snapshot (small_cache ()) in
+        let other = small_cache ~size:(Units.Size.bytes 512) () in
+        match Cache.restore other snap with
+        | () -> Alcotest.fail "expected Invalid_argument"
+        | exception Invalid_argument _ -> ());
+    Alcotest.test_case "restore preserves dirty write-back order" `Quick
+      (fun () ->
+        let c = small_cache () in
+        (* Dirty three lines in a known order, snapshot, then scramble
+           the cache: the restored iteration order must be the original
+           oldest-first sequence, not the scrambled one. *)
+        List.iter (fun l -> ignore (Cache.insert c ~line:l ~dirty:true)) [ 5; 1; 9 ];
+        let snap = Cache.snapshot c in
+        let before = cache_obs c in
+        ignore (Cache.invalidate c ~line:1);
+        ignore (Cache.insert c ~line:13 ~dirty:true);
+        ignore (Cache.insert c ~line:21 ~dirty:true);
+        Cache.restore c snap;
+        Alcotest.(check bool) "observations equal" true (cache_obs c = before));
+    QCheck_alcotest.to_alcotest
+      (QCheck2.Test.make
+         ~name:"restored cache replays any suffix identically" ~count:200
+         QCheck2.Gen.(pair gen_cache_ops gen_cache_ops)
+         (fun (prefix, suffix) ->
+           let c = small_cache () in
+           List.iter (fun op -> ignore (apply_cache_op c op)) prefix;
+           let snap = Cache.snapshot c in
+           let live =
+             (List.map (apply_cache_op c) suffix, cache_obs c)
+           in
+           Cache.restore c snap;
+           let restored =
+             (List.map (apply_cache_op c) suffix, cache_obs c)
+           in
+           live = restored));
+  ]
+
+let hierarchy_snapshot_tests =
+  [
+    QCheck_alcotest.to_alcotest
+      (QCheck2.Test.make
+         ~name:"restored hierarchy replays any suffix identically" ~count:100
+         QCheck2.Gen.(
+           pair
+             (list_size (int_range 0 40) (int_range 0 63))
+             (list_size (int_range 0 40) (int_range 0 63)))
+         (fun (prefix, suffix) ->
+           (* Stores over a 64-line window on a two-level hierarchy:
+              evictions (write-backs reaching the callback), dirty
+              footprint and flush behaviour after a restore must match
+              the live run byte for byte. *)
+           let wbs = ref [] in
+           let h =
+             tiny_hierarchy
+               ~on_writeback:(fun ~line ~explicit ->
+                 wbs := (line, explicit) :: !wbs)
+               ()
+           in
+           let store l = ignore (Hierarchy.store h ~addr:(l * 64)) in
+           List.iter store prefix;
+           let snap = Hierarchy.snapshot h in
+           let run () =
+             wbs := [];
+             List.iter store suffix;
+             ignore (Hierarchy.flush_all h);
+             (!wbs, Hierarchy.dirty_bytes h)
+           in
+           let live = run () in
+           Hierarchy.restore h snap;
+           let restored = run () in
+           live = restored));
+  ]
+
 let suite =
   [
-    ("machine.cache", cache_tests @ cache_props);
+    ("machine.cache", cache_tests @ cache_props @ snapshot_tests);
     ("machine.wear_level", wear_tests);
-    ("machine.hierarchy", hierarchy_tests @ hierarchy_props);
+    ( "machine.hierarchy",
+      hierarchy_tests @ hierarchy_props @ hierarchy_snapshot_tests );
     ("machine.cpu", cpu_tests);
     ("machine.interrupt", interrupt_tests);
     ("machine.platform", platform_tests);

@@ -820,9 +820,112 @@ let pheap_tests =
           (Alloc.allocated_bytes (Pheap.allocator heap)));
   ]
 
+(* --- The replay tap ------------------------------------------------------- *)
+
+let tap_tests =
+  [
+    Alcotest.test_case "double attach raises, detach-reattach is fine" `Quick
+      (fun () ->
+        let nv = mk_nvram () in
+        let noop =
+          Nvram.
+            {
+              on_slice = (fun ~addr:_ ~data:_ -> ());
+              on_nt = (fun ~addr:_ ~v:_ -> ());
+              on_wb = (fun ~line:_ ~data:_ -> ());
+              on_drain = (fun () -> ());
+            }
+        in
+        Nvram.set_tap nv (Some noop);
+        (match Nvram.set_tap nv (Some noop) with
+        | () -> Alcotest.fail "expected Invalid_argument"
+        | exception Invalid_argument _ -> ());
+        Nvram.set_tap nv None;
+        Nvram.set_tap nv (Some noop));
+    Alcotest.test_case "tap ops rebuild the volatile image" `Quick (fun () ->
+        (* Apply every op the tap reports to a bytes-level shadow (the
+           same state model Replay cursors use: backing + overlay lines
+           + WC FIFO) and require the shadow's materialised image to
+           equal the NVRAM's own at every fence — the fidelity contract
+           the incremental checker rests on. *)
+        let nv = mk_nvram ~size:(Units.Size.kib 4) () in
+        let size = Nvram.size nv in
+        let ls = Nvram.line_size nv in
+        let backing = Bytes.create size in
+        Nvram.blit_backing nv ~addr:0 ~len:size backing ~dst_off:0;
+        let overlay : (int, Bytes.t) Hashtbl.t = Hashtbl.create 16 in
+        let wc = Queue.create () in
+        let tap =
+          Nvram.
+            {
+              on_slice =
+                (fun ~addr ~data ->
+                  let line = addr / ls in
+                  let buf =
+                    match Hashtbl.find_opt overlay line with
+                    | Some b -> b
+                    | None ->
+                        let b = Bytes.sub backing (line * ls) ls in
+                        Hashtbl.add overlay line b;
+                        b
+                  in
+                  Bytes.blit data 0 buf (addr mod ls) (Bytes.length data));
+              on_nt = (fun ~addr ~v -> Queue.add (addr, v) wc);
+              on_wb =
+                (fun ~line ~data ->
+                  Bytes.blit data 0 backing (line * ls) ls;
+                  Hashtbl.remove overlay line);
+              on_drain =
+                (fun () ->
+                  Queue.iter
+                    (fun (addr, v) -> Bytes.set_int64_le backing addr v)
+                    wc;
+                  Queue.clear wc);
+            }
+        in
+        Nvram.set_tap nv (Some tap);
+        let shadow_volatile () =
+          let img = Bytes.copy backing in
+          Hashtbl.iter
+            (fun line data -> Bytes.blit data 0 img (line * ls) ls)
+            overlay;
+          Queue.iter (fun (addr, v) -> Bytes.set_int64_le img addr v) wc;
+          img
+        in
+        let rng = Rng.create ~seed:11 in
+        for round = 1 to 20 do
+          for _ = 1 to 8 do
+            match Rng.int rng 3 with
+            | 0 ->
+                let len = 1 + Rng.int rng 80 in
+                let addr = Rng.int rng (size - len) in
+                Nvram.write_bytes nv ~addr
+                  (Bytes.make len (Char.chr (Rng.int rng 256)))
+            | 1 ->
+                Nvram.write_u64_nt nv
+                  ~addr:(Rng.int rng (size / 8 - 1) * 8)
+                  (Int64.of_int (Rng.int rng 1_000_000))
+            | _ -> Nvram.fence nv
+          done;
+          Nvram.fence nv;
+          Alcotest.(check bytes)
+            (Printf.sprintf "round %d volatile image" round)
+            (Nvram.volatile_image nv) (shadow_volatile ());
+          Alcotest.(check bool)
+            (Printf.sprintf "round %d accessors match shadow" round)
+            true
+            (List.length (Nvram.overlay_lines nv) = Hashtbl.length overlay
+            && Nvram.pending_nt nv
+               = List.rev (Queue.fold (fun acc e -> e :: acc) [] wc))
+        done;
+        Nvram.wbinvd nv;
+        Alcotest.(check bytes) "post-wbinvd persistent image"
+          (Nvram.persistent_image nv) backing);
+  ]
+
 let suite =
   [
-    ("nvheap.nvram", nvram_tests @ nvram_props @ fence_crash_props);
+    ("nvheap.nvram", nvram_tests @ nvram_props @ fence_crash_props @ tap_tests);
     ("nvheap.alloc", alloc_tests @ alloc_props);
     ("nvheap.rawlog", rawlog_tests @ rawlog_props @ rawlog_torn_tests);
     ( "nvheap.txn",

@@ -46,6 +46,22 @@ let exn_tests =
             (Atomic.get ran)))
     [ 1; 5 ]
 
+let chunk_tests =
+  List.map
+    (fun chunk ->
+      Alcotest.test_case
+        (Printf.sprintf "chunked claims preserve order (chunk=%d)" chunk)
+        `Quick
+        (fun () ->
+          (* Chunk sizes around, at, and beyond the input length: every
+             item must be mapped exactly once and land in input order
+             regardless of how the claim windows tile the input. *)
+          let xs = List.init 23 (fun i -> i) in
+          Alcotest.(check (list int))
+            "results in input order" (List.map square xs)
+            (Parallel.map ~jobs:4 ~chunk square xs)))
+    [ 1; 2; 7; 23; 1000 ]
+
 let prop_tests =
   [
     QCheck_alcotest.to_alcotest
@@ -54,6 +70,15 @@ let prop_tests =
          (fun (jobs, xs) ->
            Parallel.map ~jobs (fun x -> x lxor 42) xs
            = List.map (fun x -> x lxor 42) xs));
+    QCheck_alcotest.to_alcotest
+      (QCheck2.Test.make ~name:"map agrees with List.map at any chunk"
+         ~count:100
+         QCheck2.Gen.(
+           triple (int_range 1 8) (int_range 1 60)
+             (list_size (int_range 0 50) int))
+         (fun (jobs, chunk, xs) ->
+           Parallel.map ~jobs ~chunk (fun x -> x * 3) xs
+           = List.map (fun x -> x * 3) xs));
     QCheck_alcotest.to_alcotest
       (QCheck2.Test.make
          ~name:"failure path: earliest failing input wins, success preserves \
@@ -191,7 +216,7 @@ let registry_tests =
 
 let suite =
   [
-    ("parallel.map", map_tests @ exn_tests @ prop_tests);
+    ("parallel.map", map_tests @ chunk_tests @ exn_tests @ prop_tests);
     ("parallel.capture", capture_tests);
     ("parallel.registry", registry_tests);
   ]
