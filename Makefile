@@ -1,8 +1,8 @@
 # Convenience targets. `make bench` gates the microbenchmarks on the
 # tier-1 build + test suite so a perf number is never reported for a
-# broken tree; it writes BENCH_6.json next to this Makefile.
+# broken tree; it writes BENCH_7.json next to this Makefile.
 
-.PHONY: all build test check lint bench ci-determinism clean
+.PHONY: all build test check lint bench shard shard-smoke ci-determinism clean
 
 all: build
 
@@ -26,6 +26,19 @@ lint: build
 
 bench: test
 	dune exec bench/main.exe -- --micro --json
+
+# The sharded directory service at acceptance scale: 16 shards, a
+# million closed-loop requests, a mid-run power failure and per-shard
+# restore. Exits non-zero if any acknowledged write is lost.
+shard: build
+	dune exec bin/wsp_sim.exe -- shard --shards 16 --clients 1024 \
+	  --queue-cap 1024 --requests 1000000 --keyspace 50000 --crash-at 500
+
+# Bounded shard + storm gate: job-width JSON determinism, lossless
+# mid-run crash/restore (plain-WSP and undo-logged), and a seed-
+# deterministic 1500-node storm sweep.
+shard-smoke: build
+	sh scripts/shard_smoke.sh
 
 # Determinism gate: the checker's incremental engine must produce
 # byte-identical JSON to the full-replay reference, lint must produce

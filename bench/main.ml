@@ -9,7 +9,7 @@
      main.exe --full          paper-scale parameters (slow)
      main.exe --micro         run the Bechamel microbenchmarks (alone when
                               no experiment is named)
-     main.exe --micro --json  …and write the estimates to BENCH_6.json
+     main.exe --micro --json  …and write the estimates to BENCH_7.json
 
    Independent experiments fan out over a domain pool (WSP_JOBS caps the
    worker count; WSP_JOBS=1 forces the sequential path). *)
@@ -60,6 +60,52 @@ let analyzer_traces =
 let analyzer_bench_name txns = Printf.sprintf "analyze-%dtx" txns
 
 let lint_bench_txns = 6
+
+(* Sharded-service load: one closed-loop round trip of the full stack
+   (router, admission, AVL-on-pheap service, bus tally) at a size small
+   enough for a microbenchmark quota. queue_cap = clients so nothing
+   sheds, and jobs:1 keeps the timed body on the calling domain — the
+   wall number is the coordinator-plus-service cost per request, not a
+   measurement of domain spawn overhead. *)
+let shard_bench_requests = 2_000
+
+let shard_bench_params shards =
+  {
+    Wsp_shard.Service.default with
+    shards;
+    clients = 32;
+    requests = shard_bench_requests;
+    keyspace = 1_000;
+    queue_cap = 32;
+    shard_heap = Units.Size.mib 2;
+    seed = 1;
+  }
+
+let shard_bench_name shards = Printf.sprintf "shard-2k-%dsh" shards
+
+(* Simulated-throughput scaling measured once outside the timed region:
+   the shard count divides the per-round makespan, so this is the
+   subsystem's headline claim (linear until the coordinator dominates)
+   distilled to one number. *)
+let shard_sim_scaling =
+  lazy
+    (let mops shards =
+       (Wsp_shard.Service.run ~jobs:1 (shard_bench_params shards))
+         .Wsp_shard.Service.throughput_mops
+     in
+     let one = mops 1 in
+     if one > 0.0 then Some (mops 4 /. one) else None)
+
+(* Fleet-storm tail quantities, measured once at the default 1000-node
+   fleet; the timed twin below tracks the sweep's wall cost per node. *)
+let storm_tail =
+  lazy
+    (let r =
+       Wsp_cluster.Recovery_storm.storm Wsp_cluster.Recovery_storm.default_fleet
+     in
+     ( Time.to_s r.Wsp_cluster.Recovery_storm.p50,
+       Time.to_s r.Wsp_cluster.Recovery_storm.p99,
+       r.Wsp_cluster.Recovery_storm.availability ))
 
 let microbench_tests () =
   let open Bechamel in
@@ -211,6 +257,18 @@ let microbench_tests () =
              (Wsp_analysis.Analyzer.lint ~jobs ~txns:lint_bench_txns
                 ~workloads:Wsp_analysis.Analyzer.registry ())))
   in
+  let shard_service shards =
+    Test.make ~name:(shard_bench_name shards)
+      (Staged.stage (fun () ->
+           ignore (Wsp_shard.Service.run ~jobs:1 (shard_bench_params shards))))
+  in
+  let storm_fleet =
+    Test.make ~name:"storm-1k-fleet"
+      (Staged.stage (fun () ->
+           ignore
+             (Wsp_cluster.Recovery_storm.storm
+                Wsp_cluster.Recovery_storm.default_fleet)))
+  in
   [
     nvram_rw;
     nvram_rw_hooked;
@@ -226,6 +284,8 @@ let microbench_tests () =
   ]
   @ analyze_tests
   @ List.map lint_registry [ 1; 2; 4; 8 ]
+  @ List.map shard_service [ 1; 4 ]
+  @ [ storm_fleet ]
 
 (* Every microbenchmark body runs on the calling domain; the checker ones
    pin ~jobs:1 explicitly. A benchmark that fans out records its own
@@ -303,6 +363,28 @@ let dirty_poll_speedup results =
   | Some fast, Some slow when fast > 0.0 -> Some (slow /. fast)
   | _ -> None
 
+(* Wall requests served per second by the 4-shard service body — the
+   cost of the whole stack (generation, routing, admission, AVL txns,
+   bus tally) per operation, complementary to the simulated Mops/s the
+   CLI reports. *)
+let shard_requests_per_sec results =
+  match List.assoc_opt (shard_bench_name 4) results with
+  | Some ns when ns > 0.0 ->
+      Some (float_of_int shard_bench_requests *. 1e9 /. ns)
+  | _ -> None
+
+(* Nodes swept per wall second by the fleet storm — the sweep is
+   O(nodes × slots), so this bounds how big a fleet the CLI verb can
+   sweep interactively. *)
+let storm_nodes_per_sec results =
+  match List.assoc_opt "storm-1k-fleet" results with
+  | Some ns when ns > 0.0 ->
+      Some
+        (float_of_int
+           Wsp_cluster.Recovery_storm.(default_fleet.nodes)
+        *. 1e9 /. ns)
+  | _ -> None
+
 let json_escape s =
   let b = Buffer.create (String.length s) in
   String.iter
@@ -313,7 +395,7 @@ let json_escape s =
     s;
   Buffer.contents b
 
-(* BENCH_6.json: the perf trajectory file future PRs diff against. *)
+(* BENCH_7.json: the perf trajectory file future PRs diff against. *)
 let write_json ~path results =
   let oc = open_out path in
   output_string oc "{\n  \"benchmarks\": [\n";
@@ -338,6 +420,20 @@ let write_json ~path results =
   | Some eps ->
       Printf.fprintf oc ",\n  \"analyzer_events_per_sec\": %.0f" eps
   | None -> ());
+  (match shard_requests_per_sec results with
+  | Some rps -> Printf.fprintf oc ",\n  \"shard_requests_per_sec\": %.0f" rps
+  | None -> ());
+  (match Lazy.force shard_sim_scaling with
+  | Some s -> Printf.fprintf oc ",\n  \"shard_sim_scaling_4x\": %.2f" s
+  | None -> ());
+  (match storm_nodes_per_sec results with
+  | Some nps -> Printf.fprintf oc ",\n  \"storm_nodes_per_sec\": %.0f" nps
+  | None -> ());
+  (let p50, p99, avail = Lazy.force storm_tail in
+   Printf.fprintf oc
+     ",\n  \"storm_p50_s\": %.3f,\n  \"storm_p99_s\": %.3f,\n  \
+      \"storm_availability\": %.6f"
+     p50 p99 avail);
   (* Everything the benchmark bodies touched, from the merged ambient
      registries: cache traffic, flush totals, txn counts, save steps. *)
   Printf.fprintf oc ",\n  \"metrics\": %s"
@@ -368,8 +464,24 @@ let run_microbenches ~json () =
   | Some eps ->
       Printf.printf "  analyzer throughput: %.0f trace events/sec\n" eps
   | None -> ());
+  (match shard_requests_per_sec results with
+  | Some rps ->
+      Printf.printf "  shard service: %.0f wall requests/sec (4 shards)\n" rps
+  | None -> ());
+  (match Lazy.force shard_sim_scaling with
+  | Some s ->
+      Printf.printf "  shard simulated-throughput scaling 1->4 shards: %.2fx\n"
+        s
+  | None -> ());
+  (match storm_nodes_per_sec results with
+  | Some nps -> Printf.printf "  fleet storm sweep: %.0f nodes/sec\n" nps
+  | None -> ());
+  (let p50, p99, avail = Lazy.force storm_tail in
+   Printf.printf
+     "  1000-node storm tail: p50 %.1fs p99 %.1fs, availability %.4f\n" p50 p99
+     avail);
   if json then begin
-    let path = "BENCH_6.json" in
+    let path = "BENCH_7.json" in
     write_json ~path results;
     Printf.printf "  wrote %s\n" path
   end

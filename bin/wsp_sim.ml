@@ -7,13 +7,15 @@
      window      measure a PSU's residual energy window
      check       crash-consistency checking via power-fail injection
      lint        static persistency-ordering analysis (no recovery runs)
-     storm       run the cluster recovery-storm model *)
+     shard       sharded directory service under closed-loop load
+     storm       run the cluster recovery-storm model (rack or fleet) *)
 
 open Cmdliner
 open Wsp_sim
 open Wsp_machine
 module Psu = Wsp_power.Psu
 module System = Wsp_core.System
+module Config = Wsp_nvheap.Config
 
 let platform_conv =
   let parse s =
@@ -258,28 +260,27 @@ let window_cmd =
 
 (* --- check ------------------------------------------------------------ *)
 
+(* The certification matrix names configurations by what they promise:
+   undo and redo must recover from the drained bytes alone; wsp relies
+   on the flush-on-fail save. Shared by check, lint and shard. *)
+let config_of_name = function
+  | "undo" -> Some Config.foc_ul
+  | "redo" -> Some Config.foc_stm
+  | "wsp" -> Some Config.fof
+  | s -> Config.by_name s
+
+let config_conv =
+  let parse s =
+    match config_of_name s with
+    | Some c -> Ok c
+    | None ->
+        Error (`Msg (Printf.sprintf "unknown config %S (undo|redo|wsp)" s))
+  in
+  Arg.conv (parse, fun ppf (c : Config.t) -> Fmt.string ppf c.Config.name)
+
 let check_cmd =
   let module Checker = Wsp_check.Checker in
   let module Protocol_check = Wsp_check.Protocol_check in
-  let module Config = Wsp_nvheap.Config in
-  (* The certification matrix names configurations by what they promise:
-     undo and redo must recover from the drained bytes alone; wsp relies
-     on the flush-on-fail save. *)
-  let config_of_name = function
-    | "undo" -> Some Config.foc_ul
-    | "redo" -> Some Config.foc_stm
-    | "wsp" -> Some Config.fof
-    | s -> Config.by_name s
-  in
-  let config_conv =
-    let parse s =
-      match config_of_name s with
-      | Some c -> Ok c
-      | None ->
-          Error (`Msg (Printf.sprintf "unknown config %S (undo|redo|wsp)" s))
-    in
-    Arg.conv (parse, fun ppf (c : Config.t) -> Fmt.string ppf c.Config.name)
-  in
   let workload_conv =
     let parse s =
       match Checker.kind_of_name s with
@@ -554,11 +555,142 @@ let lint_cmd =
       $ live_arg $ json_arg $ expect_arg $ strict_arg $ psu_arg $ platform_arg
       $ busy_arg $ seed_arg $ verbose_arg $ metrics_arg $ trace_arg)
 
+(* --- shard ------------------------------------------------------------ *)
+
+let shard_cmd =
+  let module Service = Wsp_shard.Service in
+  let module Client = Wsp_shard.Client in
+  let shards_arg =
+    Arg.(value & opt int 16 & info [ "shards" ] ~docv:"N" ~doc:"Shard count.")
+  in
+  let clients_arg =
+    Arg.(
+      value & opt int 256
+      & info [ "clients" ] ~docv:"N"
+          ~doc:"Closed-loop client population (requests per round).")
+  in
+  let requests_arg =
+    Arg.(
+      value & opt int 100_000
+      & info [ "requests" ] ~docv:"N" ~doc:"Total operations to issue.")
+  in
+  let keyspace_arg =
+    Arg.(
+      value & opt int 20_000
+      & info [ "keyspace" ] ~docv:"N" ~doc:"Distinct keys clients draw from.")
+  in
+  let theta_arg =
+    Arg.(
+      value & opt float 0.99
+      & info [ "theta" ] ~docv:"THETA"
+          ~doc:"Zipfian key skew in [0,1); 0 for uniform keys.")
+  in
+  let mix_arg =
+    Arg.(
+      value
+      & opt (t3 ~sep:'/' int int int) (70, 25, 5)
+      & info [ "mix" ] ~docv:"L/I/D"
+          ~doc:"Lookup/insert/delete percentages, summing to 100.")
+  in
+  let queue_cap_arg =
+    Arg.(
+      value & opt int 256
+      & info [ "queue-cap" ] ~docv:"N"
+          ~doc:"Per-shard, per-round admission bound; arrivals beyond it are \
+                shed and counted.")
+  in
+  let config_arg =
+    Arg.(
+      value & opt config_conv Config.fof
+      & info [ "config" ] ~docv:"CONFIG"
+          ~doc:"Persistence configuration per shard heap (undo, redo, wsp).")
+  in
+  let heap_arg =
+    Arg.(
+      value & opt int 4
+      & info [ "heap-mib" ] ~docv:"MIB" ~doc:"NVRAM region per shard (MiB).")
+  in
+  let crash_arg =
+    Arg.(
+      value & opt (some int) None
+      & info [ "crash-at" ] ~docv:"ROUND"
+          ~doc:"Power-fail every shard after this 0-based round (WSP save, \
+                crash, restore of all shards), then keep serving.")
+  in
+  let lint_arg =
+    Arg.(
+      value & flag
+      & info [ "lint" ]
+          ~doc:"Stream the static persistency analyzer off every shard bus.")
+  in
+  let jobs_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:"Worker domains serving shards (default: $(b,WSP_JOBS) or the \
+                core count).")
+  in
+  let json_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:"Write the report as JSON to $(docv) ($(b,-) for stdout). \
+                Simulated quantities only — byte-identical across \
+                $(b,--jobs) widths.")
+  in
+  let run shards clients requests keyspace theta (lookups, inserts, deletes)
+      queue_cap config heap_mib crash_at lint jobs json seed verbose metrics
+      trace =
+    setup_logs verbose;
+    let jobs = if jobs > 0 then Some jobs else None in
+    with_obs metrics trace @@ fun () ->
+    let params =
+      {
+        Service.default with
+        Service.shards;
+        clients;
+        requests;
+        keyspace;
+        theta;
+        mix = { Client.lookups; inserts; deletes };
+        queue_cap;
+        config;
+        shard_heap = Units.Size.mib heap_mib;
+        seed;
+        crash_at;
+        lint;
+      }
+    in
+    let wall0 = Unix.gettimeofday () in
+    let report = Service.run ?jobs params in
+    let wall = Unix.gettimeofday () -. wall0 in
+    Fmt.pr "%a@." Service.pp_report report;
+    Fmt.pr "wall-clock: %.2f s (%.0f kreq/s actual)@." wall
+      (if wall > 0.0 then float_of_int report.Service.served /. wall /. 1e3
+       else 0.0);
+    (match json with
+    | Some "-" -> print_string (Service.to_json report)
+    | Some path -> write_file path (Service.to_json report)
+    | None -> ());
+    if report.Service.lost_acked > 0 then 1 else 0
+  in
+  Cmd.v
+    (Cmd.info "shard"
+       ~doc:
+         "Serve a sharded directory under closed-loop load, optionally \
+          through a mid-run power failure")
+    Term.(
+      const run $ shards_arg $ clients_arg $ requests_arg $ keyspace_arg
+      $ theta_arg $ mix_arg $ queue_cap_arg $ config_arg $ heap_arg
+      $ crash_arg $ lint_arg $ jobs_arg $ json_arg $ seed_arg $ verbose_arg
+      $ metrics_arg $ trace_arg)
+
 (* --- storm ------------------------------------------------------------ *)
 
 let storm_cmd =
   let servers_arg =
-    Arg.(value & opt int 32 & info [ "servers" ] ~docv:"N" ~doc:"Fleet size.")
+    Arg.(value & opt int 32 & info [ "servers" ] ~docv:"N" ~doc:"Fleet size (rack model).")
   in
   let state_arg =
     Arg.(value & opt int 256 & info [ "state-gib" ] ~docv:"GIB" ~doc:"State per server (GiB).")
@@ -566,7 +698,60 @@ let storm_cmd =
   let outage_arg =
     Arg.(value & opt float 30.0 & info [ "outage" ] ~docv:"SECONDS" ~doc:"Outage duration.")
   in
-  let run servers state_gib outage metrics trace =
+  let nodes_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "nodes" ] ~docv:"N"
+          ~doc:"Run the fleet-scale storm over $(docv) nodes with staggered \
+                PSU failures (0: the classic rack model).")
+  in
+  let stagger_arg =
+    Arg.(
+      value & opt float 5.0
+      & info [ "stagger" ] ~docv:"SECONDS"
+          ~doc:"PSU failures land uniformly in [0, $(docv)).")
+  in
+  let slots_arg =
+    Arg.(
+      value & opt int 32
+      & info [ "slots" ] ~docv:"N"
+          ~doc:"Simultaneous back-end catch-up slots in the fleet storm.")
+  in
+  let horizon_arg =
+    Arg.(
+      value & opt float 600.0
+      & info [ "horizon" ] ~docv:"SECONDS"
+          ~doc:"Availability observation window of the fleet storm.")
+  in
+  let json_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:"Write the fleet-storm report as JSON to $(docv) ($(b,-) for \
+                stdout).")
+  in
+  let fleet_json (r : Wsp_cluster.Recovery_storm.fleet_result) =
+    Printf.sprintf
+      "{\n\
+      \  \"verb\": \"storm-fleet\",\n\
+      \  \"nodes\": %d,\n\
+      \  \"stagger_ps\": %d,\n\
+      \  \"slots\": %d,\n\
+      \  \"horizon_ps\": %d,\n\
+      \  \"seed\": %d,\n\
+      \  \"restore_latency_ps\": { \"p50\": %d, \"p99\": %d, \"max\": %d, \
+       \"mean\": %d },\n\
+      \  \"availability\": %.6f,\n\
+      \  \"last_online_ps\": %d\n\
+       }"
+      r.fleet.nodes (Time.to_ps r.fleet.stagger) r.fleet.restore_concurrency
+      (Time.to_ps r.fleet.horizon) r.fleet.seed (Time.to_ps r.p50)
+      (Time.to_ps r.p99) (Time.to_ps r.worst) (Time.to_ps r.mean)
+      r.availability (Time.to_ps r.last_online)
+  in
+  let run servers state_gib outage nodes stagger slots horizon json seed
+      metrics trace =
     with_obs metrics trace @@ fun () ->
     let open Wsp_cluster.Recovery_storm in
     let params =
@@ -577,13 +762,37 @@ let storm_cmd =
         outage = Time.s outage;
       }
     in
-    let r = run params in
-    Fmt.pr "%a@." pp_result r;
+    if nodes > 0 then begin
+      let fleet =
+        {
+          node = params;
+          nodes;
+          stagger = Time.s stagger;
+          restore_concurrency = slots;
+          horizon = Time.s horizon;
+          seed;
+        }
+      in
+      let r = storm fleet in
+      Fmt.pr "%a@." pp_fleet_result r;
+      match json with
+      | Some "-" -> print_endline (fleet_json r)
+      | Some path -> write_file path (fleet_json r)
+      | None -> ()
+    end
+    else begin
+      let r = run params in
+      Fmt.pr "%a@." pp_result r
+    end;
     0
   in
   Cmd.v
-    (Cmd.info "storm" ~doc:"Model a correlated recovery storm")
-    Term.(const run $ servers_arg $ state_arg $ outage_arg $ metrics_arg $ trace_arg)
+    (Cmd.info "storm"
+       ~doc:"Model a correlated recovery storm (rack- or fleet-scale)")
+    Term.(
+      const run $ servers_arg $ state_arg $ outage_arg $ nodes_arg
+      $ stagger_arg $ slots_arg $ horizon_arg $ json_arg $ seed_arg
+      $ metrics_arg $ trace_arg)
 
 let () =
   let info =
@@ -600,5 +809,6 @@ let () =
             window_cmd;
             check_cmd;
             lint_cmd;
+            shard_cmd;
             storm_cmd;
           ]))

@@ -418,6 +418,19 @@ let judge_hierarchy =
       ];
   }
 
+(* Cap on cached accesses for one recovery + oracle pass. Legitimate
+   work on the 1 MiB judge region (log replay, allocator header scan,
+   full structural walks) stays well under 10^5 accesses; a walk that
+   runs to this bound is following a cycle of torn pointers and would
+   never return. Exhaustion is a verdict, not a checker crash. *)
+let recovery_step_budget = 1_000_000
+
+let recovery_diverged_message =
+  Fmt.str
+    "recovery diverged: step budget of %d exhausted (recovery or oracle \
+     walked a cyclic corrupt structure)"
+    recovery_step_budget
+
 let judge_state ~kind ~config ~fault ~st ~volatile ~persistent =
   if Config.is_durable_without_wsp config then begin
     (* Flush-on-commit: power dies with no WSP save; the software
@@ -429,7 +442,9 @@ let judge_state ~kind ~config ~fault ~st ~volatile ~persistent =
     (match fault with
     | Broken_fences -> Nvram.set_fault nvram Nvram.Broken_fence
     | No_fault | Broken_wsp_save -> ());
+    Nvram.set_step_budget nvram (Some recovery_step_budget);
     match recover_nvram ~kind ~config nvram with
+    | exception Nvram.Budget_exhausted -> Some recovery_diverged_message
     | exception e ->
         Some
           (Fmt.str "recovery raised %s (torn state not tolerated)"
@@ -437,14 +452,16 @@ let judge_state ~kind ~config ~fault ~st ~volatile ~persistent =
     | handle, heap -> (
         (* Oracles walk the recovered structure; on states recovery
            wrongly accepted, that walk itself can explode (a cycle of
-           torn pointers overflows the stack). That is a verdict, not a
-           checker crash. *)
+           torn pointers overflows the stack, or a pointer loop walks
+           forever until the step budget trips). That is a verdict, not
+           a checker crash. *)
         match
           match durability_oracle st handle with
           | Some m -> Some m
           | None -> structural_oracles handle heap
         with
         | verdict -> verdict
+        | exception Nvram.Budget_exhausted -> Some recovery_diverged_message
         | exception e ->
             Some
               (Fmt.str "oracle raised %s (recovered state unreadable)"

@@ -80,6 +80,136 @@ let recovery_timeline p ~fraction mode =
       in
       Time.add p.nvdimm_restore (Time.mul per_server k)
 
+(* Fleet-scale storms: instead of the closed-form rack model above, an
+   event-driven sweep over thousands of nodes whose PSUs do not all die
+   at the same instant. Every node restores its DRAM image from local
+   NVDIMMs immediately (perfectly parallel — no shared resource), then
+   queues for one of [restore_concurrency] back-end slots to fetch the
+   updates it missed. The slot queue is what turns a datacenter-wide
+   outage into a latency *distribution* rather than a single number. *)
+
+type fleet_params = {
+  node : params;  (* per-node rates; [servers] is ignored here *)
+  nodes : int;
+  stagger : Time.t;
+      (* PSU failures land uniformly in [0, stagger): breaker trips and
+         transfer-switch ripple spread a "simultaneous" outage over
+         seconds. Zero = a perfectly correlated failure. *)
+  restore_concurrency : int;  (* simultaneous back-end catch-up slots *)
+  horizon : Time.t;  (* observation window for availability *)
+  seed : int;
+}
+
+let default_fleet =
+  {
+    node = default;
+    nodes = 1000;
+    stagger = Time.s 5.0;
+    restore_concurrency = 32;
+    horizon = Time.s 600.0;
+    seed = 1;
+  }
+
+type fleet_result = {
+  fleet : fleet_params;
+  latencies : Time.t array;
+      (* Per-node failure-to-back-in-service latency, node order. *)
+  p50 : Time.t;
+  p99 : Time.t;
+  worst : Time.t;
+  mean : Time.t;
+  availability : float;
+      (* 1 - Σ node downtime / (nodes × horizon), downtime clipped to
+         the horizon. *)
+  last_online : Time.t;  (* when the final node is back, from t = 0 *)
+}
+
+let storm f =
+  let p = f.node in
+  if f.nodes <= 0 then invalid_arg "Recovery_storm.storm: no nodes";
+  if f.restore_concurrency <= 0 then
+    invalid_arg "Recovery_storm.storm: restore_concurrency must be positive";
+  if Time.to_s f.horizon <= 0.0 then
+    invalid_arg "Recovery_storm.storm: horizon must be positive";
+  let reg = Wsp_obs.Metrics.ambient () in
+  Wsp_obs.Metrics.Counter.incr
+    (Wsp_obs.Metrics.counter reg "cluster.storm.fleet_runs");
+  let rng = Rng.create ~seed:f.seed in
+  let fail_at =
+    Array.init f.nodes (fun _ ->
+        if Time.to_s f.stagger <= 0.0 then 0.0
+        else Rng.float rng (Time.to_s f.stagger))
+  in
+  (* Each slot is one full-rate restore stream: [backend_bandwidth] is
+     per-stream, and [restore_concurrency] is how many such streams the
+     back end sustains at once. Provisioning fewer slots congests the
+     queue and stretches the tail; more slots genuinely add capacity. *)
+  let catchup =
+    p.replay_factor *. missed_bytes p
+    /. Units.Bandwidth.to_bytes_per_s p.backend_bandwidth
+  in
+  let local = Time.to_s p.nvdimm_restore in
+  (* FIFO in failure order; ties broken by node index so the schedule
+     is deterministic for a given seed. *)
+  let order = Array.init f.nodes (fun i -> i) in
+  Array.sort
+    (fun a b ->
+      let c = Float.compare fail_at.(a) fail_at.(b) in
+      if c <> 0 then c else Stdlib.compare a b)
+    order;
+  let slot_free = Array.make f.restore_concurrency 0.0 in
+  let latencies = Array.make f.nodes Time.zero in
+  let last = ref 0.0 in
+  Array.iter
+    (fun i ->
+      (* Local NVDIMM restore runs before the node asks for a slot. *)
+      let ready = fail_at.(i) +. local in
+      let slot = ref 0 in
+      for s = 1 to f.restore_concurrency - 1 do
+        if slot_free.(s) < slot_free.(!slot) then slot := s
+      done;
+      let start = Float.max ready slot_free.(!slot) in
+      let finish = start +. catchup in
+      slot_free.(!slot) <- finish;
+      latencies.(i) <- Time.s (finish -. fail_at.(i));
+      if finish > !last then last := finish)
+    order;
+  let samples = Array.to_list (Array.map Time.to_s latencies) in
+  let horizon = Time.to_s f.horizon in
+  let downtime =
+    Array.fold_left
+      (fun acc i ->
+        let d =
+          Float.min horizon (fail_at.(i) +. Time.to_s latencies.(i))
+          -. Float.min horizon fail_at.(i)
+        in
+        acc +. d)
+      0.0 order
+  in
+  let availability = 1.0 -. (downtime /. (float_of_int f.nodes *. horizon)) in
+  Wsp_obs.Metrics.Gauge.set
+    (Wsp_obs.Metrics.gauge reg "cluster.storm.fleet_availability")
+    availability;
+  {
+    fleet = f;
+    latencies;
+    p50 = Time.s (Stats.percentile samples 50.0);
+    p99 = Time.s (Stats.percentile samples 99.0);
+    worst = Time.s (Stats.percentile samples 100.0);
+    mean =
+      Time.s (List.fold_left ( +. ) 0.0 samples /. float_of_int f.nodes);
+    availability;
+    last_online = Time.s !last;
+  }
+
+let pp_fleet_result ppf r =
+  Fmt.pf ppf
+    "%d nodes, %a stagger, %d restore slots: restore p50=%a p99=%a max=%a \
+     mean=%a; availability %.4f over %a; all online at %a"
+    r.fleet.nodes Time.pp r.fleet.stagger r.fleet.restore_concurrency Time.pp
+    r.p50 Time.pp r.p99 Time.pp r.worst Time.pp r.mean r.availability Time.pp
+    r.fleet.horizon Time.pp r.last_online
+
 let pp_result ppf r =
   Fmt.pf ppf
     "%d servers x %a: full=%a wsp=%a (%.0fx); backend reads %.1f GiB vs %.3f GiB"

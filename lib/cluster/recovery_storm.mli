@@ -50,3 +50,56 @@ val recovery_timeline :
     (servers recover in sequence as back-end bandwidth frees up). *)
 
 val pp_result : Format.formatter -> result -> unit
+
+(** {1 Fleet-scale storms}
+
+    The rack model above answers "how long does recovery take"; at
+    datacenter scale the question becomes "what does the {e tail} look
+    like". A thousand-node storm is simulated event-driven: PSU
+    failures are staggered over a configurable window (breaker trips
+    ripple, they are never perfectly simultaneous), every node restores
+    its NVDIMM image locally in parallel, and the missed-update
+    catch-up contends for a bounded number of back-end slots. The
+    output is the per-node restore-latency distribution (p50/p99/max)
+    and aggregate fleet availability over an observation horizon. *)
+
+type fleet_params = {
+  node : params;
+      (** Per-node state/rates; the [servers] field is ignored. *)
+  nodes : int;
+  stagger : Time.t;
+      (** PSU failure times are uniform in [\[0, stagger)]; zero means
+          a perfectly correlated outage. *)
+  restore_concurrency : int;
+      (** Back-end catch-up streams served simultaneously, each at the
+          full [backend_bandwidth] per-stream rate — the provisioning
+          knob: fewer slots congest the restore queue, more add real
+          capacity. *)
+  horizon : Time.t;  (** Availability observation window. *)
+  seed : int;  (** Stagger schedule seed — runs are reproducible. *)
+}
+
+val default_fleet : fleet_params
+(** 1000 nodes, 5 s stagger, 32 restore slots, a 10-minute horizon. *)
+
+type fleet_result = {
+  fleet : fleet_params;
+  latencies : Time.t array;
+      (** Failure-to-back-in-service latency per node, in node order. *)
+  p50 : Time.t;
+  p99 : Time.t;
+  worst : Time.t;
+  mean : Time.t;
+  availability : float;
+      (** [1 - Σ downtime / (nodes × horizon)], downtime clipped to the
+          horizon. *)
+  last_online : Time.t;
+      (** When the final node is back in service, measured from the
+          start of the outage. *)
+}
+
+val storm : fleet_params -> fleet_result
+(** Deterministic for a given [seed]. Raises [Invalid_argument] on a
+    non-positive node count, concurrency or horizon. *)
+
+val pp_fleet_result : Format.formatter -> fleet_result -> unit

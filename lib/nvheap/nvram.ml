@@ -12,6 +12,8 @@ type event = Event.mem =
 
 type fault = No_fault | Broken_fence
 
+exception Budget_exhausted
+
 (* The replay tap: a synchronous observer of every *data* mutation, in
    exact chronological order. The event bus cannot serve this purpose —
    events are published before the primitive mutates anything and carry
@@ -44,6 +46,8 @@ type t = {
   mutable clock : Time.t;
   bus : Event.t Bus.t;
   mutable fault : fault;
+  mutable steps_left : int;
+      (* Remaining budgeted accesses; -1 = unlimited (the default). *)
   tap : tap option ref;
       (* A ref, not a mutable field: the hierarchy's write-back closure
          is built before this record exists and shares the cell. *)
@@ -90,12 +94,28 @@ let create ?hierarchy ?backing ~size () =
     clock = Time.zero;
     bus;
     fault = No_fault;
+    steps_left = -1;
     tap;
   }
 
 let bus t = t.bus
 let set_fault t fault = t.fault <- fault
 let fault t = t.fault
+
+let set_step_budget t = function
+  | None -> t.steps_left <- -1
+  | Some n ->
+      if n < 0 then invalid_arg "Nvram.set_step_budget: negative budget";
+      t.steps_left <- n
+
+(* One branch on the unlimited path; a walk over a cyclic corrupt
+   structure performs unbounded reads, so metering accesses bounds every
+   recovery/oracle traversal without the structures cooperating. *)
+let spend_step t =
+  if t.steps_left >= 0 then begin
+    if t.steps_left = 0 then raise Budget_exhausted;
+    t.steps_left <- t.steps_left - 1
+  end
 
 let set_tap t tp =
   (match (tp, !(t.tap)) with
@@ -137,6 +157,7 @@ let read_byte_raw t addr =
 
 (* Charges one hierarchy access per line the range touches. *)
 let charge_access t ~addr ~len ~write =
+  spend_step t;
   let first = addr / t.line_size and last = (addr + len - 1) / t.line_size in
   for line = first to last do
     let latency =
@@ -151,6 +172,7 @@ let charge_access t ~addr ~len ~write =
    just-dirtied line of the same range before its buffer exists, losing
    the write and desynchronising the dirty table from the hierarchy. *)
 let write_range t ~addr src ~src_off ~len =
+  spend_step t;
   emit t (Store { addr; len });
   let first = addr / t.line_size and last = (addr + len - 1) / t.line_size in
   for line = first to last do

@@ -113,6 +113,24 @@ type fault =
 val set_fault : t -> fault -> unit
 val fault : t -> fault
 
+(** {1 Access budgets}
+
+    A bound on cached accesses, for callers that walk state of unknown
+    integrity: post-crash recovery and the checker's oracles can be
+    handed a structure whose torn pointers form a cycle, and an
+    unmetered traversal would never terminate. Every budgeted access is
+    one {!read_u64}/{!write_u64}-style primitive (multi-line ranges
+    count once); with no budget set the cost is a single branch. *)
+
+exception Budget_exhausted
+(** Raised by the access that would exceed the configured budget, before
+    it mutates or charges anything. *)
+
+val set_step_budget : t -> int option -> unit
+(** [set_step_budget t (Some n)] allows [n] further cached accesses;
+    [None] (the initial state) removes the limit. Raises
+    [Invalid_argument] on a negative budget. *)
+
 (** {1 Failure} *)
 
 val crash : t -> unit

@@ -1,0 +1,53 @@
+(* A splitmix64 finalizer: full 64-bit avalanche, so consecutive keys
+   and consecutive (shard, vnode) labels land uniformly on the ring. *)
+let mix64 z =
+  let open Int64 in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xbf58476d1ce4e5b9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94d049bb133111ebL in
+  logxor z (shift_right_logical z 31)
+
+type t = {
+  shards : int;
+  positions : int64 array;  (* ring points, ascending in unsigned order *)
+  owners : int array;  (* positions.(i) belongs to shard owners.(i) *)
+}
+
+let create ?(vnodes = 64) ~shards () =
+  if shards <= 0 then invalid_arg "Router.create: shards must be positive";
+  if vnodes <= 0 then invalid_arg "Router.create: vnodes must be positive";
+  let points =
+    Array.init (shards * vnodes) (fun i ->
+        let shard = i / vnodes and replica = i mod vnodes in
+        let label =
+          Int64.add
+            (Int64.mul (Int64.of_int (shard + 1)) 0x9E3779B97F4A7C15L)
+            (Int64.of_int replica)
+        in
+        (mix64 label, shard))
+  in
+  (* Hash collisions between different shards' points are broken by
+     shard id, keeping the ring independent of construction order. *)
+  Array.sort
+    (fun (a, sa) (b, sb) ->
+      let c = Int64.unsigned_compare a b in
+      if c <> 0 then c else Stdlib.compare sa sb)
+    points;
+  {
+    shards;
+    positions = Array.map fst points;
+    owners = Array.map snd points;
+  }
+
+let shards t = t.shards
+
+let shard_of_key t key =
+  let h = mix64 key in
+  (* First ring point at or clockwise of [h], wrapping past the top. *)
+  let n = Array.length t.positions in
+  let lo = ref 0 and hi = ref n in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if Int64.unsigned_compare t.positions.(mid) h < 0 then lo := mid + 1
+    else hi := mid
+  done;
+  t.owners.(if !lo = n then 0 else !lo)

@@ -1,0 +1,28 @@
+(** Consistent-hash key→shard routing.
+
+    The directory service fronts N independent shards; the router decides
+    which shard owns a key. Placement is a classic consistent-hash ring:
+    each shard projects [vnodes] virtual points onto the 64-bit ring, and
+    a key belongs to the first point clockwise of its hash. Virtual
+    points smooth the load split (±a few percent at 64 vnodes), and
+    growing the fleet by one shard remaps only ~1/(N+1) of the keyspace
+    instead of reshuffling everything — the property that makes shard
+    counts an operational knob rather than a data migration.
+
+    Routing is pure and deterministic: the same key maps to the same
+    shard on every call, every process, every [--jobs] width. *)
+
+type t
+
+val create : ?vnodes:int -> shards:int -> unit -> t
+(** A ring over [shards] shards with [vnodes] virtual points each
+    (default 64). Raises [Invalid_argument] unless both are positive. *)
+
+val shards : t -> int
+
+val shard_of_key : t -> int64 -> int
+(** The owning shard of a key, in [\[0, shards)]. O(log(shards×vnodes)). *)
+
+val mix64 : int64 -> int64
+(** The ring's hash — a splitmix64 finalizer. Exposed because the
+    service reuses it for order-sensitive content checksums. *)

@@ -1,0 +1,616 @@
+open Wsp_sim
+open Wsp_nvheap
+module Bus = Wsp_events.Bus
+module Rules = Wsp_analysis.Rules
+module System = Wsp_core.System
+module Avl = Wsp_store.Avl
+
+type params = {
+  shards : int;
+  vnodes : int;
+  clients : int;
+  requests : int;
+  keyspace : int;
+  theta : float;
+  mix : Client.mix;
+  queue_cap : int;
+  config : Config.t;
+  shard_heap : Units.Size.t;
+  log_size : Units.Size.t;
+  seed : int;
+  crash_at : int option;
+  lint : bool;
+  record_lookups : bool;
+}
+
+let default =
+  {
+    shards = 16;
+    vnodes = 64;
+    clients = 256;
+    requests = 100_000;
+    keyspace = 20_000;
+    theta = 0.99;
+    mix = Client.default_mix;
+    queue_cap = 256;
+    config = Config.fof;
+    shard_heap = Units.Size.mib 4;
+    log_size = Units.Size.kib 256;
+    seed = 42;
+    crash_at = None;
+    lint = false;
+    record_lookups = false;
+  }
+
+type restore = {
+  shard : int;
+  dirty_bytes : int;
+  save_fits : bool;
+  save_total : Time.t;
+  window : Time.t;
+  flush_cost : Time.t;
+  restore_cost : Time.t;
+  lost_acked : int;
+}
+
+type shard_stats = {
+  shard : int;
+  served : int;
+  shed : int;
+  lookups : int;
+  hits : int;
+  inserts : int;
+  deletes : int;
+  final_keys : int;
+  busy : Time.t;
+  p50 : Time.t;
+  p99 : Time.t;
+  lat_max : Time.t;
+  stores : int;
+  flushes : int;
+  fences : int;
+  writebacks : int;
+  tx_commits : int;
+  log_appends : int;
+  allocs : int;
+  frees : int;
+  lint_errors : int;
+  lint_advisories : int;
+}
+
+type report = {
+  params : params;
+  issued : int;
+  served : int;
+  shed : int;
+  rounds : int;
+  makespan : Time.t;
+  throughput_mops : float;
+  p50 : Time.t;
+  p99 : Time.t;
+  p999 : Time.t;
+  lat_max : Time.t;
+  lost_acked : int;
+  restores : restore list;
+  per_shard : shard_stats list;
+  checksum : int64;
+  lookup_results : (int * int64 option) array option;
+  final_contents : (int64 * int64) array option;
+}
+
+(* Per-shard persistency-event tallies, fed by one bus subscriber per
+   shard. Each shard's events fire on that shard's worker domain only,
+   so plain mutable fields need no synchronisation. *)
+type bus_counts = {
+  mutable stores : int;
+  mutable flushes : int;
+  mutable fences : int;
+  mutable writebacks : int;
+  mutable tx_commits : int;
+  mutable log_appends : int;
+  mutable allocs : int;
+  mutable frees : int;
+}
+
+type shard = {
+  id : int;
+  nvram : Nvram.t;
+  mutable heap : Pheap.t;
+  mutable tree : Avl.t;
+  model : (int64, int64) Hashtbl.t;  (* acknowledged writes, volatile *)
+  batch : (int * Client.op) array;  (* (issue serial, op); admission queue *)
+  mutable batch_len : int;
+  mutable served : int;
+  mutable shed : int;
+  mutable lookups : int;
+  mutable hits : int;
+  mutable inserts : int;
+  mutable deletes : int;
+  mutable lat : int array;  (* per-op simulated latency, ps *)
+  mutable lat_len : int;
+  counts : bus_counts;
+  mutable lint : (Rules.stream * Bus.subscription) option;
+  mutable lint_errors : int;
+  mutable lint_advisories : int;
+  mutable lookup_log : (int * int64 option) list;  (* newest first *)
+}
+
+let watch_bus heap counts =
+  ignore
+    (Bus.subscribe (Pheap.bus heap) (fun ev ->
+         match ev with
+         | Event.Mem (Event.Store _ | Event.Store_nt _) ->
+             counts.stores <- counts.stores + 1
+         | Event.Mem (Event.Clflush _ | Event.Flush_range _ | Event.Wbinvd) ->
+             counts.flushes <- counts.flushes + 1
+         | Event.Mem Event.Fence -> counts.fences <- counts.fences + 1
+         | Event.Wb _ -> counts.writebacks <- counts.writebacks + 1
+         | Event.Tx (Event.Commit _) -> counts.tx_commits <- counts.tx_commits + 1
+         | Event.Tx (Event.Begin _ | Event.Abort _) -> ()
+         | Event.Log (Event.Append _) ->
+             counts.log_appends <- counts.log_appends + 1
+         | Event.Log Event.Truncate -> ()
+         | Event.Heap (Event.Alloc _) -> counts.allocs <- counts.allocs + 1
+         | Event.Heap (Event.Free _) -> counts.frees <- counts.frees + 1
+         | Event.Heap (Event.Header_write _) -> ()))
+
+let attach_lint config heap =
+  let machine = Rules.default_machine ~config () in
+  let nvram = Pheap.nvram heap in
+  let stream =
+    Rules.stream_create machine ~line_size:(Nvram.line_size nvram)
+      ~alloc_base:(Pheap.heap_base heap)
+      ~alloc_limit:(Pheap.heap_base heap + Pheap.heap_size heap)
+  in
+  Wsp_check.Trace.iter_baseline heap (Rules.stream_step stream);
+  let sub = Bus.subscribe (Pheap.bus heap) (Rules.stream_step stream) in
+  (stream, sub)
+
+let make_shard p id =
+  let len = Units.Size.to_bytes p.shard_heap in
+  let nvram = Nvram.create ~size:p.shard_heap () in
+  let heap =
+    Pheap.create_in ~config:p.config ~log_size:p.log_size ~nvram ~base:0 ~len ()
+  in
+  let tree = Avl.create heap in
+  let counts =
+    {
+      stores = 0;
+      flushes = 0;
+      fences = 0;
+      writebacks = 0;
+      tx_commits = 0;
+      log_appends = 0;
+      allocs = 0;
+      frees = 0;
+    }
+  in
+  watch_bus heap counts;
+  let lint = if p.lint then Some (attach_lint p.config heap) else None in
+  {
+    id;
+    nvram;
+    heap;
+    tree;
+    model = Hashtbl.create 1024;
+    batch = Array.make p.queue_cap (0, Client.Lookup 0L);
+    batch_len = 0;
+    served = 0;
+    shed = 0;
+    lookups = 0;
+    hits = 0;
+    inserts = 0;
+    deletes = 0;
+    lat = Array.make 1024 0;
+    lat_len = 0;
+    counts;
+    lint;
+    lint_errors = 0;
+    lint_advisories = 0;
+    lookup_log = [];
+  }
+
+let push_lat sh v =
+  if sh.lat_len = Array.length sh.lat then begin
+    let bigger = Array.make (2 * Array.length sh.lat) 0 in
+    Array.blit sh.lat 0 bigger 0 sh.lat_len;
+    sh.lat <- bigger
+  end;
+  sh.lat.(sh.lat_len) <- v;
+  sh.lat_len <- sh.lat_len + 1
+
+let transactional config =
+  config.Config.logging <> Config.No_log || config.Config.stm
+
+(* Serves a shard's admitted batch in issue order; runs on the shard's
+   worker domain and touches only this shard's state. Returns the
+   simulated time the batch took on this shard. *)
+let serve_shard p sh =
+  let tx = transactional p.config in
+  let t0 = Pheap.clock sh.heap in
+  for i = 0 to sh.batch_len - 1 do
+    let serial, op = sh.batch.(i) in
+    let c0 = Pheap.clock sh.heap in
+    (match op with
+    | Client.Lookup key ->
+        let r = Avl.find sh.tree key in
+        if Option.is_some r then sh.hits <- sh.hits + 1;
+        sh.lookups <- sh.lookups + 1;
+        if p.record_lookups then sh.lookup_log <- (serial, r) :: sh.lookup_log
+    | Client.Insert (key, value) ->
+        if tx then Pheap.with_tx sh.heap (fun () -> Avl.insert sh.tree ~key ~value)
+        else Avl.insert sh.tree ~key ~value;
+        Hashtbl.replace sh.model key value;
+        sh.inserts <- sh.inserts + 1
+    | Client.Delete key ->
+        let removed =
+          if tx then Pheap.with_tx sh.heap (fun () -> Avl.delete sh.tree key)
+          else Avl.delete sh.tree key
+        in
+        if removed then Hashtbl.remove sh.model key;
+        sh.deletes <- sh.deletes + 1);
+    sh.served <- sh.served + 1;
+    push_lat sh (Time.to_ps (Time.sub (Pheap.clock sh.heap) c0))
+  done;
+  sh.batch_len <- 0;
+  Time.sub (Pheap.clock sh.heap) t0
+
+(* The paper's Figure-4 path, per shard: price the save against the
+   residual-energy window at the shard's dirty footprint, flush on
+   fail, power off, re-attach the heap over the surviving NVRAM and
+   re-adopt the tree through the validating [Avl.attach]. The audit
+   compares the recovered tree against the volatile model of
+   acknowledged writes in both directions. *)
+let crash_restore ?jobs p shard_list =
+  Parallel.map ?jobs ~chunk:1
+    (fun sh ->
+      let dirty = Nvram.dirty_bytes sh.nvram in
+      let budget = System.save_budget ~dirty_bytes:dirty () in
+      let f0 = Pheap.clock sh.heap in
+      Pheap.wsp_flush sh.heap;
+      let flush_cost = Time.sub (Pheap.clock sh.heap) f0 in
+      Pheap.crash sh.heap;
+      let len = Units.Size.to_bytes p.shard_heap in
+      let heap =
+        Pheap.attach_in ~config:p.config ~log_size:p.log_size ~nvram:sh.nvram
+          ~base:0 ~len ()
+      in
+      let tree = Avl.attach heap in
+      let restore_cost = Pheap.clock heap in
+      let lost = ref 0 in
+      Hashtbl.iter
+        (fun k v ->
+          match Avl.find tree k with
+          | Some v' when Int64.equal v v' -> ()
+          | _ -> incr lost)
+        sh.model;
+      List.iter
+        (fun (k, _) -> if not (Hashtbl.mem sh.model k) then incr lost)
+        (Avl.to_list tree);
+      sh.heap <- heap;
+      sh.tree <- tree;
+      {
+        shard = sh.id;
+        dirty_bytes = dirty;
+        save_fits = budget.System.fits;
+        save_total = budget.System.total;
+        window = budget.System.window;
+        flush_cost;
+        restore_cost;
+        lost_acked = !lost;
+      })
+    shard_list
+
+let finish_lint sh =
+  match sh.lint with
+  | None -> ()
+  | Some (stream, sub) ->
+      Bus.unsubscribe sub;
+      let result = Rules.stream_finish stream in
+      List.iter
+        (fun d ->
+          match d.Rules.severity with
+          | Rules.Error -> sh.lint_errors <- sh.lint_errors + 1
+          | Rules.Advisory -> sh.lint_advisories <- sh.lint_advisories + 1)
+        result.Rules.diagnostics;
+      sh.lint <- None
+
+(* Latency percentiles over sorted picosecond samples, with the same
+   linear interpolation as [Stats.percentile] but array-based: the
+   global sample is millions of points and must not round-trip through
+   a list. *)
+let percentile_ps sorted p =
+  let n = Array.length sorted in
+  if n = 0 then Time.zero
+  else if n = 1 then Time.ps sorted.(0)
+  else begin
+    let rank = p /. 100.0 *. float_of_int (n - 1) in
+    let lo = int_of_float (Float.floor rank) in
+    let hi = Stdlib.min (lo + 1) (n - 1) in
+    let frac = rank -. float_of_int lo in
+    Time.ps
+      (int_of_float
+         (Float.round
+            (float_of_int sorted.(lo)
+            +. (frac *. float_of_int (sorted.(hi) - sorted.(lo))))))
+  end
+
+let sorted_lat sh =
+  let a = Array.sub sh.lat 0 sh.lat_len in
+  Array.sort Stdlib.compare a;
+  a
+
+let merged_lat shards =
+  let total = Array.fold_left (fun n sh -> n + sh.lat_len) 0 shards in
+  let all = Array.make (Stdlib.max total 1) 0 in
+  let off = ref 0 in
+  Array.iter
+    (fun sh ->
+      Array.blit sh.lat 0 all !off sh.lat_len;
+      off := !off + sh.lat_len)
+    shards;
+  let all = if total = 0 then [||] else Array.sub all 0 total in
+  Array.sort Stdlib.compare all;
+  all
+
+(* Order-sensitive digest of every shard's final contents: equal
+   checksums across runs mean equal final key→value states. *)
+let contents_checksum shards =
+  Array.fold_left
+    (fun acc sh ->
+      List.fold_left
+        (fun acc (k, v) ->
+          Router.mix64 (Int64.add (Router.mix64 (Int64.logxor acc k)) v))
+        acc (Avl.to_list sh.tree))
+    0x9E3779B97F4A7C15L shards
+
+let validate p =
+  if p.shards <= 0 then invalid_arg "Service.run: shards must be positive";
+  if p.clients <= 0 then invalid_arg "Service.run: clients must be positive";
+  if p.requests < 0 then invalid_arg "Service.run: negative request count";
+  if p.queue_cap <= 0 then invalid_arg "Service.run: queue_cap must be positive";
+  match p.crash_at with
+  | Some r when r < 0 -> invalid_arg "Service.run: negative crash round"
+  | _ -> ()
+
+let run ?jobs p =
+  validate p;
+  let router = Router.create ~vnodes:p.vnodes ~shards:p.shards () in
+  let gen =
+    Client.create ~mix:p.mix ~theta:p.theta ~clients:p.clients
+      ~keyspace:p.keyspace ~seed:p.seed ()
+  in
+  let shards = Array.init p.shards (make_shard p) in
+  let shard_list = Array.to_list shards in
+  let rounds =
+    if p.requests = 0 then 0 else (p.requests + p.clients - 1) / p.clients
+  in
+  let issued = ref 0 in
+  let shed_total = ref 0 in
+  let makespan = ref Time.zero in
+  let restores = ref [] in
+  let do_crash () = restores := crash_restore ?jobs p shard_list in
+  for round = 0 to rounds - 1 do
+    let this_round = Stdlib.min p.clients (p.requests - !issued) in
+    for c = 0 to this_round - 1 do
+      let serial = !issued in
+      let op = Client.next gen ~client:c in
+      let sh = shards.(Router.shard_of_key router (Client.key op)) in
+      if sh.batch_len < p.queue_cap then begin
+        sh.batch.(sh.batch_len) <- (serial, op);
+        sh.batch_len <- sh.batch_len + 1
+      end
+      else begin
+        sh.shed <- sh.shed + 1;
+        incr shed_total
+      end;
+      incr issued
+    done;
+    let deltas = Parallel.map ?jobs ~chunk:1 (serve_shard p) shard_list in
+    makespan := Time.add !makespan (List.fold_left Time.max Time.zero deltas);
+    match p.crash_at with
+    | Some r when r = round -> do_crash ()
+    | _ -> ()
+  done;
+  (* A crash round at or past the end still fires once, after the run. *)
+  (match p.crash_at with
+  | Some r when r >= rounds -> do_crash ()
+  | _ -> ());
+  Array.iter finish_lint shards;
+  let global = merged_lat shards in
+  let per_shard =
+    Array.to_list
+      (Array.map
+         (fun sh ->
+           let lat = sorted_lat sh in
+           {
+             shard = sh.id;
+             served = sh.served;
+             shed = sh.shed;
+             lookups = sh.lookups;
+             hits = sh.hits;
+             inserts = sh.inserts;
+             deletes = sh.deletes;
+             final_keys = Hashtbl.length sh.model;
+             busy =
+               Array.fold_left
+                 (fun acc v -> Time.add acc (Time.ps v))
+                 Time.zero lat;
+             p50 = percentile_ps lat 50.0;
+             p99 = percentile_ps lat 99.0;
+             lat_max =
+               (if Array.length lat = 0 then Time.zero
+                else Time.ps lat.(Array.length lat - 1));
+             stores = sh.counts.stores;
+             flushes = sh.counts.flushes;
+             fences = sh.counts.fences;
+             writebacks = sh.counts.writebacks;
+             tx_commits = sh.counts.tx_commits;
+             log_appends = sh.counts.log_appends;
+             allocs = sh.counts.allocs;
+             frees = sh.counts.frees;
+             lint_errors = sh.lint_errors;
+             lint_advisories = sh.lint_advisories;
+           })
+         shards)
+  in
+  let served = Array.fold_left (fun n sh -> n + sh.served) 0 shards in
+  let lookup_results =
+    if p.record_lookups then begin
+      let all =
+        Array.concat
+          (Array.to_list
+             (Array.map (fun sh -> Array.of_list sh.lookup_log) shards))
+      in
+      Array.sort (fun (a, _) (b, _) -> Stdlib.compare a b) all;
+      Some all
+    end
+    else None
+  in
+  (* Routing is by key, so keys are disjoint across shards and the
+     merged map sorts into one global key order. *)
+  let final_contents =
+    if p.record_lookups then
+      Some
+        (let all =
+           Array.concat
+             (Array.to_list
+                (Array.map (fun sh -> Array.of_list (Avl.to_list sh.tree))
+                   shards))
+         in
+         Array.sort (fun (a, _) (b, _) -> Int64.compare a b) all;
+         all)
+    else None
+  in
+  let makespan = !makespan in
+  {
+    params = p;
+    issued = !issued;
+    served;
+    shed = !shed_total;
+    rounds;
+    makespan;
+    throughput_mops =
+      (if Time.to_s makespan > 0.0 then
+         float_of_int served /. Time.to_s makespan /. 1e6
+       else 0.0);
+    p50 = percentile_ps global 50.0;
+    p99 = percentile_ps global 99.0;
+    p999 = percentile_ps global 99.9;
+    lat_max =
+      (if Array.length global = 0 then Time.zero
+       else Time.ps global.(Array.length global - 1));
+    lost_acked =
+      List.fold_left (fun n (r : restore) -> n + r.lost_acked) 0 !restores;
+    restores = !restores;
+    per_shard;
+    checksum = contents_checksum shards;
+    lookup_results;
+    final_contents;
+  }
+
+(* Canonical JSON: picosecond integers and fixed-precision floats only
+   (never wall-clock), so equal reports are byte-identical across
+   [--jobs] widths, engines and hosts. *)
+let to_json r =
+  let b = Buffer.create 4096 in
+  let p = r.params in
+  Printf.bprintf b
+    "{\n\
+    \  \"verb\": \"shard\",\n\
+    \  \"shards\": %d,\n\
+    \  \"vnodes\": %d,\n\
+    \  \"clients\": %d,\n\
+    \  \"requests\": %d,\n\
+    \  \"keyspace\": %d,\n\
+    \  \"theta\": %.4f,\n\
+    \  \"queue_cap\": %d,\n\
+    \  \"config\": %S,\n\
+    \  \"seed\": %d,\n\
+    \  \"issued\": %d,\n\
+    \  \"served\": %d,\n\
+    \  \"shed\": %d,\n\
+    \  \"rounds\": %d,\n\
+    \  \"makespan_ps\": %d,\n\
+    \  \"throughput_mops\": %.6f,\n\
+    \  \"latency_ps\": { \"p50\": %d, \"p99\": %d, \"p999\": %d, \"max\": %d \
+     },\n\
+    \  \"lost_acked\": %d,\n\
+    \  \"checksum\": \"0x%016Lx\",\n"
+    p.shards p.vnodes p.clients p.requests p.keyspace p.theta p.queue_cap
+    p.config.Config.name p.seed r.issued r.served r.shed r.rounds
+    (Time.to_ps r.makespan) r.throughput_mops (Time.to_ps r.p50)
+    (Time.to_ps r.p99) (Time.to_ps r.p999) (Time.to_ps r.lat_max) r.lost_acked
+    r.checksum;
+  Buffer.add_string b "  \"restores\": [";
+  List.iteri
+    (fun i (rr : restore) ->
+      Printf.bprintf b
+        "%s\n\
+        \    { \"shard\": %d, \"dirty_bytes\": %d, \"save_fits\": %b, \
+         \"save_total_ps\": %d, \"window_ps\": %d, \"flush_ps\": %d, \
+         \"restore_ps\": %d, \"lost_acked\": %d }"
+        (if i = 0 then "" else ",")
+        rr.shard rr.dirty_bytes rr.save_fits (Time.to_ps rr.save_total)
+        (Time.to_ps rr.window) (Time.to_ps rr.flush_cost)
+        (Time.to_ps rr.restore_cost) rr.lost_acked)
+    r.restores;
+  if r.restores <> [] then Buffer.add_string b "\n  ";
+  Buffer.add_string b "],\n  \"per_shard\": [";
+  List.iteri
+    (fun i s ->
+      Printf.bprintf b
+        "%s\n\
+        \    { \"shard\": %d, \"served\": %d, \"shed\": %d, \"lookups\": %d, \
+         \"hits\": %d, \"inserts\": %d, \"deletes\": %d, \"final_keys\": %d, \
+         \"busy_ps\": %d, \"p50_ps\": %d, \"p99_ps\": %d, \"max_ps\": %d, \
+         \"stores\": %d, \"flushes\": %d, \"fences\": %d, \"writebacks\": %d, \
+         \"tx_commits\": %d, \"log_appends\": %d, \"allocs\": %d, \"frees\": \
+         %d, \"lint_errors\": %d, \"lint_advisories\": %d }"
+        (if i = 0 then "" else ",")
+        s.shard s.served s.shed s.lookups s.hits s.inserts s.deletes
+        s.final_keys (Time.to_ps s.busy) (Time.to_ps s.p50) (Time.to_ps s.p99)
+        (Time.to_ps s.lat_max) s.stores s.flushes s.fences s.writebacks
+        s.tx_commits s.log_appends s.allocs s.frees s.lint_errors
+        s.lint_advisories)
+    r.per_shard;
+  Buffer.add_string b "\n  ]\n}\n";
+  Buffer.contents b
+
+let pp_report ppf r =
+  let p = r.params in
+  Fmt.pf ppf
+    "@[<v>shard service: %d shards x %d clients, %d/%d requests served (%d \
+     shed) in %d rounds@,\
+     config %s, keyspace %d, theta %.2f, queue cap %d, seed %d@,\
+     makespan %a simulated (%.3f Mops/s), latency p50 %a p99 %a p99.9 %a max \
+     %a@]"
+    p.shards p.clients r.served r.issued r.shed r.rounds p.config.Config.name
+    p.keyspace p.theta p.queue_cap p.seed Time.pp r.makespan r.throughput_mops
+    Time.pp r.p50 Time.pp r.p99 Time.pp r.p999 Time.pp r.lat_max;
+  if r.restores <> [] then begin
+    Fmt.pf ppf "@,power failure after round %d:"
+      (match p.crash_at with Some c -> c | None -> -1);
+    List.iter
+      (fun (rr : restore) ->
+        Fmt.pf ppf
+          "@,\
+          \  shard %2d: %6d dirty bytes, save %a of %a window (%s), restore \
+           %a, lost acked %d"
+          rr.shard rr.dirty_bytes Time.pp rr.save_total Time.pp rr.window
+          (if rr.save_fits then "fits" else "DOES NOT FIT")
+          Time.pp rr.restore_cost rr.lost_acked)
+      r.restores;
+    Fmt.pf ppf "@,total acked updates lost: %d" r.lost_acked
+  end;
+  let lint_e =
+    List.fold_left (fun n (s : shard_stats) -> n + s.lint_errors) 0 r.per_shard
+  in
+  let lint_a =
+    List.fold_left
+      (fun n (s : shard_stats) -> n + s.lint_advisories)
+      0 r.per_shard
+  in
+  if p.lint then
+    Fmt.pf ppf "@,lint: %d error(s), %d advisory(ies) across %d shard buses"
+      lint_e lint_a p.shards

@@ -1,0 +1,133 @@
+(** The sharded directory service.
+
+    N independent shards, each an {!Wsp_store.Avl} tree on its own
+    persistent heap in its own simulated NVRAM, served round-by-round on
+    its own {!Wsp_sim.Parallel} worker domain. A consistent-hash
+    {!Router} splits the keyspace; a closed-loop {!Client} population
+    drives load; each shard has a bounded admission queue that sheds
+    (and counts) requests beyond its capacity.
+
+    The round protocol is what makes parallel execution deterministic:
+    request generation and routing happen on the coordinating domain,
+    each worker then serves only its own shard's batch (no shared
+    mutable state), and [Domain.join] inside [Parallel.map] orders every
+    worker write before the coordinator reads results. Simulated time,
+    not wall-clock, is the only clock in the report, so JSON output is
+    byte-identical across [--jobs] widths.
+
+    A mid-run power failure ([crash_at]) exercises the paper's Figure-4
+    save path on every shard: price the save against the residual-energy
+    window ({!Wsp_core.System.save_budget} at the shard's dirty
+    footprint), flush-on-fail, crash, re-attach all N heaps and re-adopt
+    every tree through {!Wsp_store.Avl.attach}'s validating path. Each
+    shard keeps a volatile model of its acknowledged writes, and the
+    post-restore audit counts acked updates the recovered tree lost —
+    which must be zero under WSP. *)
+
+open Wsp_sim
+open Wsp_nvheap
+
+type params = {
+  shards : int;
+  vnodes : int;  (** Router virtual points per shard. *)
+  clients : int;  (** Closed-loop population = requests per round. *)
+  requests : int;  (** Total operations to issue. *)
+  keyspace : int;
+  theta : float;  (** Zipfian skew; 0 = uniform. *)
+  mix : Client.mix;
+  queue_cap : int;
+      (** Per-shard, per-round admission bound; arrivals beyond it are
+          shed and counted, never silently dropped. *)
+  config : Config.t;
+  shard_heap : Units.Size.t;  (** NVRAM region per shard. *)
+  log_size : Units.Size.t;
+  seed : int;
+  crash_at : int option;
+      (** Power-fail after this 0-based round (clamped to the end of
+          the run): WSP save, crash, restore of every shard. *)
+  lint : bool;
+      (** Stream the static persistency analyzer off each shard's bus. *)
+  record_lookups : bool;
+      (** Keep every lookup's (serial, result) — the oracle-equivalence
+          hook for tests; costs memory, off by default. *)
+}
+
+val default : params
+(** 16 shards × 256 clients, 100k requests over a 20k keyspace at
+    YCSB skew, plain-WSP ({!Config.fof}) heaps, no crash. *)
+
+type restore = {
+  shard : int;
+  dirty_bytes : int;  (** Footprint priced into the save budget. *)
+  save_fits : bool;  (** Figure-4 total within the residual window. *)
+  save_total : Time.t;
+  window : Time.t;
+  flush_cost : Time.t;  (** Simulated flush-on-fail (wbinvd) time. *)
+  restore_cost : Time.t;  (** Re-attach + recovery simulated time. *)
+  lost_acked : int;  (** Acknowledged updates the restore lost. *)
+}
+
+type shard_stats = {
+  shard : int;
+  served : int;
+  shed : int;
+  lookups : int;
+  hits : int;
+  inserts : int;
+  deletes : int;
+  final_keys : int;
+  busy : Time.t;  (** Total simulated serving time. *)
+  p50 : Time.t;  (** Per-operation service latency percentiles. *)
+  p99 : Time.t;
+  lat_max : Time.t;
+  stores : int;  (** Bus-observed persistency events, per shard. *)
+  flushes : int;
+  fences : int;
+  writebacks : int;
+  tx_commits : int;
+  log_appends : int;
+  allocs : int;
+  frees : int;
+  lint_errors : int;
+  lint_advisories : int;
+}
+
+type report = {
+  params : params;
+  issued : int;
+  served : int;
+  shed : int;
+  rounds : int;
+  makespan : Time.t;
+      (** Σ over rounds of the slowest shard's round time — the
+          simulated wall-clock of the parallel service. *)
+  throughput_mops : float;  (** Served ops per simulated second, /1e6. *)
+  p50 : Time.t;  (** Global service-latency percentiles. *)
+  p99 : Time.t;
+  p999 : Time.t;
+  lat_max : Time.t;
+  lost_acked : int;  (** Total across restores; 0 in a correct run. *)
+  restores : restore list;  (** One per shard when [crash_at] fired. *)
+  per_shard : shard_stats list;  (** In shard order. *)
+  checksum : int64;
+      (** Order-sensitive digest of every shard's final key→value
+          contents, shard 0 first — equal checksums mean equal final
+          states. *)
+  lookup_results : (int * int64 option) array option;
+      (** When [record_lookups]: every lookup's (issue serial, answer),
+          sorted by serial — shard-count invariant when nothing sheds. *)
+  final_contents : (int64 * int64) array option;
+      (** When [record_lookups]: the merged final key→value contents of
+          all shards, sorted by key — the oracle-equivalence surface. *)
+}
+
+val run : ?jobs:int -> params -> report
+(** Drives the full closed loop. [jobs] caps worker domains exactly as
+    {!Wsp_sim.Parallel.map} does; the report is identical at any width. *)
+
+val to_json : report -> string
+(** Canonical JSON: simulated quantities only (picosecond integers,
+    fixed-precision floats), so equal reports render byte-identically. *)
+
+val pp_report : Format.formatter -> report -> unit
+(** The human summary the CLI prints. *)

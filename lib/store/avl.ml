@@ -17,13 +17,36 @@ let create heap =
   Pheap.set_root heap root_cell;
   { heap; root_cell }
 
+(* A root cell handed to attach comes from recovered bytes, so it is
+   trusted input only after a *clean* restore: a corrupted image can
+   publish any integer. Reject addresses that cannot be an 8-byte root
+   cell — outside the allocator's heap, or not the payload of a live
+   block — before the first dereference reads garbage. *)
+let validate_root_cell ~who heap addr =
+  if addr = 0 then Fmt.invalid_arg "%s: null root cell" who;
+  let base = Pheap.heap_base heap in
+  let limit = base + Pheap.heap_size heap in
+  if addr < base || addr + 8 > limit then
+    Fmt.invalid_arg
+      "%s: root cell %d outside the heap region [%d,%d) (corrupted root?)"
+      who addr base limit;
+  let allocator = Pheap.allocator heap in
+  if not (Alloc.is_allocated allocator addr) then
+    Fmt.invalid_arg
+      "%s: root cell %d is not the payload of any allocated block \
+       (corrupted or stale root)"
+      who addr;
+  if Alloc.payload_size allocator addr < 8 then
+    Fmt.invalid_arg "%s: root cell %d is smaller than a root pointer" who addr
+
 let attach_at heap ~addr =
-  if addr = 0 then invalid_arg "Avl.attach_at: null root cell";
+  validate_root_cell ~who:"Avl.attach_at" heap addr;
   { heap; root_cell = addr }
 
 let attach heap =
   let root_cell = Pheap.root heap in
   if root_cell = 0 then invalid_arg "Avl.attach: heap has no root";
+  validate_root_cell ~who:"Avl.attach" heap root_cell;
   { heap; root_cell }
 
 let heap t = t.heap

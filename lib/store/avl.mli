@@ -19,11 +19,15 @@ val create : Pheap.t -> t
 
 val attach : Pheap.t -> t
 (** Re-adopts the tree published as the heap root (post-recovery).
-    Raises [Invalid_argument] if the heap has no root. *)
+    Raises [Invalid_argument] if the heap has no root, or if the
+    published root cell is outside the heap region or not the payload
+    of a live allocator block — a corrupted restore must fail loudly
+    here, not on a later garbage dereference. *)
 
 val attach_at : Pheap.t -> addr:int -> t
 (** Re-adopts a tree by its root-cell address — for applications that
-    keep several structures behind one root descriptor. *)
+    keep several structures behind one root descriptor. The address is
+    validated like {!attach}'s. *)
 
 val heap : t -> Pheap.t
 

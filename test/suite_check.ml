@@ -62,6 +62,31 @@ let fault_tests =
         | v :: _ ->
             Alcotest.(check bool) "oracle produced a diagnosis" true
               (String.length v.message > 0));
+    Alcotest.test_case "cyclic corruption yields a diverged verdict, not a hang"
+      `Slow (fun () ->
+        (* Regression: skiplist (and undo-list) recovery walked forever
+           over torn next-pointers that formed a cycle — this exact cell
+           used to hang the whole checker at >=500 points. The Nvram
+           step budget must turn the unbounded walk into an explicit
+           recovery-diverged violation. *)
+        let r =
+          Checker.check ~points:500 ~txns:32 ~kind:Checker.Skiplist
+            ~config:Config.foc_ul ~fault:Checker.Broken_fences ~shrink:false
+            ~seed:42 ()
+        in
+        Alcotest.(check bool) "violations found" true (r.violations <> []);
+        let diverged =
+          List.exists
+            (fun (v : Checker.violation) ->
+              let is_sub needle hay =
+                let nl = String.length needle and hl = String.length hay in
+                let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+                go 0
+              in
+              is_sub "recovery diverged" v.message)
+            r.violations
+        in
+        Alcotest.(check bool) "a diverged verdict is reported" true diverged);
     Alcotest.test_case "faults are attributed, not blamed on formatting" `Quick
       (fun () ->
         (* Point 0 cuts before the first workload event; even with broken

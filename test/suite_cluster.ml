@@ -194,9 +194,70 @@ let replicated_kv_props =
            Replicated_kv.consistent c));
   ]
 
+let fleet_tests =
+  let open Recovery_storm in
+  [
+    Alcotest.test_case "fleet storm is deterministic for a seed" `Quick
+      (fun () ->
+        let f = { default_fleet with nodes = 300; seed = 17 } in
+        let a = storm f and b = storm f in
+        Alcotest.(check bool) "identical latencies" true
+          (a.latencies = b.latencies);
+        Alcotest.(check (float 1e-12)) "identical availability"
+          a.availability b.availability);
+    Alcotest.test_case "tail ordering and bounds hold at 1000 nodes" `Quick
+      (fun () ->
+        let r = storm default_fleet in
+        Alcotest.(check int) "one latency per node" default_fleet.nodes
+          (Array.length r.latencies);
+        Alcotest.(check bool) "p50 <= p99 <= max" true
+          Time.(r.p50 <= r.p99 && r.p99 <= r.worst);
+        Alcotest.(check bool) "availability in [0,1]" true
+          (r.availability >= 0.0 && r.availability <= 1.0);
+        Alcotest.(check bool) "last_online >= worst latency" true
+          Time.(r.last_online >= r.worst));
+    Alcotest.test_case "an uncontended fleet restores in parallel" `Quick
+      (fun () ->
+        (* Slots >= nodes: nobody queues, so every node's latency is
+           exactly local restore + its own catch-up transfer. *)
+        let f =
+          {
+            default_fleet with
+            nodes = 64;
+            restore_concurrency = 64;
+            stagger = Time.zero;
+          }
+        in
+        let r = storm f in
+        Alcotest.(check bool) "p50 == max when nobody queues" true
+          (Time.to_s r.worst -. Time.to_s r.p50 < 1e-6));
+    Alcotest.test_case "fewer restore slots push the tail out" `Quick
+      (fun () ->
+        let run slots =
+          storm { default_fleet with nodes = 500; restore_concurrency = slots }
+        in
+        let narrow = run 4 and wide = run 64 in
+        Alcotest.(check bool) "p99 grows under contention" true
+          Time.(narrow.p99 > wide.p99);
+        Alcotest.(check bool) "availability drops under contention" true
+          (narrow.availability <= wide.availability));
+    Alcotest.test_case "zero stagger means a correlated outage" `Quick
+      (fun () ->
+        let r =
+          storm { default_fleet with nodes = 100; stagger = Time.zero }
+        in
+        (* All failures at t=0: a node's latency IS its finish time, so
+           the slowest node and the fleet's last-online instant agree,
+           and the queue stretches the tail past the first wave. *)
+        Alcotest.(check int) "last_online == worst latency"
+          (Time.to_ps r.worst) (Time.to_ps r.last_online);
+        Alcotest.(check bool) "tail exceeds the head" true
+          Time.(r.worst > r.p50));
+  ]
+
 let suite =
   [
-    ("cluster.recovery_storm", storm_tests);
+    ("cluster.recovery_storm", storm_tests @ fleet_tests);
     ("cluster.replication", replication_tests);
     ("cluster.replicated_kv", replicated_kv_tests @ replicated_kv_props);
   ]

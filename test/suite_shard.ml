@@ -1,0 +1,222 @@
+(* Tests for wsp_shard: routing, the closed-loop service, sharded vs
+   single-shard oracle equivalence, admission shedding, determinism
+   across worker widths, and crash/restore of the whole shard fleet. *)
+
+open Wsp_sim
+open Wsp_shard
+
+let router_tests =
+  [
+    Alcotest.test_case "routing is deterministic and in range" `Quick
+      (fun () ->
+        let r = Router.create ~shards:7 () in
+        let rng = Rng.create ~seed:9 in
+        for _ = 1 to 10_000 do
+          let k = Rng.bits64 rng in
+          let s = Router.shard_of_key r k in
+          Alcotest.(check bool) "in range" true (s >= 0 && s < 7);
+          Alcotest.(check int) "stable" s (Router.shard_of_key r k)
+        done);
+    Alcotest.test_case "virtual nodes spread the keyspace" `Quick (fun () ->
+        let shards = 8 in
+        let r = Router.create ~shards () in
+        let counts = Array.make shards 0 in
+        let rng = Rng.create ~seed:4 in
+        let n = 100_000 in
+        for _ = 1 to n do
+          let s = Router.shard_of_key r (Rng.bits64 rng) in
+          counts.(s) <- counts.(s) + 1
+        done;
+        let ideal = n / shards in
+        Array.iteri
+          (fun s c ->
+            if c < ideal / 3 || c > ideal * 3 then
+              Alcotest.failf "shard %d owns %d of %d keys (ideal %d)" s c n
+                ideal)
+          counts);
+    Alcotest.test_case "growing the ring remaps only a slice" `Quick
+      (fun () ->
+        (* The consistent-hashing contract: adding one shard to N moves
+           roughly 1/(N+1) of the keys, not all of them. *)
+        let before = Router.create ~shards:8 () in
+        let after = Router.create ~shards:9 () in
+        let rng = Rng.create ~seed:11 in
+        let n = 50_000 in
+        let moved = ref 0 in
+        for _ = 1 to n do
+          let k = Rng.bits64 rng in
+          if Router.shard_of_key before k <> Router.shard_of_key after k then
+            incr moved
+        done;
+        let fraction = float_of_int !moved /. float_of_int n in
+        Alcotest.(check bool)
+          (Printf.sprintf "moved %.3f, expected ~1/9" fraction)
+          true
+          (fraction < 0.25));
+    Alcotest.test_case "invalid ring parameters are rejected" `Quick
+      (fun () ->
+        Alcotest.check_raises "zero shards"
+          (Invalid_argument "Router.create: shards must be positive")
+          (fun () -> ignore (Router.create ~shards:0 ()));
+        Alcotest.check_raises "zero vnodes"
+          (Invalid_argument "Router.create: vnodes must be positive")
+          (fun () -> ignore (Router.create ~vnodes:0 ~shards:2 ())));
+  ]
+
+let client_tests =
+  [
+    Alcotest.test_case "same seed replays the same request stream" `Quick
+      (fun () ->
+        let mk () =
+          Client.create ~clients:8 ~keyspace:1000 ~seed:5 ()
+        in
+        let a = mk () and b = mk () in
+        for _ = 1 to 200 do
+          for c = 0 to 7 do
+            Alcotest.(check bool) "same op" true
+              (Client.next a ~client:c = Client.next b ~client:c)
+          done
+        done);
+    Alcotest.test_case "bad parameters are rejected" `Quick (fun () ->
+        let expect_invalid name f =
+          match f () with
+          | exception Invalid_argument _ -> ()
+          | _ -> Alcotest.failf "%s: expected Invalid_argument" name
+        in
+        expect_invalid "mix sum" (fun () ->
+            Client.create
+              ~mix:{ Client.lookups = 50; inserts = 50; deletes = 50 }
+              ~clients:1 ~keyspace:10 ~seed:0 ());
+        expect_invalid "theta" (fun () ->
+            Client.create ~theta:1.0 ~clients:1 ~keyspace:10 ~seed:0 ());
+        expect_invalid "clients" (fun () ->
+            Client.create ~clients:0 ~keyspace:10 ~seed:0 ()));
+  ]
+
+(* A small but non-trivial service run; queue_cap = clients so nothing
+   sheds (shedding depends on the shard count and would break the
+   oracle comparison). *)
+let small_params ~shards ~seed =
+  {
+    Service.default with
+    Service.shards;
+    clients = 32;
+    requests = 3_000;
+    keyspace = 400;
+    queue_cap = 32;
+    seed;
+    record_lookups = true;
+  }
+
+let service_tests =
+  [
+    Alcotest.test_case "all requests are served when nothing sheds" `Quick
+      (fun () ->
+        let r = Service.run ~jobs:1 (small_params ~shards:4 ~seed:7) in
+        Alcotest.(check int) "issued" 3_000 r.Service.issued;
+        Alcotest.(check int) "served" 3_000 r.Service.served;
+        Alcotest.(check int) "shed" 0 r.Service.shed;
+        Alcotest.(check int) "shards reported" 4
+          (List.length r.Service.per_shard));
+    Alcotest.test_case "bounded admission sheds and accounts" `Quick
+      (fun () ->
+        (* One shard, cap 8, 64 clients per round: most arrivals shed,
+           and every issued request is either served or counted shed. *)
+        let p =
+          {
+            Service.default with
+            Service.shards = 1;
+            clients = 64;
+            requests = 1_000;
+            keyspace = 100;
+            queue_cap = 8;
+          }
+        in
+        let r = Service.run ~jobs:1 p in
+        Alcotest.(check bool) "shed something" true (r.Service.shed > 0);
+        Alcotest.(check int) "served + shed = issued" r.Service.issued
+          (r.Service.served + r.Service.shed));
+    Alcotest.test_case "report is byte-identical across --jobs widths"
+      `Quick (fun () ->
+        let run jobs =
+          Service.to_json (Service.run ~jobs (small_params ~shards:5 ~seed:3))
+        in
+        let one = run 1 in
+        Alcotest.(check string) "jobs 1 == jobs 4" one (run 4);
+        Alcotest.(check string) "jobs 1 == jobs 2" one (run 2));
+    Alcotest.test_case "mid-run crash restores every shard losslessly"
+      `Quick (fun () ->
+        let p =
+          { (small_params ~shards:4 ~seed:13) with Service.crash_at = Some 40 }
+        in
+        let r = Service.run ~jobs:2 p in
+        Alcotest.(check int) "all served" 3_000 r.Service.served;
+        Alcotest.(check int) "one restore per shard" 4
+          (List.length r.Service.restores);
+        Alcotest.(check int) "no acked writes lost" 0 r.Service.lost_acked;
+        List.iter
+          (fun (rr : Service.restore) ->
+            Alcotest.(check bool) "figure-4 save fits" true rr.save_fits;
+            Alcotest.(check bool) "restore costs time" true
+              Time.(rr.restore_cost > Time.zero))
+          r.Service.restores);
+    Alcotest.test_case "crash is lossless under undo logging too" `Quick
+      (fun () ->
+        let p =
+          {
+            (small_params ~shards:2 ~seed:21) with
+            Service.config = Wsp_nvheap.Config.foc_ul;
+            requests = 800;
+            crash_at = Some 10;
+          }
+        in
+        let r = Service.run ~jobs:1 p in
+        Alcotest.(check int) "no acked writes lost" 0 r.Service.lost_acked);
+    Alcotest.test_case "lint streams cleanly off every shard bus" `Quick
+      (fun () ->
+        let p =
+          { (small_params ~shards:3 ~seed:2) with Service.lint = true }
+        in
+        let r = Service.run ~jobs:1 p in
+        List.iter
+          (fun (s : Service.shard_stats) ->
+            Alcotest.(check int)
+              (Printf.sprintf "shard %d lint errors" s.shard)
+              0 s.lint_errors;
+            Alcotest.(check bool) "bus saw stores" true (s.stores > 0))
+          r.Service.per_shard);
+  ]
+
+(* The headline property: serving through N shards is observably
+   equivalent to the single-shard oracle. Keys route to exactly one
+   shard, per-shard batches preserve issue order, and clients draw
+   identically regardless of topology — so every lookup answers the
+   same and the merged final contents match key for key. *)
+let oracle_equivalence_test =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name:"sharded service == single-shard oracle"
+       ~count:10
+       QCheck2.Gen.(
+         tup4 (int_range 2 8) (int_range 0 999) (oneofl [ 0.0; 0.6; 0.99 ])
+           (oneofl [ 1; 4 ]))
+       (fun (shards, seed, theta, jobs) ->
+         let run shards jobs =
+           Service.run ~jobs
+             { (small_params ~shards ~seed) with Service.theta }
+         in
+         let sharded = run shards jobs in
+         let oracle = run 1 1 in
+         let get = function Some x -> x | None -> assert false in
+         sharded.Service.shed = 0
+         && oracle.Service.shed = 0
+         && get sharded.Service.lookup_results
+            = get oracle.Service.lookup_results
+         && get sharded.Service.final_contents
+            = get oracle.Service.final_contents))
+
+let suite =
+  [
+    ("shard.router", router_tests);
+    ("shard.client", client_tests);
+    ("shard.service", service_tests @ [ oracle_equivalence_test ]);
+  ]

@@ -85,6 +85,34 @@ let avl_tests =
         done;
         Alcotest.(check bool) "freed" true
           (Alloc.allocated_bytes (Pheap.allocator heap) < allocated));
+    Alcotest.test_case "attach rejects corrupted root publications" `Quick
+      (fun () ->
+        (* A recovered image can publish any integer as the root; attach
+           must fail loudly before the first garbage dereference. *)
+        let expect_invalid name f =
+          match f () with
+          | exception Invalid_argument _ -> ()
+          | _ -> Alcotest.failf "%s: expected Invalid_argument" name
+        in
+        let heap = mk_heap () in
+        expect_invalid "no root at all" (fun () -> Avl.attach heap);
+        let tree = Avl.create heap in
+        Avl.insert tree ~key:1L ~value:2L;
+        let good_root = Pheap.root heap in
+        expect_invalid "root outside the heap region" (fun () ->
+            Pheap.set_root heap (Pheap.heap_base heap + Pheap.heap_size heap);
+            Avl.attach heap);
+        expect_invalid "root inside the heap but unallocated" (fun () ->
+            Pheap.set_root heap (Pheap.heap_base heap + Pheap.heap_size heap - 64);
+            Avl.attach heap);
+        expect_invalid "attach_at a freed block" (fun () ->
+            let freed = Pheap.alloc heap 8 in
+            Pheap.free heap freed;
+            Avl.attach_at heap ~addr:freed);
+        (* A genuine root still attaches after the failed probes. *)
+        Pheap.set_root heap good_root;
+        let tree' = Avl.attach heap in
+        Alcotest.(check (option int64)) "intact" (Some 2L) (Avl.find tree' 1L));
   ]
 
 let avl_props =
