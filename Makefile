@@ -1,8 +1,9 @@
 # Convenience targets. `make bench` gates the microbenchmarks on the
 # tier-1 build + test suite so a perf number is never reported for a
-# broken tree; it writes BENCH_7.json next to this Makefile.
+# broken tree; it writes BENCH_8.json next to this Makefile.
 
-.PHONY: all build test check lint bench shard shard-smoke ci-determinism clean
+.PHONY: all build test check lint bench shard shard-smoke \
+  shard-migrate-smoke ci-determinism clean
 
 all: build
 
@@ -39,6 +40,13 @@ shard: build
 # deterministic 1500-node storm sweep.
 shard-smoke: build
 	sh scripts/shard_smoke.sh
+
+# Live-topology gate: grow + shrink drain losslessly, a single shard's
+# power failure spares the rest (and books the availability dip), the
+# mid-migration crash sweep recovers every injected persistency event,
+# and the combined worst case is job-width deterministic.
+shard-migrate-smoke: build
+	sh scripts/shard_migrate_smoke.sh
 
 # Determinism gate: the checker's incremental engine must produce
 # byte-identical JSON to the full-replay reference, lint must produce

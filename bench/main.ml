@@ -9,7 +9,7 @@
      main.exe --full          paper-scale parameters (slow)
      main.exe --micro         run the Bechamel microbenchmarks (alone when
                               no experiment is named)
-     main.exe --micro --json  …and write the estimates to BENCH_7.json
+     main.exe --micro --json  …and write the estimates to BENCH_8.json
 
    Independent experiments fan out over a domain pool (WSP_JOBS caps the
    worker count; WSP_JOBS=1 forces the sequential path). *)
@@ -83,6 +83,19 @@ let shard_bench_params shards =
 
 let shard_bench_name shards = Printf.sprintf "shard-2k-%dsh" shards
 
+(* The same closed loop with a mid-run grow and a later shrink: the
+   timed body now includes range computation, batched double-ownership
+   handoffs and the victim's drain, so the ratio against the plain
+   4-shard body is the wall cost of live migration. *)
+let shard_migrate_params () =
+  {
+    (shard_bench_params 4) with
+    Wsp_shard.Service.grow_at = Some 10;
+    shrink_at = Some 40;
+  }
+
+let shard_migrate_name = "shard-2k-migrate"
+
 (* Simulated-throughput scaling measured once outside the timed region:
    the shard count divides the per-round makespan, so this is the
    subsystem's headline claim (linear until the coordinator dominates)
@@ -95,6 +108,23 @@ let shard_sim_scaling =
      in
      let one = mops 1 in
      if one > 0.0 then Some (mops 4 /. one) else None)
+
+(* Availability under a single shard's power failure, measured once at
+   the bench scale: the dip the fleet books when one of four shards
+   saves, restores and catches up while the others keep serving. *)
+let shard_crash_availability =
+  lazy
+    (let r =
+       Wsp_shard.Service.run ~jobs:1
+         {
+           (shard_bench_params 4) with
+           Wsp_shard.Service.crash_at = Some 20;
+           crash_shard = Some 2;
+         }
+     in
+     if r.Wsp_shard.Service.lost_acked = 0 then
+       Some r.Wsp_shard.Service.availability
+     else None)
 
 (* Fleet-storm tail quantities, measured once at the default 1000-node
    fleet; the timed twin below tracks the sweep's wall cost per node. *)
@@ -262,6 +292,11 @@ let microbench_tests () =
       (Staged.stage (fun () ->
            ignore (Wsp_shard.Service.run ~jobs:1 (shard_bench_params shards))))
   in
+  let shard_migrate =
+    Test.make ~name:shard_migrate_name
+      (Staged.stage (fun () ->
+           ignore (Wsp_shard.Service.run ~jobs:1 (shard_migrate_params ()))))
+  in
   let storm_fleet =
     Test.make ~name:"storm-1k-fleet"
       (Staged.stage (fun () ->
@@ -285,7 +320,7 @@ let microbench_tests () =
   @ analyze_tests
   @ List.map lint_registry [ 1; 2; 4; 8 ]
   @ List.map shard_service [ 1; 4 ]
-  @ [ storm_fleet ]
+  @ [ shard_migrate; storm_fleet ]
 
 (* Every microbenchmark body runs on the calling domain; the checker ones
    pin ~jobs:1 explicitly. A benchmark that fans out records its own
@@ -373,6 +408,16 @@ let shard_requests_per_sec results =
       Some (float_of_int shard_bench_requests *. 1e9 /. ns)
   | _ -> None
 
+(* Wall overhead of living through a grow + shrink relative to the
+   plain 4-shard body — what online migration costs the coordinator. *)
+let shard_migration_overhead results =
+  match
+    ( List.assoc_opt shard_migrate_name results,
+      List.assoc_opt (shard_bench_name 4) results )
+  with
+  | Some mig, Some plain when plain > 0.0 -> Some (mig /. plain)
+  | _ -> None
+
 (* Nodes swept per wall second by the fleet storm — the sweep is
    O(nodes × slots), so this bounds how big a fleet the CLI verb can
    sweep interactively. *)
@@ -395,7 +440,7 @@ let json_escape s =
     s;
   Buffer.contents b
 
-(* BENCH_7.json: the perf trajectory file future PRs diff against. *)
+(* BENCH_8.json: the perf trajectory file future PRs diff against. *)
 let write_json ~path results =
   let oc = open_out path in
   output_string oc "{\n  \"benchmarks\": [\n";
@@ -425,6 +470,12 @@ let write_json ~path results =
   | None -> ());
   (match Lazy.force shard_sim_scaling with
   | Some s -> Printf.fprintf oc ",\n  \"shard_sim_scaling_4x\": %.2f" s
+  | None -> ());
+  (match shard_migration_overhead results with
+  | Some o -> Printf.fprintf oc ",\n  \"shard_migration_overhead\": %.2f" o
+  | None -> ());
+  (match Lazy.force shard_crash_availability with
+  | Some a -> Printf.fprintf oc ",\n  \"shard_crash_availability\": %.6f" a
   | None -> ());
   (match storm_nodes_per_sec results with
   | Some nps -> Printf.fprintf oc ",\n  \"storm_nodes_per_sec\": %.0f" nps
@@ -473,6 +524,15 @@ let run_microbenches ~json () =
       Printf.printf "  shard simulated-throughput scaling 1->4 shards: %.2fx\n"
         s
   | None -> ());
+  (match shard_migration_overhead results with
+  | Some o ->
+      Printf.printf "  live grow+shrink wall overhead vs plain run: %.2fx\n" o
+  | None -> ());
+  (match Lazy.force shard_crash_availability with
+  | Some a ->
+      Printf.printf
+        "  availability with one of four shards power-failed: %.4f\n" a
+  | None -> ());
   (match storm_nodes_per_sec results with
   | Some nps -> Printf.printf "  fleet storm sweep: %.0f nodes/sec\n" nps
   | None -> ());
@@ -481,7 +541,7 @@ let run_microbenches ~json () =
      "  1000-node storm tail: p50 %.1fs p99 %.1fs, availability %.4f\n" p50 p99
      avail);
   if json then begin
-    let path = "BENCH_7.json" in
+    let path = "BENCH_8.json" in
     write_json ~path results;
     Printf.printf "  wrote %s\n" path
   end

@@ -614,8 +614,54 @@ let shard_cmd =
     Arg.(
       value & opt (some int) None
       & info [ "crash-at" ] ~docv:"ROUND"
-          ~doc:"Power-fail every shard after this 0-based round (WSP save, \
-                crash, restore of all shards), then keep serving.")
+          ~doc:"Power-fail after this 0-based round (WSP save, crash, \
+                restore), then keep serving. Fails the whole service unless \
+                $(b,--crash-shard) narrows it to one shard.")
+  in
+  let crash_shard_arg =
+    Arg.(
+      value & opt (some int) None
+      & info [ "crash-shard" ] ~docv:"K"
+          ~doc:"Power-fail only shard $(docv) at $(b,--crash-at): it saves, \
+                restores and catches up on its backlog while the other \
+                shards keep serving; the report books the availability dip.")
+  in
+  let grow_arg =
+    Arg.(
+      value & opt (some int) None
+      & info [ "grow-at" ] ~docv:"ROUND"
+          ~doc:"Add a shard after this round and migrate the moved keys to \
+                it in bounded batches while serving continues.")
+  in
+  let shrink_arg =
+    Arg.(
+      value & opt (some int) None
+      & info [ "shrink-at" ] ~docv:"ROUND"
+          ~doc:"Remove the highest-numbered shard after this round; it \
+                drains its keys to the survivors, then retires.")
+  in
+  let migrate_batch_arg =
+    Arg.(
+      value & opt int 64
+      & info [ "migrate-batch" ] ~docv:"N"
+          ~doc:"Maximum key handoffs per draining shard per round.")
+  in
+  let sweep_arg =
+    Arg.(
+      value & flag
+      & info [ "sweep" ]
+          ~doc:"Mid-migration crash sweep: run once crash-free, then re-run \
+                with a power failure injected at each sampled migration \
+                persistency event, verifying lossless single-owner recovery \
+                against the golden run. Needs $(b,--grow-at) or \
+                $(b,--shrink-at); exits non-zero on any violation.")
+  in
+  let sweep_points_arg =
+    Arg.(
+      value & opt int 64
+      & info [ "sweep-points" ] ~docv:"N"
+          ~doc:"Maximum injected crash points in $(b,--sweep) (evenly \
+                sampled over the migration's persistency events).")
   in
   let lint_arg =
     Arg.(
@@ -640,7 +686,8 @@ let shard_cmd =
                 $(b,--jobs) widths.")
   in
   let run shards clients requests keyspace theta (lookups, inserts, deletes)
-      queue_cap config heap_mib crash_at lint jobs json seed verbose metrics
+      queue_cap config heap_mib crash_at crash_shard grow_at shrink_at
+      migrate_batch sweep sweep_points lint jobs json seed verbose metrics
       trace =
     setup_logs verbose;
     let jobs = if jobs > 0 then Some jobs else None in
@@ -659,32 +706,53 @@ let shard_cmd =
         shard_heap = Units.Size.mib heap_mib;
         seed;
         crash_at;
+        crash_shard;
+        grow_at;
+        shrink_at;
+        migrate_batch;
         lint;
       }
     in
-    let wall0 = Unix.gettimeofday () in
-    let report = Service.run ?jobs params in
-    let wall = Unix.gettimeofday () -. wall0 in
-    Fmt.pr "%a@." Service.pp_report report;
-    Fmt.pr "wall-clock: %.2f s (%.0f kreq/s actual)@." wall
-      (if wall > 0.0 then float_of_int report.Service.served /. wall /. 1e3
-       else 0.0);
-    (match json with
-    | Some "-" -> print_string (Service.to_json report)
-    | Some path -> write_file path (Service.to_json report)
-    | None -> ());
-    if report.Service.lost_acked > 0 then 1 else 0
+    if sweep then begin
+      let wall0 = Unix.gettimeofday () in
+      let s = Service.crash_sweep ?jobs ~points:sweep_points params in
+      let wall = Unix.gettimeofday () -. wall0 in
+      Fmt.pr "%a@." Service.pp_sweep s;
+      Fmt.pr "wall-clock: %.2f s@." wall;
+      (match json with
+      | Some "-" -> print_string (Service.sweep_to_json s)
+      | Some path -> write_file path (Service.sweep_to_json s)
+      | None -> ());
+      if Service.sweep_violations s <> [] then 1 else 0
+    end
+    else begin
+      let wall0 = Unix.gettimeofday () in
+      let report = Service.run ?jobs params in
+      let wall = Unix.gettimeofday () -. wall0 in
+      Fmt.pr "%a@." Service.pp_report report;
+      Fmt.pr "wall-clock: %.2f s (%.0f kreq/s actual)@." wall
+        (if wall > 0.0 then float_of_int report.Service.served /. wall /. 1e3
+         else 0.0);
+      (match json with
+      | Some "-" -> print_string (Service.to_json report)
+      | Some path -> write_file path (Service.to_json report)
+      | None -> ());
+      if report.Service.lost_acked > 0 || report.Service.misplaced_keys > 0
+      then 1
+      else 0
+    end
   in
   Cmd.v
     (Cmd.info "shard"
        ~doc:
-         "Serve a sharded directory under closed-loop load, optionally \
-          through a mid-run power failure")
+         "Serve a sharded directory under closed-loop load, through live \
+          topology changes and whole-service or single-shard power failures")
     Term.(
       const run $ shards_arg $ clients_arg $ requests_arg $ keyspace_arg
       $ theta_arg $ mix_arg $ queue_cap_arg $ config_arg $ heap_arg
-      $ crash_arg $ lint_arg $ jobs_arg $ json_arg $ seed_arg $ verbose_arg
-      $ metrics_arg $ trace_arg)
+      $ crash_arg $ crash_shard_arg $ grow_arg $ shrink_arg
+      $ migrate_batch_arg $ sweep_arg $ sweep_points_arg $ lint_arg $ jobs_arg
+      $ json_arg $ seed_arg $ verbose_arg $ metrics_arg $ trace_arg)
 
 (* --- storm ------------------------------------------------------------ *)
 
@@ -723,6 +791,14 @@ let storm_cmd =
       & info [ "horizon" ] ~docv:"SECONDS"
           ~doc:"Availability observation window of the fleet storm.")
   in
+  let failures_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "failures" ] ~docv:"N"
+          ~doc:"How many nodes fail in the fleet storm: 0 for the whole \
+                fleet (the classic PSU wave), $(docv) < nodes for a partial \
+                storm against a fleet that keeps serving.")
+  in
   let json_arg =
     Arg.(
       value
@@ -739,6 +815,8 @@ let storm_cmd =
       \  \"stagger_ps\": %d,\n\
       \  \"slots\": %d,\n\
       \  \"horizon_ps\": %d,\n\
+      \  \"failures\": %d,\n\
+      \  \"failed_in_window\": %d,\n\
       \  \"seed\": %d,\n\
       \  \"restore_latency_ps\": { \"p50\": %d, \"p99\": %d, \"max\": %d, \
        \"mean\": %d },\n\
@@ -746,12 +824,12 @@ let storm_cmd =
       \  \"last_online_ps\": %d\n\
        }"
       r.fleet.nodes (Time.to_ps r.fleet.stagger) r.fleet.restore_concurrency
-      (Time.to_ps r.fleet.horizon) r.fleet.seed (Time.to_ps r.p50)
-      (Time.to_ps r.p99) (Time.to_ps r.worst) (Time.to_ps r.mean)
-      r.availability (Time.to_ps r.last_online)
+      (Time.to_ps r.fleet.horizon) r.fleet.failures r.failed_in_window
+      r.fleet.seed (Time.to_ps r.p50) (Time.to_ps r.p99) (Time.to_ps r.worst)
+      (Time.to_ps r.mean) r.availability (Time.to_ps r.last_online)
   in
-  let run servers state_gib outage nodes stagger slots horizon json seed
-      metrics trace =
+  let run servers state_gib outage nodes stagger slots horizon failures json
+      seed metrics trace =
     with_obs metrics trace @@ fun () ->
     let open Wsp_cluster.Recovery_storm in
     let params =
@@ -770,6 +848,7 @@ let storm_cmd =
           stagger = Time.s stagger;
           restore_concurrency = slots;
           horizon = Time.s horizon;
+          failures;
           seed;
         }
       in
@@ -791,8 +870,8 @@ let storm_cmd =
        ~doc:"Model a correlated recovery storm (rack- or fleet-scale)")
     Term.(
       const run $ servers_arg $ state_arg $ outage_arg $ nodes_arg
-      $ stagger_arg $ slots_arg $ horizon_arg $ json_arg $ seed_arg
-      $ metrics_arg $ trace_arg)
+      $ stagger_arg $ slots_arg $ horizon_arg $ failures_arg $ json_arg
+      $ seed_arg $ metrics_arg $ trace_arg)
 
 let () =
   let info =

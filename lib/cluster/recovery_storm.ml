@@ -97,6 +97,11 @@ type fleet_params = {
          seconds. Zero = a perfectly correlated failure. *)
   restore_concurrency : int;  (* simultaneous back-end catch-up slots *)
   horizon : Time.t;  (* observation window for availability *)
+  failures : int;
+      (* How many nodes fail: 0 (or >= nodes) = the whole fleet, the
+         classic PSU wave; k < nodes = k nodes drawn at random fail
+         while the rest keep serving — single-node failures against a
+         live fleet, the WSP regime. *)
   seed : int;
 }
 
@@ -107,13 +112,15 @@ let default_fleet =
     stagger = Time.s 5.0;
     restore_concurrency = 32;
     horizon = Time.s 600.0;
+    failures = 0;
     seed = 1;
   }
 
 type fleet_result = {
   fleet : fleet_params;
   latencies : Time.t array;
-      (* Per-node failure-to-back-in-service latency, node order. *)
+      (* Per-node failure-to-back-in-service latency, node order;
+         [Time.zero] for nodes that never failed. *)
   p50 : Time.t;
   p99 : Time.t;
   worst : Time.t;
@@ -121,6 +128,10 @@ type fleet_result = {
   availability : float;
       (* 1 - Σ node downtime / (nodes × horizon), downtime clipped to
          the horizon. *)
+  failed_in_window : int;
+      (* Nodes whose failure landed inside the horizon; with stagger
+         validated <= horizon this is every drawn failure, and the
+         denominator above is honest. *)
   last_online : Time.t;  (* when the final node is back, from t = 0 *)
 }
 
@@ -131,15 +142,40 @@ let storm f =
     invalid_arg "Recovery_storm.storm: restore_concurrency must be positive";
   if Time.to_s f.horizon <= 0.0 then
     invalid_arg "Recovery_storm.storm: horizon must be positive";
+  (* A stagger wider than the horizon would let nodes fail after the
+     observation window closes, silently skewing availability toward
+     1.0 — refuse it rather than publish a flattering number. *)
+  if Time.to_s f.stagger < 0.0 then
+    invalid_arg "Recovery_storm.storm: negative stagger";
+  if Time.to_s f.stagger > Time.to_s f.horizon then
+    invalid_arg "Recovery_storm.storm: stagger exceeds horizon";
+  if f.failures < 0 || f.failures > f.nodes then
+    invalid_arg "Recovery_storm.storm: failures out of range";
   let reg = Wsp_obs.Metrics.ambient () in
   Wsp_obs.Metrics.Counter.incr
     (Wsp_obs.Metrics.counter reg "cluster.storm.fleet_runs");
   let rng = Rng.create ~seed:f.seed in
-  let fail_at =
-    Array.init f.nodes (fun _ ->
-        if Time.to_s f.stagger <= 0.0 then 0.0
-        else Rng.float rng (Time.to_s f.stagger))
+  (* Which nodes fail. The whole-fleet path draws nothing extra, so a
+     given seed reproduces the exact pre-[failures] schedules. *)
+  let failing =
+    if f.failures = 0 || f.failures = f.nodes then
+      Array.init f.nodes (fun i -> i)
+    else begin
+      let idx = Array.init f.nodes (fun i -> i) in
+      Rng.shuffle rng idx;
+      let chosen = Array.sub idx 0 f.failures in
+      Array.sort Stdlib.compare chosen;
+      chosen
+    end
   in
+  let nfail = Array.length failing in
+  let fail_at = Array.make f.nodes Float.infinity in
+  Array.iter
+    (fun i ->
+      fail_at.(i) <-
+        (if Time.to_s f.stagger <= 0.0 then 0.0
+         else Rng.float rng (Time.to_s f.stagger)))
+    failing;
   (* Each slot is one full-rate restore stream: [backend_bandwidth] is
      per-stream, and [restore_concurrency] is how many such streams the
      back end sustains at once. Provisioning fewer slots congests the
@@ -151,7 +187,7 @@ let storm f =
   let local = Time.to_s p.nvdimm_restore in
   (* FIFO in failure order; ties broken by node index so the schedule
      is deterministic for a given seed. *)
-  let order = Array.init f.nodes (fun i -> i) in
+  let order = Array.copy failing in
   Array.sort
     (fun a b ->
       let c = Float.compare fail_at.(a) fail_at.(b) in
@@ -174,7 +210,11 @@ let storm f =
       latencies.(i) <- Time.s (finish -. fail_at.(i));
       if finish > !last then last := finish)
     order;
-  let samples = Array.to_list (Array.map Time.to_s latencies) in
+  (* Tail statistics are over the nodes that failed; a node that never
+     went down has no restore latency to report. *)
+  let samples =
+    Array.to_list (Array.map (fun i -> Time.to_s latencies.(i)) failing)
+  in
   let horizon = Time.to_s f.horizon in
   let downtime =
     Array.fold_left
@@ -187,6 +227,11 @@ let storm f =
       0.0 order
   in
   let availability = 1.0 -. (downtime /. (float_of_int f.nodes *. horizon)) in
+  let failed_in_window =
+    Array.fold_left
+      (fun acc i -> if fail_at.(i) < horizon then acc + 1 else acc)
+      0 failing
+  in
   Wsp_obs.Metrics.Gauge.set
     (Wsp_obs.Metrics.gauge reg "cluster.storm.fleet_availability")
     availability;
@@ -196,19 +241,19 @@ let storm f =
     p50 = Time.s (Stats.percentile samples 50.0);
     p99 = Time.s (Stats.percentile samples 99.0);
     worst = Time.s (Stats.percentile samples 100.0);
-    mean =
-      Time.s (List.fold_left ( +. ) 0.0 samples /. float_of_int f.nodes);
+    mean = Time.s (List.fold_left ( +. ) 0.0 samples /. float_of_int nfail);
     availability;
+    failed_in_window;
     last_online = Time.s !last;
   }
 
 let pp_fleet_result ppf r =
   Fmt.pf ppf
-    "%d nodes, %a stagger, %d restore slots: restore p50=%a p99=%a max=%a \
-     mean=%a; availability %.4f over %a; all online at %a"
-    r.fleet.nodes Time.pp r.fleet.stagger r.fleet.restore_concurrency Time.pp
-    r.p50 Time.pp r.p99 Time.pp r.worst Time.pp r.mean r.availability Time.pp
-    r.fleet.horizon Time.pp r.last_online
+    "%d nodes (%d failed in-window), %a stagger, %d restore slots: restore \
+     p50=%a p99=%a max=%a mean=%a; availability %.4f over %a; all online at %a"
+    r.fleet.nodes r.failed_in_window Time.pp r.fleet.stagger
+    r.fleet.restore_concurrency Time.pp r.p50 Time.pp r.p99 Time.pp r.worst
+    Time.pp r.mean r.availability Time.pp r.fleet.horizon Time.pp r.last_online
 
 let pp_result ppf r =
   Fmt.pf ppf

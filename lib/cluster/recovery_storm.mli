@@ -76,23 +76,35 @@ type fleet_params = {
           knob: fewer slots congest the restore queue, more add real
           capacity. *)
   horizon : Time.t;  (** Availability observation window. *)
+  failures : int;
+      (** How many nodes fail. [0] (or [nodes]) is the classic
+          whole-fleet PSU wave; [k < nodes] draws k random nodes to
+          fail while the rest of the fleet keeps serving — the
+          single-node-failure regime WSP makes cheap. *)
   seed : int;  (** Stagger schedule seed — runs are reproducible. *)
 }
 
 val default_fleet : fleet_params
-(** 1000 nodes, 5 s stagger, 32 restore slots, a 10-minute horizon. *)
+(** 1000 nodes, 5 s stagger, 32 restore slots, a 10-minute horizon,
+    whole-fleet failure. *)
 
 type fleet_result = {
   fleet : fleet_params;
   latencies : Time.t array;
-      (** Failure-to-back-in-service latency per node, in node order. *)
-  p50 : Time.t;
+      (** Failure-to-back-in-service latency per node, in node order;
+          {!Wsp_sim.Time.zero} for nodes that never failed. *)
+  p50 : Time.t;  (** Percentiles are over the failed nodes only. *)
   p99 : Time.t;
   worst : Time.t;
   mean : Time.t;
   availability : float;
       (** [1 - Σ downtime / (nodes × horizon)], downtime clipped to the
-          horizon. *)
+          horizon. The denominator counts the whole fleet, so partial
+          storms score higher — the point of the comparison. *)
+  failed_in_window : int;
+      (** Nodes whose failure landed inside the horizon. Equal to the
+          drawn failure count, since [stagger > horizon] is rejected
+          rather than allowed to hide failures past the window. *)
   last_online : Time.t;
       (** When the final node is back in service, measured from the
           start of the outage. *)
@@ -100,6 +112,9 @@ type fleet_result = {
 
 val storm : fleet_params -> fleet_result
 (** Deterministic for a given [seed]. Raises [Invalid_argument] on a
-    non-positive node count, concurrency or horizon. *)
+    non-positive node count, concurrency or horizon, a [failures]
+    count outside [\[0, nodes\]], or a stagger window that is negative
+    or wider than the horizon (failures landing after the horizon
+    would silently skew availability toward 1.0). *)
 
 val pp_fleet_result : Format.formatter -> fleet_result -> unit

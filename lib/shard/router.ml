@@ -1,5 +1,6 @@
 (* A splitmix64 finalizer: full 64-bit avalanche, so consecutive keys
-   and consecutive (shard, vnode) labels land uniformly on the ring. *)
+   and consecutive (label, vnode) ring points land uniformly on the
+   ring. *)
 let mix64 z =
   let open Int64 in
   let z = mul (logxor z (shift_right_logical z 30)) 0xbf58476d1ce4e5b9L in
@@ -7,42 +8,57 @@ let mix64 z =
   logxor z (shift_right_logical z 31)
 
 type t = {
-  shards : int;
+  labels : int array;  (* stable ring label per shard index *)
+  vnodes : int;
   positions : int64 array;  (* ring points, ascending in unsigned order *)
   owners : int array;  (* positions.(i) belongs to shard owners.(i) *)
+  next_label : int;  (* label the next added shard will get *)
 }
+
+type range = { lo : int64; hi : int64; src : int; dst : int }
+
+(* Ring points are a pure function of the shard's *label*, never its
+   index, so adding or removing a shard leaves every surviving shard's
+   points exactly where they were — the invariant all the movement
+   bounds rest on. Collisions between different shards' points are
+   broken by label for the same reason: labels are stable across
+   topology changes, indices are not (remove_shard renumbers). *)
+let build ~vnodes ~labels ~next_label =
+  let shards = Array.length labels in
+  let points =
+    Array.init (shards * vnodes) (fun i ->
+        let shard = i / vnodes and replica = i mod vnodes in
+        let point =
+          Int64.add
+            (Int64.mul (Int64.of_int labels.(shard)) 0x9E3779B97F4A7C15L)
+            (Int64.of_int replica)
+        in
+        (mix64 point, shard))
+  in
+  Array.sort
+    (fun (a, sa) (b, sb) ->
+      let c = Int64.unsigned_compare a b in
+      if c <> 0 then c else Stdlib.compare labels.(sa) labels.(sb))
+    points;
+  {
+    labels;
+    vnodes;
+    positions = Array.map fst points;
+    owners = Array.map snd points;
+    next_label;
+  }
 
 let create ?(vnodes = 64) ~shards () =
   if shards <= 0 then invalid_arg "Router.create: shards must be positive";
   if vnodes <= 0 then invalid_arg "Router.create: vnodes must be positive";
-  let points =
-    Array.init (shards * vnodes) (fun i ->
-        let shard = i / vnodes and replica = i mod vnodes in
-        let label =
-          Int64.add
-            (Int64.mul (Int64.of_int (shard + 1)) 0x9E3779B97F4A7C15L)
-            (Int64.of_int replica)
-        in
-        (mix64 label, shard))
-  in
-  (* Hash collisions between different shards' points are broken by
-     shard id, keeping the ring independent of construction order. *)
-  Array.sort
-    (fun (a, sa) (b, sb) ->
-      let c = Int64.unsigned_compare a b in
-      if c <> 0 then c else Stdlib.compare sa sb)
-    points;
-  {
-    shards;
-    positions = Array.map fst points;
-    owners = Array.map snd points;
-  }
+  build ~vnodes ~labels:(Array.init shards (fun s -> s + 1))
+    ~next_label:(shards + 1)
 
-let shards t = t.shards
+let shards t = Array.length t.labels
+let label t i = t.labels.(i)
 
-let shard_of_key t key =
-  let h = mix64 key in
-  (* First ring point at or clockwise of [h], wrapping past the top. *)
+(* Index of the first ring point at or clockwise of [h], wrapping. *)
+let point_at t h =
   let n = Array.length t.positions in
   let lo = ref 0 and hi = ref n in
   while !lo < !hi do
@@ -50,4 +66,74 @@ let shard_of_key t key =
     if Int64.unsigned_compare t.positions.(mid) h < 0 then lo := mid + 1
     else hi := mid
   done;
-  t.owners.(if !lo = n then 0 else !lo)
+  if !lo = n then 0 else !lo
+
+let owner_at t h = t.owners.(point_at t h)
+let shard_of_key t key = owner_at t (mix64 key)
+
+(* Keys hash into (lo, hi]; an empty interval has lo = hi (a shadowed
+   point, possible only under a 64-bit hash collision). *)
+let ulen lo hi =
+  let d = Int64.to_float (Int64.sub hi lo) in
+  if d < 0.0 then d +. 0x1p64 else d
+
+let moved_fraction ranges =
+  List.fold_left (fun acc r -> acc +. ulen r.lo r.hi) 0.0 ranges /. 0x1p64
+
+let pred_position t i =
+  let n = Array.length t.positions in
+  t.positions.((i + n - 1) mod n)
+
+let add_shard t =
+  let n = shards t in
+  let t' =
+    build ~vnodes:t.vnodes
+      ~labels:(Array.append t.labels [| t.next_label |])
+      ~next_label:(t.next_label + 1)
+  in
+  (* Each of the new shard's points captures the arc back to its
+     predecessor in the *new* ring; those keys come from whoever owned
+     the arc in the old ring. Surviving points never move, so the union
+     of these arcs is exactly the moved keyspace: ~1/(N+1) of it. *)
+  let ranges = ref [] in
+  Array.iteri
+    (fun i owner ->
+      if owner = n then
+        ranges :=
+          {
+            lo = pred_position t' i;
+            hi = t'.positions.(i);
+            src = owner_at t t'.positions.(i);
+            dst = n;
+          }
+          :: !ranges)
+    t'.owners;
+  (t', List.rev !ranges)
+
+let remove_shard t victim =
+  let n = shards t in
+  if n <= 1 then invalid_arg "Router.remove_shard: cannot empty the ring";
+  if victim < 0 || victim >= n then
+    invalid_arg "Router.remove_shard: no such shard";
+  let labels' =
+    Array.init (n - 1) (fun i -> t.labels.(if i < victim then i else i + 1))
+  in
+  let t' = build ~vnodes:t.vnodes ~labels:labels' ~next_label:t.next_label in
+  (* Symmetric to growth: each removed point's arc (predecessor in the
+     *old* ring, point] flows to the first surviving point clockwise —
+     the new ring's owner at that position. [dst] is an index in the
+     new (renumbered) ring; [src] is the victim's old index. *)
+  let ranges = ref [] in
+  Array.iteri
+    (fun i owner ->
+      if owner = victim then
+        ranges :=
+          {
+            lo = pred_position t i;
+            hi = t.positions.(i);
+            src = victim;
+            dst = owner_at t' t.positions.(i);
+          }
+          :: !ranges)
+    t.owners;
+  (t', List.rev !ranges)

@@ -1,18 +1,30 @@
-(** Consistent-hash key→shard routing.
+(** Consistent-hash key→shard routing with online topology changes.
 
     The directory service fronts N independent shards; the router decides
     which shard owns a key. Placement is a classic consistent-hash ring:
     each shard projects [vnodes] virtual points onto the 64-bit ring, and
     a key belongs to the first point clockwise of its hash. Virtual
-    points smooth the load split (±a few percent at 64 vnodes), and
-    growing the fleet by one shard remaps only ~1/(N+1) of the keyspace
-    instead of reshuffling everything — the property that makes shard
-    counts an operational knob rather than a data migration.
+    points smooth the load split (±a few percent at 64 vnodes).
+
+    Ring points are derived from a per-shard {e label} that is stable for
+    the shard's whole life, never from its index: {!add_shard} and
+    {!remove_shard} therefore leave every surviving shard's points
+    exactly where they were, so growing an N-shard ring remaps only
+    ~1/(N+1) of the keyspace and shrinking remaps only the removed
+    shard's ~1/N share — the property that makes shard counts an
+    operational knob rather than a data reshuffle. Hash collisions
+    between points are broken by label too (not by index), so ownership
+    of collided points cannot depend on index reuse after renumbering.
 
     Routing is pure and deterministic: the same key maps to the same
     shard on every call, every process, every [--jobs] width. *)
 
 type t
+
+type range = { lo : int64; hi : int64; src : int; dst : int }
+(** A moved arc of the hash ring: keys whose hash falls in [(lo, hi]]
+    (unsigned, wrapping past the top; empty when [lo = hi]) change owner
+    from shard [src] to shard [dst]. *)
 
 val create : ?vnodes:int -> shards:int -> unit -> t
 (** A ring over [shards] shards with [vnodes] virtual points each
@@ -20,8 +32,29 @@ val create : ?vnodes:int -> shards:int -> unit -> t
 
 val shards : t -> int
 
+val label : t -> int -> int
+(** The stable ring label of a shard index — unchanged for the shard's
+    lifetime across any sequence of topology changes. *)
+
 val shard_of_key : t -> int64 -> int
 (** The owning shard of a key, in [\[0, shards)]. O(log(shards×vnodes)). *)
+
+val add_shard : t -> t * range list
+(** Grows the ring by one shard (index [shards t], a fresh label) and
+    returns the moved arcs, all with [dst] = the new shard. Surviving
+    shards' points do not move, so {!moved_fraction} of the result is
+    ~1/(N+1). *)
+
+val remove_shard : t -> int -> t * range list
+(** Shrinks the ring by removing the given shard index; shards above it
+    renumber down by one (labels are preserved, so their ring points do
+    not move). Returns the moved arcs: [src] is the victim's old index,
+    [dst] the inheriting shard's index {e in the new ring}. Raises
+    [Invalid_argument] on an unknown index or a 1-shard ring. *)
+
+val moved_fraction : range list -> float
+(** Fraction of the 64-bit hash space covered by the arcs — the
+    movement-bound estimate the grow/shrink tests pin. *)
 
 val mix64 : int64 -> int64
 (** The ring's hash — a splitmix64 finalizer. Exposed because the

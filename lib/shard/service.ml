@@ -19,6 +19,11 @@ type params = {
   log_size : Units.Size.t;
   seed : int;
   crash_at : int option;
+  crash_shard : int option;
+  grow_at : int option;
+  shrink_at : int option;
+  migrate_batch : int;
+  crash_mig_event : int option;
   lint : bool;
   record_lookups : bool;
 }
@@ -38,6 +43,11 @@ let default =
     log_size = Units.Size.kib 256;
     seed = 42;
     crash_at = None;
+    crash_shard = None;
+    grow_at = None;
+    shrink_at = None;
+    migrate_batch = 64;
+    crash_mig_event = None;
     lint = false;
     record_lookups = false;
   }
@@ -53,15 +63,31 @@ type restore = {
   lost_acked : int;
 }
 
+type topology_change = {
+  change : [ `Grow | `Shrink ];
+  at_round : int;
+  from_shards : int;
+  to_shards : int;
+  moved_fraction : float;
+  mutable moved_keys : int;
+  mutable migration_rounds : int;
+}
+
 type shard_stats = {
   shard : int;
   served : int;
   shed : int;
+  crash_shed : int;
   lookups : int;
   hits : int;
   inserts : int;
   deletes : int;
   final_keys : int;
+  migrated_in : int;
+  migrated_out : int;
+  retired : bool;
+  downtime : Time.t;
+  down_rounds : int;
   busy : Time.t;
   p50 : Time.t;
   p99 : Time.t;
@@ -83,14 +109,22 @@ type report = {
   issued : int;
   served : int;
   shed : int;
+  crash_shed : int;
   rounds : int;
   makespan : Time.t;
   throughput_mops : float;
+  availability : float;
   p50 : Time.t;
   p99 : Time.t;
   p999 : Time.t;
   lat_max : Time.t;
   lost_acked : int;
+  keys_moved : int;
+  migration_time : Time.t;
+  mig_events : int;
+  dup_resolved : int;
+  misplaced_keys : int;
+  topology : topology_change list;
   restores : restore list;
   per_shard : shard_stats list;
   checksum : int64;
@@ -112,16 +146,41 @@ type bus_counts = {
   mutable frees : int;
 }
 
+(* Crash injection into the migration engine. Migration steps run on
+   the coordinating domain only, so the counter is deterministic: the
+   k-th migration persistency event is the same event at every [--jobs]
+   width. [counting] is false while worker domains serve, so client
+   traffic never advances the counter. *)
+exception Crash_mid_migration
+
+type mig_ctl = {
+  mutable counting : bool;
+  mutable events : int;  (* migration persistency events seen so far *)
+  mutable arm : int option;  (* crash at this event index, if armed *)
+  freeze : bool;  (* transactional config: fail at the exact event *)
+  mutable tripped : bool;
+}
+
 type shard = {
-  id : int;
+  id : int;  (* stable id = ring label - 1; survives renumbering *)
   nvram : Nvram.t;
   mutable heap : Pheap.t;
   mutable tree : Avl.t;
   model : (int64, int64) Hashtbl.t;  (* acknowledged writes, volatile *)
   batch : (int * Client.op) array;  (* (issue serial, op); admission queue *)
   mutable batch_len : int;
+  backlog : (int * Client.op) array;  (* arrivals while powered off *)
+  mutable backlog_len : int;
+  mutable is_down : bool;
+  mutable down_until : Time.t;  (* makespan at which restore completes *)
+  mutable downtime : Time.t;
+  mutable down_rounds : int;
+  mutable retired : bool;  (* shrink victim, fully drained *)
   mutable served : int;
   mutable shed : int;
+  mutable crash_shed : int;  (* lost to a full backlog or end-of-run *)
+  mutable migrated_in : int;
+  mutable migrated_out : int;
   mutable lookups : int;
   mutable hits : int;
   mutable inserts : int;
@@ -133,6 +192,37 @@ type shard = {
   mutable lint_errors : int;
   mutable lint_advisories : int;
   mutable lookup_log : (int * int64 option) list;  (* newest first *)
+}
+
+(* One draining source of one topology change. The queue snapshots the
+   moved keys at change time; [pending] routing keeps later writes for
+   those keys arriving at the source until each key's handoff lands. *)
+type migration = {
+  src : shard;
+  topo : topology_change;
+  mutable queue : int64 array;
+  mutable pos : int;
+}
+
+type state = {
+  p : params;
+  ctl : mig_ctl;
+  mutable router : Router.t;
+  mutable ring : shard array;  (* router index -> shard *)
+  mutable roster : shard list;  (* every shard ever, in stable-id order *)
+  mutable next_id : int;
+  pending : (int64, shard) Hashtbl.t;  (* key -> shard still holding it *)
+  mutable migrations : migration list;
+  mutable topology : topology_change list;
+  mutable makespan : Time.t;
+  mutable migration_time : Time.t;
+  mutable shard_time_ps : int;  (* sum of round time x active fleet *)
+  mutable downtime_ps : int;  (* sum of round time over down shards *)
+  mutable restores : restore list;
+  mutable issued : int;
+  mutable shed : int;
+  mutable crash_shed : int;
+  mutable dup_resolved : int;
 }
 
 let watch_bus heap counts =
@@ -154,6 +244,34 @@ let watch_bus heap counts =
          | Event.Heap (Event.Free _) -> counts.frees <- counts.frees + 1
          | Event.Heap (Event.Header_write _) -> ()))
 
+(* The injection subscriber. Under a transactional config the machine
+   freezes at the armed event — the exception keeps firing on every
+   later event, so not even rollback writes can run past the failure
+   (log recovery undoes the in-flight transaction instead, exactly like
+   [Checker.run_to_crash]). Under plain flush-on-fail the trip is
+   realised at the next handoff checkpoint: WSP saves all state at the
+   failure and resumes transparently, so the in-flight operation
+   completing and then crashing is observationally the same machine. *)
+let watch_mig (ctl : mig_ctl) heap =
+  ignore
+    (Bus.subscribe (Pheap.bus heap) (fun _ ->
+         if ctl.counting then begin
+           let e = ctl.events in
+           ctl.events <- e + 1;
+           match ctl.arm with
+           | Some target when e >= target ->
+               ctl.tripped <- true;
+               if ctl.freeze then raise Crash_mid_migration
+           | _ -> ()
+         end))
+
+let mig_checkpoint (ctl : mig_ctl) =
+  if ctl.tripped then begin
+    ctl.tripped <- false;
+    ctl.arm <- None;
+    raise Crash_mid_migration
+  end
+
 let attach_lint config heap =
   let machine = Rules.default_machine ~config () in
   let nvram = Pheap.nvram heap in
@@ -166,7 +284,7 @@ let attach_lint config heap =
   let sub = Bus.subscribe (Pheap.bus heap) (Rules.stream_step stream) in
   (stream, sub)
 
-let make_shard p id =
+let make_shard p ctl id =
   let len = Units.Size.to_bytes p.shard_heap in
   let nvram = Nvram.create ~size:p.shard_heap () in
   let heap =
@@ -186,6 +304,7 @@ let make_shard p id =
     }
   in
   watch_bus heap counts;
+  watch_mig ctl heap;
   let lint = if p.lint then Some (attach_lint p.config heap) else None in
   {
     id;
@@ -195,8 +314,18 @@ let make_shard p id =
     model = Hashtbl.create 1024;
     batch = Array.make p.queue_cap (0, Client.Lookup 0L);
     batch_len = 0;
+    backlog = Array.make p.queue_cap (0, Client.Lookup 0L);
+    backlog_len = 0;
+    is_down = false;
+    down_until = Time.zero;
+    downtime = Time.zero;
+    down_rounds = 0;
+    retired = false;
     served = 0;
     shed = 0;
+    crash_shed = 0;
+    migrated_in = 0;
+    migrated_out = 0;
     lookups = 0;
     hits = 0;
     inserts = 0;
@@ -255,51 +384,53 @@ let serve_shard p sh =
   sh.batch_len <- 0;
   Time.sub (Pheap.clock sh.heap) t0
 
-(* The paper's Figure-4 path, per shard: price the save against the
+(* The paper's Figure-4 path for one shard: price the save against the
    residual-energy window at the shard's dirty footprint, flush on
    fail, power off, re-attach the heap over the surviving NVRAM and
-   re-adopt the tree through the validating [Avl.attach]. The audit
-   compares the recovered tree against the volatile model of
-   acknowledged writes in both directions. *)
-let crash_restore ?jobs p shard_list =
-  Parallel.map ?jobs ~chunk:1
-    (fun sh ->
-      let dirty = Nvram.dirty_bytes sh.nvram in
-      let budget = System.save_budget ~dirty_bytes:dirty () in
-      let f0 = Pheap.clock sh.heap in
-      Pheap.wsp_flush sh.heap;
-      let flush_cost = Time.sub (Pheap.clock sh.heap) f0 in
-      Pheap.crash sh.heap;
-      let len = Units.Size.to_bytes p.shard_heap in
-      let heap =
-        Pheap.attach_in ~config:p.config ~log_size:p.log_size ~nvram:sh.nvram
-          ~base:0 ~len ()
-      in
-      let tree = Avl.attach heap in
-      let restore_cost = Pheap.clock heap in
-      let lost = ref 0 in
-      Hashtbl.iter
-        (fun k v ->
-          match Avl.find tree k with
-          | Some v' when Int64.equal v v' -> ()
-          | _ -> incr lost)
-        sh.model;
-      List.iter
-        (fun (k, _) -> if not (Hashtbl.mem sh.model k) then incr lost)
-        (Avl.to_list tree);
-      sh.heap <- heap;
-      sh.tree <- tree;
-      {
-        shard = sh.id;
-        dirty_bytes = dirty;
-        save_fits = budget.System.fits;
-        save_total = budget.System.total;
-        window = budget.System.window;
-        flush_cost;
-        restore_cost;
-        lost_acked = !lost;
-      })
-    shard_list
+   re-adopt the tree through the validating [Avl.attach]. The
+   acked-write audit is separate ([audit_shard]) because after a crash
+   mid-migration the directory must first resolve double-owned keys. *)
+let save_crash_attach p sh =
+  let dirty = Nvram.dirty_bytes sh.nvram in
+  let budget = System.save_budget ~dirty_bytes:dirty () in
+  let f0 = Pheap.clock sh.heap in
+  Pheap.wsp_flush sh.heap;
+  let flush_cost = Time.sub (Pheap.clock sh.heap) f0 in
+  Pheap.crash sh.heap;
+  let len = Units.Size.to_bytes p.shard_heap in
+  let heap =
+    Pheap.attach_in ~config:p.config ~log_size:p.log_size ~nvram:sh.nvram
+      ~base:0 ~len ()
+  in
+  let tree = Avl.attach heap in
+  let restore_cost = Pheap.clock heap in
+  sh.heap <- heap;
+  sh.tree <- tree;
+  {
+    shard = sh.id;
+    dirty_bytes = dirty;
+    save_fits = budget.System.fits;
+    save_total = budget.System.total;
+    window = budget.System.window;
+    flush_cost;
+    restore_cost;
+    lost_acked = 0;
+  }
+
+(* Compares the recovered tree against the volatile model of
+   acknowledged writes, in both directions. Zero under WSP. *)
+let audit_shard sh =
+  let lost = ref 0 in
+  Hashtbl.iter
+    (fun k v ->
+      match Avl.find sh.tree k with
+      | Some v' when Int64.equal v v' -> ()
+      | _ -> incr lost)
+    sh.model;
+  List.iter
+    (fun (k, _) -> if not (Hashtbl.mem sh.model k) then incr lost)
+    (Avl.to_list sh.tree);
+  !lost
 
 let finish_lint sh =
   match sh.lint with
@@ -314,6 +445,319 @@ let finish_lint sh =
           | Rules.Advisory -> sh.lint_advisories <- sh.lint_advisories + 1)
         result.Rules.diagnostics;
       sh.lint <- None
+
+(* ---- routing and admission --------------------------------------- *)
+
+(* The double-ownership window: a key in [pending] still lives at its
+   pre-change shard, so requests chase the data, not the ring. Once its
+   handoff completes the entry disappears and the ring answers. *)
+let route st key =
+  match Hashtbl.find_opt st.pending key with
+  | Some sh -> sh
+  | None -> st.ring.(Router.shard_of_key st.router key)
+
+let admit st sh serial op =
+  if sh.is_down then begin
+    if sh.backlog_len < Array.length sh.backlog then begin
+      sh.backlog.(sh.backlog_len) <- (serial, op);
+      sh.backlog_len <- sh.backlog_len + 1
+    end
+    else begin
+      sh.crash_shed <- sh.crash_shed + 1;
+      st.crash_shed <- st.crash_shed + 1
+    end
+  end
+  else if sh.batch_len < Array.length sh.batch then begin
+    sh.batch.(sh.batch_len) <- (serial, op);
+    sh.batch_len <- sh.batch_len + 1
+  end
+  else begin
+    sh.shed <- sh.shed + 1;
+    st.shed <- st.shed + 1
+  end
+
+let wake sh =
+  sh.is_down <- false;
+  Array.blit sh.backlog 0 sh.batch 0 sh.backlog_len;
+  sh.batch_len <- sh.backlog_len;
+  sh.backlog_len <- 0
+
+(* ---- migration engine -------------------------------------------- *)
+
+(* One key's failure-atomic handoff: (1) persist at the destination,
+   checkpoint; (2) tombstone at the source; (3) move the volatile model
+   entry and drop the routing override, checkpoint. A power failure
+   between (1) and (2) leaves the key at both shards; recovery resolves
+   in favour of the destination, which is why the destination must be
+   persisted and fenced first. *)
+let move_key st m key =
+  let tx = transactional st.p.config in
+  let src = m.src in
+  match Avl.find src.tree key with
+  | None ->
+      (* deleted by a client while pending; nothing to hand off *)
+      Hashtbl.remove st.pending key
+  | Some value ->
+      let dst = st.ring.(Router.shard_of_key st.router key) in
+      if tx then Pheap.with_tx dst.heap (fun () -> Avl.insert dst.tree ~key ~value)
+      else Avl.insert dst.tree ~key ~value;
+      mig_checkpoint st.ctl;
+      let _removed =
+        if tx then Pheap.with_tx src.heap (fun () -> Avl.delete src.tree key)
+        else Avl.delete src.tree key
+      in
+      (match Hashtbl.find_opt src.model key with
+      | Some v ->
+          Hashtbl.remove src.model key;
+          Hashtbl.replace dst.model key v
+      | None -> ());
+      Hashtbl.remove st.pending key;
+      src.migrated_out <- src.migrated_out + 1;
+      dst.migrated_in <- dst.migrated_in + 1;
+      m.topo.moved_keys <- m.topo.moved_keys + 1;
+      mig_checkpoint st.ctl
+
+(* Drops completed migrations; a drained shrink victim (no longer on
+   the ring) retires for good. *)
+let settle_migrations st =
+  let live, finished =
+    List.partition (fun m -> m.pos < Array.length m.queue) st.migrations
+  in
+  st.migrations <- live;
+  List.iter
+    (fun m ->
+      if (not (Array.exists (fun s -> s == m.src) st.ring)) && not m.src.retired
+      then begin
+        m.src.retired <- true;
+        finish_lint m.src
+      end)
+    finished
+
+(* After a whole-service power failure with migrations in flight:
+   rebuild each migration from persistent ground truth. The stale
+   routing overrides and queue position are volatile and gone; per
+   surviving source key owned elsewhere, either the destination already
+   holds it (the handoff's first half landed — tombstone the source
+   copy, the destination wins) or it does not (re-pend it and migrate
+   again). Every key ends owned by exactly one shard. *)
+let recover_migrations st =
+  let tx = transactional st.p.config in
+  List.iter
+    (fun m ->
+      let src = m.src in
+      let stale =
+        Hashtbl.fold
+          (fun k sh acc -> if sh == src then k :: acc else acc)
+          st.pending []
+      in
+      List.iter (fun k -> Hashtbl.remove st.pending k) stale;
+      let remaining =
+        List.filter_map
+          (fun (k, _) ->
+            let dst = st.ring.(Router.shard_of_key st.router k) in
+            if dst == src then None
+            else if Avl.mem dst.tree k then begin
+              let _removed =
+                if tx then
+                  Pheap.with_tx src.heap (fun () -> Avl.delete src.tree k)
+                else Avl.delete src.tree k
+              in
+              (match Hashtbl.find_opt src.model k with
+              | Some v ->
+                  Hashtbl.remove src.model k;
+                  Hashtbl.replace dst.model k v
+              | None -> ());
+              st.dup_resolved <- st.dup_resolved + 1;
+              src.migrated_out <- src.migrated_out + 1;
+              dst.migrated_in <- dst.migrated_in + 1;
+              m.topo.moved_keys <- m.topo.moved_keys + 1;
+              None
+            end
+            else begin
+              Hashtbl.replace st.pending k src;
+              Some k
+            end)
+          (Avl.to_list src.tree)
+      in
+      m.queue <- Array.of_list remaining;
+      m.pos <- 0)
+    st.migrations;
+  settle_migrations st
+
+(* Whole-service power failure: every powered shard runs the Figure-4
+   save in parallel, then (on the coordinating domain) in-flight
+   migrations are repaired and each shard is audited against its model
+   of acknowledged writes. Synchronous, as in the original service: the
+   fleet is down as one, so no availability dip is booked. *)
+let crash_service ?jobs st =
+  let live =
+    List.filter (fun sh -> (not sh.retired) && not sh.is_down) st.roster
+  in
+  let rs = Parallel.map ?jobs ~chunk:1 (save_crash_attach st.p) live in
+  recover_migrations st;
+  let rs =
+    List.map2
+      (fun sh (r : restore) -> { r with lost_acked = audit_shard sh })
+      live rs
+  in
+  st.restores <- st.restores @ rs
+
+(* Single-shard power failure: only shard [sh] runs the save/restore;
+   it stays down until the fleet's simulated clock passes its restore
+   time, backlogging (and beyond capacity, shedding) its arrivals while
+   the other shards keep serving. Fired at a round boundary, so no
+   handoff is in flight on this shard. The flush-on-fail runs on
+   residual energy *during* the failure — the paper's central trick —
+   so only the restore costs serving time once power returns. *)
+let crash_one st sh =
+  if sh.retired then
+    invalid_arg "Service.run: crash_shard target already retired";
+  let r = save_crash_attach st.p sh in
+  let lost = audit_shard sh in
+  st.restores <- st.restores @ [ { r with lost_acked = lost } ];
+  sh.is_down <- true;
+  sh.down_until <- Time.add st.makespan r.restore_cost
+
+(* One bounded round of draining: up to [migrate_batch] handoffs per
+   source, skipping sources that are powered off and pausing a stream
+   whose next destination is powered off. Advances the service clock by
+   the slowest shard's migration work — the migration traffic the
+   report accounts. *)
+let apply_migrations ?jobs st =
+  if st.migrations <> [] then begin
+    let ctl = st.ctl in
+    let actors =
+      List.filter (fun sh -> not sh.retired) st.roster
+      |> List.map (fun sh -> (sh, Pheap.clock sh.heap))
+    in
+    let topos =
+      List.fold_left
+        (fun acc m ->
+          if m.src.is_down || List.memq m.topo acc then acc else m.topo :: acc)
+        [] st.migrations
+    in
+    List.iter (fun t -> t.migration_rounds <- t.migration_rounds + 1) topos;
+    (try
+       ctl.counting <- true;
+       List.iter
+         (fun m ->
+           if not m.src.is_down then begin
+             let moved = ref 0 in
+             let stalled = ref false in
+             while
+               (not !stalled)
+               && !moved < st.p.migrate_batch
+               && m.pos < Array.length m.queue
+             do
+               let key = m.queue.(m.pos) in
+               if Hashtbl.mem st.pending key then begin
+                 let dst = st.ring.(Router.shard_of_key st.router key) in
+                 if dst.is_down then stalled := true
+                 else begin
+                   move_key st m key;
+                   incr moved;
+                   m.pos <- m.pos + 1
+                 end
+               end
+               else m.pos <- m.pos + 1
+             done
+           end)
+         st.migrations;
+       ctl.counting <- false
+     with Crash_mid_migration ->
+       ctl.counting <- false;
+       ctl.arm <- None;
+       ctl.tripped <- false;
+       crash_service ?jobs st);
+    let delta =
+      List.fold_left
+        (fun acc (sh, c0) ->
+          Time.max acc (Time.sub (Pheap.clock sh.heap) c0))
+        Time.zero actors
+    in
+    st.makespan <- Time.add st.makespan delta;
+    st.migration_time <- Time.add st.migration_time delta;
+    settle_migrations st
+  end
+
+(* ---- topology changes -------------------------------------------- *)
+
+(* Snapshot the keys each source must give up under the already-updated
+   ring, pend them so writes keep landing where the data is, and queue
+   one migration per non-empty source. *)
+let snapshot_migrations st topo srcs =
+  let migs =
+    List.filter_map
+      (fun src ->
+        let keys =
+          List.filter_map
+            (fun (k, _) ->
+              if st.ring.(Router.shard_of_key st.router k) != src then begin
+                Hashtbl.replace st.pending k src;
+                Some k
+              end
+              else None)
+            (Avl.to_list src.tree)
+        in
+        if keys = [] then None
+        else Some { src; topo; queue = Array.of_list keys; pos = 0 })
+      srcs
+  in
+  st.migrations <- st.migrations @ migs
+
+let start_grow st round =
+  let old_ring = st.ring in
+  let router', ranges = Router.add_shard st.router in
+  let id = st.next_id in
+  st.next_id <- id + 1;
+  let sh = make_shard st.p st.ctl id in
+  st.roster <- st.roster @ [ sh ];
+  st.router <- router';
+  st.ring <- Array.append st.ring [| sh |];
+  let topo =
+    {
+      change = `Grow;
+      at_round = round;
+      from_shards = Array.length old_ring;
+      to_shards = Array.length st.ring;
+      moved_fraction = Router.moved_fraction ranges;
+      moved_keys = 0;
+      migration_rounds = 0;
+    }
+  in
+  st.topology <- st.topology @ [ topo ];
+  snapshot_migrations st topo (Array.to_list old_ring)
+
+let can_shrink st =
+  Array.length st.ring > 1
+  && not st.ring.(Array.length st.ring - 1).is_down
+
+let start_shrink st round =
+  let n = Array.length st.ring in
+  let victim = st.ring.(n - 1) in
+  let router', ranges = Router.remove_shard st.router (n - 1) in
+  st.router <- router';
+  st.ring <- Array.sub st.ring 0 (n - 1);
+  let topo =
+    {
+      change = `Shrink;
+      at_round = round;
+      from_shards = n;
+      to_shards = n - 1;
+      moved_fraction = Router.moved_fraction ranges;
+      moved_keys = 0;
+      migration_rounds = 0;
+    }
+  in
+  st.topology <- st.topology @ [ topo ];
+  snapshot_migrations st topo [ victim ];
+  (* an empty victim has nothing to drain: retire on the spot *)
+  if not (List.exists (fun m -> m.src == victim) st.migrations) then begin
+    victim.retired <- true;
+    finish_lint victim
+  end
+
+(* ---- reporting helpers ------------------------------------------- *)
 
 (* Latency percentiles over sorted picosecond samples, with the same
    linear interpolation as [Stats.percentile] but array-based: the
@@ -341,10 +785,10 @@ let sorted_lat sh =
   a
 
 let merged_lat shards =
-  let total = Array.fold_left (fun n sh -> n + sh.lat_len) 0 shards in
+  let total = List.fold_left (fun n sh -> n + sh.lat_len) 0 shards in
   let all = Array.make (Stdlib.max total 1) 0 in
   let off = ref 0 in
-  Array.iter
+  List.iter
     (fun sh ->
       Array.blit sh.lat 0 all !off sh.lat_len;
       off := !off + sh.lat_len)
@@ -353,10 +797,11 @@ let merged_lat shards =
   Array.sort Stdlib.compare all;
   all
 
-(* Order-sensitive digest of every shard's final contents: equal
-   checksums across runs mean equal final key→value states. *)
+(* Order-sensitive digest of every shard's final contents in stable-id
+   order: equal checksums across runs mean equal final key→value
+   states. A retired shard is empty and contributes nothing. *)
 let contents_checksum shards =
-  Array.fold_left
+  List.fold_left
     (fun acc sh ->
       List.fold_left
         (fun acc (k, v) ->
@@ -369,98 +814,263 @@ let validate p =
   if p.clients <= 0 then invalid_arg "Service.run: clients must be positive";
   if p.requests < 0 then invalid_arg "Service.run: negative request count";
   if p.queue_cap <= 0 then invalid_arg "Service.run: queue_cap must be positive";
-  match p.crash_at with
+  if p.migrate_batch <= 0 then
+    invalid_arg "Service.run: migrate_batch must be positive";
+  (match p.crash_at with
   | Some r when r < 0 -> invalid_arg "Service.run: negative crash round"
+  | _ -> ());
+  (match p.grow_at with
+  | Some r when r < 0 -> invalid_arg "Service.run: negative grow round"
+  | _ -> ());
+  (match p.shrink_at with
+  | Some r when r < 0 -> invalid_arg "Service.run: negative shrink round"
+  | _ -> ());
+  (match p.crash_mig_event with
+  | Some e ->
+      if e < 0 then invalid_arg "Service.run: negative migration crash event";
+      if p.grow_at = None && p.shrink_at = None then
+        invalid_arg "Service.run: crash_mig_event needs a topology change"
+  | None -> ());
+  (match p.crash_shard with
+  | Some k ->
+      if p.crash_at = None then
+        invalid_arg "Service.run: crash_shard needs crash_at";
+      let total = p.shards + match p.grow_at with Some _ -> 1 | None -> 0 in
+      if k < 0 || k >= total then invalid_arg "Service.run: no such shard";
+      (match (p.grow_at, p.crash_at) with
+      | Some g, Some c when k >= p.shards && c < g ->
+          invalid_arg "Service.run: crash_shard names the grown shard before it exists"
+      | _ -> ())
+  | None -> ());
+  match (p.shrink_at, p.grow_at) with
+  | Some s, g when p.shards = 1 -> (
+      match g with
+      | Some gr when gr <= s -> ()
+      | _ -> invalid_arg "Service.run: cannot shrink a 1-shard service")
   | _ -> ()
+
+(* ---- the closed loop --------------------------------------------- *)
 
 let run ?jobs p =
   validate p;
-  let router = Router.create ~vnodes:p.vnodes ~shards:p.shards () in
+  let ctl =
+    {
+      counting = false;
+      events = 0;
+      arm = p.crash_mig_event;
+      freeze = transactional p.config;
+      tripped = false;
+    }
+  in
+  let shards0 = Array.init p.shards (fun i -> make_shard p ctl i) in
+  let st =
+    {
+      p;
+      ctl;
+      router = Router.create ~vnodes:p.vnodes ~shards:p.shards ();
+      ring = shards0;
+      roster = Array.to_list shards0;
+      next_id = p.shards;
+      pending = Hashtbl.create 1024;
+      migrations = [];
+      topology = [];
+      makespan = Time.zero;
+      migration_time = Time.zero;
+      shard_time_ps = 0;
+      downtime_ps = 0;
+      restores = [];
+      issued = 0;
+      shed = 0;
+      crash_shed = 0;
+      dup_resolved = 0;
+    }
+  in
   let gen =
     Client.create ~mix:p.mix ~theta:p.theta ~clients:p.clients
       ~keyspace:p.keyspace ~seed:p.seed ()
   in
-  let shards = Array.init p.shards (make_shard p) in
-  let shard_list = Array.to_list shards in
   let rounds =
     if p.requests = 0 then 0 else (p.requests + p.clients - 1) / p.clients
   in
-  let issued = ref 0 in
-  let shed_total = ref 0 in
-  let makespan = ref Time.zero in
-  let restores = ref [] in
-  let do_crash () = restores := crash_restore ?jobs p shard_list in
-  for round = 0 to rounds - 1 do
-    let this_round = Stdlib.min p.clients (p.requests - !issued) in
-    for c = 0 to this_round - 1 do
-      let serial = !issued in
-      let op = Client.next gen ~client:c in
-      let sh = shards.(Router.shard_of_key router (Client.key op)) in
-      if sh.batch_len < p.queue_cap then begin
-        sh.batch.(sh.batch_len) <- (serial, op);
-        sh.batch_len <- sh.batch_len + 1
-      end
-      else begin
-        sh.shed <- sh.shed + 1;
-        incr shed_total
-      end;
-      incr issued
-    done;
-    let deltas = Parallel.map ?jobs ~chunk:1 (serve_shard p) shard_list in
-    makespan := Time.add !makespan (List.fold_left Time.max Time.zero deltas);
-    match p.crash_at with
-    | Some r when r = round -> do_crash ()
-    | _ -> ()
-  done;
-  (* A crash round at or past the end still fires once, after the run. *)
-  (match p.crash_at with
-  | Some r when r >= rounds -> do_crash ()
-  | _ -> ());
-  Array.iter finish_lint shards;
-  let global = merged_lat shards in
-  let per_shard =
-    Array.to_list
-      (Array.map
-         (fun sh ->
-           let lat = sorted_lat sh in
-           {
-             shard = sh.id;
-             served = sh.served;
-             shed = sh.shed;
-             lookups = sh.lookups;
-             hits = sh.hits;
-             inserts = sh.inserts;
-             deletes = sh.deletes;
-             final_keys = Hashtbl.length sh.model;
-             busy =
-               Array.fold_left
-                 (fun acc v -> Time.add acc (Time.ps v))
-                 Time.zero lat;
-             p50 = percentile_ps lat 50.0;
-             p99 = percentile_ps lat 99.0;
-             lat_max =
-               (if Array.length lat = 0 then Time.zero
-                else Time.ps lat.(Array.length lat - 1));
-             stores = sh.counts.stores;
-             flushes = sh.counts.flushes;
-             fences = sh.counts.fences;
-             writebacks = sh.counts.writebacks;
-             tx_commits = sh.counts.tx_commits;
-             log_appends = sh.counts.log_appends;
-             allocs = sh.counts.allocs;
-             frees = sh.counts.frees;
-             lint_errors = sh.lint_errors;
-             lint_advisories = sh.lint_advisories;
-           })
-         shards)
+  let want_grow = ref false in
+  let want_shrink = ref false in
+  let want_crash = ref false in
+  let consume_topology round =
+    if !want_grow && st.migrations = [] then begin
+      start_grow st round;
+      want_grow := false
+    end
+    else if !want_shrink && st.migrations = [] && can_shrink st then begin
+      start_shrink st round;
+      want_shrink := false
+    end
   in
-  let served = Array.fold_left (fun n sh -> n + sh.served) 0 shards in
+  let consume_crash () =
+    match p.crash_shard with
+    | None ->
+        crash_service ?jobs st;
+        want_crash := false
+    | Some k -> (
+        (* the target may not exist yet (a deferred grow) — retry *)
+        match List.find_opt (fun sh -> sh.id = k) st.roster with
+        | Some sh when not sh.is_down ->
+            crash_one st sh;
+            want_crash := false
+        | _ -> ())
+  in
+  for round = 0 to rounds - 1 do
+    List.iter
+      (fun sh ->
+        if sh.is_down && Time.to_ps st.makespan >= Time.to_ps sh.down_until
+        then wake sh)
+      st.roster;
+    let this_round = Stdlib.min p.clients (p.requests - st.issued) in
+    for c = 0 to this_round - 1 do
+      let serial = st.issued in
+      let op = Client.next gen ~client:c in
+      admit st (route st (Client.key op)) serial op;
+      st.issued <- st.issued + 1
+    done;
+    let live =
+      List.filter (fun sh -> (not sh.retired) && not sh.is_down) st.roster
+    in
+    let deltas = Parallel.map ?jobs ~chunk:1 (serve_shard p) live in
+    let delta = List.fold_left Time.max Time.zero deltas in
+    st.makespan <- Time.add st.makespan delta;
+    let active = List.filter (fun sh -> not sh.retired) st.roster in
+    st.shard_time_ps <-
+      st.shard_time_ps + (Time.to_ps delta * List.length active);
+    List.iter
+      (fun sh ->
+        if sh.is_down then begin
+          sh.downtime <- Time.add sh.downtime delta;
+          sh.down_rounds <- sh.down_rounds + 1;
+          st.downtime_ps <- st.downtime_ps + Time.to_ps delta
+        end)
+      active;
+    apply_migrations ?jobs st;
+    (match p.grow_at with
+    | Some r when r = round -> want_grow := true
+    | _ -> ());
+    (match p.shrink_at with
+    | Some r when r = round -> want_shrink := true
+    | _ -> ());
+    consume_topology round;
+    (match p.crash_at with
+    | Some r when r = round -> want_crash := true
+    | _ -> ());
+    if !want_crash then consume_crash ()
+  done;
+  (* End-of-run clamps, mirroring the old crash_at behaviour: triggers
+     at or past the last round still fire once, after the run. *)
+  (match p.grow_at with
+  | Some r when r >= rounds -> want_grow := true
+  | _ -> ());
+  (match p.shrink_at with
+  | Some r when r >= rounds -> want_shrink := true
+  | _ -> ());
+  (match p.crash_at with
+  | Some r when r >= rounds -> want_crash := true
+  | _ -> ());
+  (* No rounds remain: a still-dark shard's backlog can never be
+     served; book it as crash shed and power everything up. *)
+  List.iter
+    (fun sh ->
+      if sh.is_down then begin
+        sh.crash_shed <- sh.crash_shed + sh.backlog_len;
+        st.crash_shed <- st.crash_shed + sh.backlog_len;
+        sh.backlog_len <- 0;
+        sh.is_down <- false
+      end)
+    st.roster;
+  let drain () =
+    while st.migrations <> [] do
+      apply_migrations ?jobs st
+    done
+  in
+  drain ();
+  if !want_grow then begin
+    start_grow st rounds;
+    want_grow := false;
+    drain ()
+  end;
+  if !want_shrink && can_shrink st then begin
+    start_shrink st rounds;
+    want_shrink := false;
+    drain ()
+  end;
+  if !want_crash then begin
+    (match p.crash_shard with
+    | None -> crash_service ?jobs st
+    | Some k -> (
+        match List.find_opt (fun sh -> sh.id = k) st.roster with
+        | Some sh ->
+            crash_one st sh;
+            sh.is_down <- false (* nothing left to serve; lights on *)
+        | None -> invalid_arg "Service.run: crash_shard never existed"));
+    want_crash := false
+  end;
+  drain ();
+  List.iter finish_lint st.roster;
+  (* Every key must sit exactly where the directory would route it;
+     with [pending] drained that is the ring's answer, and a retired
+     shard must be empty. *)
+  let misplaced =
+    List.fold_left
+      (fun acc sh ->
+        List.fold_left
+          (fun acc (k, _) -> if route st k != sh then acc + 1 else acc)
+          acc (Avl.to_list sh.tree))
+      0 st.roster
+  in
+  let global = merged_lat st.roster in
+  let per_shard =
+    List.map
+      (fun sh ->
+        let lat = sorted_lat sh in
+        {
+          shard = sh.id;
+          served = sh.served;
+          shed = sh.shed;
+          crash_shed = sh.crash_shed;
+          lookups = sh.lookups;
+          hits = sh.hits;
+          inserts = sh.inserts;
+          deletes = sh.deletes;
+          final_keys = Hashtbl.length sh.model;
+          migrated_in = sh.migrated_in;
+          migrated_out = sh.migrated_out;
+          retired = sh.retired;
+          downtime = sh.downtime;
+          down_rounds = sh.down_rounds;
+          busy =
+            Array.fold_left
+              (fun acc v -> Time.add acc (Time.ps v))
+              Time.zero lat;
+          p50 = percentile_ps lat 50.0;
+          p99 = percentile_ps lat 99.0;
+          lat_max =
+            (if Array.length lat = 0 then Time.zero
+             else Time.ps lat.(Array.length lat - 1));
+          stores = sh.counts.stores;
+          flushes = sh.counts.flushes;
+          fences = sh.counts.fences;
+          writebacks = sh.counts.writebacks;
+          tx_commits = sh.counts.tx_commits;
+          log_appends = sh.counts.log_appends;
+          allocs = sh.counts.allocs;
+          frees = sh.counts.frees;
+          lint_errors = sh.lint_errors;
+          lint_advisories = sh.lint_advisories;
+        })
+      st.roster
+  in
+  let served = List.fold_left (fun n sh -> n + sh.served) 0 st.roster in
   let lookup_results =
     if p.record_lookups then begin
       let all =
         Array.concat
-          (Array.to_list
-             (Array.map (fun sh -> Array.of_list sh.lookup_log) shards))
+          (List.map (fun sh -> Array.of_list sh.lookup_log) st.roster)
       in
       Array.sort (fun (a, _) (b, _) -> Stdlib.compare a b) all;
       Some all
@@ -474,26 +1084,31 @@ let run ?jobs p =
       Some
         (let all =
            Array.concat
-             (Array.to_list
-                (Array.map (fun sh -> Array.of_list (Avl.to_list sh.tree))
-                   shards))
+             (List.map (fun sh -> Array.of_list (Avl.to_list sh.tree))
+                st.roster)
          in
          Array.sort (fun (a, _) (b, _) -> Int64.compare a b) all;
          all)
     else None
   in
-  let makespan = !makespan in
+  let makespan = st.makespan in
   {
     params = p;
-    issued = !issued;
+    issued = st.issued;
     served;
-    shed = !shed_total;
+    shed = st.shed;
+    crash_shed = st.crash_shed;
     rounds;
     makespan;
     throughput_mops =
       (if Time.to_s makespan > 0.0 then
          float_of_int served /. Time.to_s makespan /. 1e6
        else 0.0);
+    availability =
+      (if st.shard_time_ps = 0 then 1.0
+       else
+         1.0
+         -. (float_of_int st.downtime_ps /. float_of_int st.shard_time_ps));
     p50 = percentile_ps global 50.0;
     p99 = percentile_ps global 99.0;
     p999 = percentile_ps global 99.9;
@@ -501,13 +1116,85 @@ let run ?jobs p =
       (if Array.length global = 0 then Time.zero
        else Time.ps global.(Array.length global - 1));
     lost_acked =
-      List.fold_left (fun n (r : restore) -> n + r.lost_acked) 0 !restores;
-    restores = !restores;
+      List.fold_left (fun n (r : restore) -> n + r.lost_acked) 0 st.restores;
+    keys_moved =
+      List.fold_left (fun n t -> n + t.moved_keys) 0 st.topology;
+    migration_time = st.migration_time;
+    mig_events = ctl.events;
+    dup_resolved = st.dup_resolved;
+    misplaced_keys = misplaced;
+    topology = st.topology;
+    restores = st.restores;
     per_shard;
-    checksum = contents_checksum shards;
+    checksum = contents_checksum st.roster;
     lookup_results;
     final_contents;
   }
+
+(* ---- the mid-migration crash sweep ------------------------------- *)
+
+type sweep_point = {
+  event : int;
+  lost : int;
+  misplaced : int;
+  dups : int;
+  state_ok : bool;
+}
+
+type sweep = {
+  golden : report;
+  total_events : int;
+  points : sweep_point list;
+}
+
+let sweep_violations s =
+  List.filter (fun pt -> not (pt.lost = 0 && pt.misplaced = 0 && pt.state_ok))
+    s.points
+
+(* A golden run counts the migration's persistency events; then the
+   service re-runs with a power failure injected at each sampled event.
+   Every crash run must lose nothing, place every key uniquely, and
+   converge to the golden run's exact final state and lookup answers. *)
+let crash_sweep ?jobs ?(points = 64) p =
+  if p.grow_at = None && p.shrink_at = None then
+    invalid_arg "Service.crash_sweep: needs grow_at or shrink_at";
+  if points <= 0 then invalid_arg "Service.crash_sweep: points must be positive";
+  let p =
+    {
+      p with
+      record_lookups = true;
+      crash_at = None;
+      crash_shard = None;
+      crash_mig_event = None;
+    }
+  in
+  let golden = run ?jobs p in
+  let total = golden.mig_events in
+  let chosen =
+    if total <= points then List.init total (fun i -> i)
+    else List.init points (fun i -> i * total / points)
+  in
+  let pts =
+    List.map
+      (fun e ->
+        let r = run ?jobs { p with crash_mig_event = Some e } in
+        {
+          event = e;
+          lost = r.lost_acked;
+          misplaced = r.misplaced_keys;
+          dups = r.dup_resolved;
+          state_ok =
+            Int64.equal r.checksum golden.checksum
+            && r.lookup_results = golden.lookup_results
+            && r.final_contents = golden.final_contents;
+        })
+      chosen
+  in
+  { golden; total_events = total; points = pts }
+
+(* ---- output ------------------------------------------------------- *)
+
+let json_opt_int = function None -> "null" | Some v -> string_of_int v
 
 (* Canonical JSON: picosecond integers and fixed-precision floats only
    (never wall-clock), so equal reports are byte-identical across
@@ -527,22 +1214,53 @@ let to_json r =
     \  \"queue_cap\": %d,\n\
     \  \"config\": %S,\n\
     \  \"seed\": %d,\n\
+    \  \"crash_at\": %s,\n\
+    \  \"crash_shard\": %s,\n\
+    \  \"grow_at\": %s,\n\
+    \  \"shrink_at\": %s,\n\
+    \  \"migrate_batch\": %d,\n\
     \  \"issued\": %d,\n\
     \  \"served\": %d,\n\
     \  \"shed\": %d,\n\
+    \  \"crash_shed\": %d,\n\
     \  \"rounds\": %d,\n\
     \  \"makespan_ps\": %d,\n\
     \  \"throughput_mops\": %.6f,\n\
+    \  \"availability\": %.6f,\n\
     \  \"latency_ps\": { \"p50\": %d, \"p99\": %d, \"p999\": %d, \"max\": %d \
      },\n\
     \  \"lost_acked\": %d,\n\
+    \  \"keys_moved\": %d,\n\
+    \  \"bytes_moved\": %d,\n\
+    \  \"migration_ps\": %d,\n\
+    \  \"migration_events\": %d,\n\
+    \  \"dup_resolved\": %d,\n\
+    \  \"misplaced_keys\": %d,\n\
     \  \"checksum\": \"0x%016Lx\",\n"
     p.shards p.vnodes p.clients p.requests p.keyspace p.theta p.queue_cap
-    p.config.Config.name p.seed r.issued r.served r.shed r.rounds
-    (Time.to_ps r.makespan) r.throughput_mops (Time.to_ps r.p50)
-    (Time.to_ps r.p99) (Time.to_ps r.p999) (Time.to_ps r.lat_max) r.lost_acked
+    p.config.Config.name p.seed (json_opt_int p.crash_at)
+    (json_opt_int p.crash_shard) (json_opt_int p.grow_at)
+    (json_opt_int p.shrink_at) p.migrate_batch r.issued r.served r.shed
+    r.crash_shed r.rounds (Time.to_ps r.makespan) r.throughput_mops
+    r.availability (Time.to_ps r.p50) (Time.to_ps r.p99) (Time.to_ps r.p999)
+    (Time.to_ps r.lat_max) r.lost_acked r.keys_moved (16 * r.keys_moved)
+    (Time.to_ps r.migration_time) r.mig_events r.dup_resolved r.misplaced_keys
     r.checksum;
-  Buffer.add_string b "  \"restores\": [";
+  Buffer.add_string b "  \"topology\": [";
+  List.iteri
+    (fun i (t : topology_change) ->
+      Printf.bprintf b
+        "%s\n\
+        \    { \"change\": %S, \"at_round\": %d, \"from_shards\": %d, \
+         \"to_shards\": %d, \"moved_fraction\": %.6f, \"moved_keys\": %d, \
+         \"migration_rounds\": %d }"
+        (if i = 0 then "" else ",")
+        (match t.change with `Grow -> "grow" | `Shrink -> "shrink")
+        t.at_round t.from_shards t.to_shards t.moved_fraction t.moved_keys
+        t.migration_rounds)
+    r.topology;
+  if r.topology <> [] then Buffer.add_string b "\n  ";
+  Buffer.add_string b "],\n  \"restores\": [";
   List.iteri
     (fun i (rr : restore) ->
       Printf.bprintf b
@@ -561,20 +1279,55 @@ let to_json r =
     (fun i s ->
       Printf.bprintf b
         "%s\n\
-        \    { \"shard\": %d, \"served\": %d, \"shed\": %d, \"lookups\": %d, \
-         \"hits\": %d, \"inserts\": %d, \"deletes\": %d, \"final_keys\": %d, \
+        \    { \"shard\": %d, \"served\": %d, \"shed\": %d, \"crash_shed\": \
+         %d, \"lookups\": %d, \"hits\": %d, \"inserts\": %d, \"deletes\": %d, \
+         \"final_keys\": %d, \"migrated_in\": %d, \"migrated_out\": %d, \
+         \"retired\": %b, \"downtime_ps\": %d, \"down_rounds\": %d, \
          \"busy_ps\": %d, \"p50_ps\": %d, \"p99_ps\": %d, \"max_ps\": %d, \
          \"stores\": %d, \"flushes\": %d, \"fences\": %d, \"writebacks\": %d, \
          \"tx_commits\": %d, \"log_appends\": %d, \"allocs\": %d, \"frees\": \
          %d, \"lint_errors\": %d, \"lint_advisories\": %d }"
         (if i = 0 then "" else ",")
-        s.shard s.served s.shed s.lookups s.hits s.inserts s.deletes
-        s.final_keys (Time.to_ps s.busy) (Time.to_ps s.p50) (Time.to_ps s.p99)
-        (Time.to_ps s.lat_max) s.stores s.flushes s.fences s.writebacks
-        s.tx_commits s.log_appends s.allocs s.frees s.lint_errors
-        s.lint_advisories)
+        s.shard s.served s.shed s.crash_shed s.lookups s.hits s.inserts
+        s.deletes s.final_keys s.migrated_in s.migrated_out s.retired
+        (Time.to_ps s.downtime) s.down_rounds (Time.to_ps s.busy)
+        (Time.to_ps s.p50) (Time.to_ps s.p99) (Time.to_ps s.lat_max) s.stores
+        s.flushes s.fences s.writebacks s.tx_commits s.log_appends s.allocs
+        s.frees s.lint_errors s.lint_advisories)
     r.per_shard;
   Buffer.add_string b "\n  ]\n}\n";
+  Buffer.contents b
+
+let sweep_to_json s =
+  let b = Buffer.create 1024 in
+  let p = s.golden.params in
+  Printf.bprintf b
+    "{\n\
+    \  \"verb\": \"shard-sweep\",\n\
+    \  \"shards\": %d,\n\
+    \  \"config\": %S,\n\
+    \  \"grow_at\": %s,\n\
+    \  \"shrink_at\": %s,\n\
+    \  \"migration_events\": %d,\n\
+    \  \"points_run\": %d,\n\
+    \  \"violations\": %d,\n\
+    \  \"golden_checksum\": \"0x%016Lx\",\n\
+    \  \"points\": ["
+    p.shards p.config.Config.name (json_opt_int p.grow_at)
+    (json_opt_int p.shrink_at) s.total_events (List.length s.points)
+    (List.length (sweep_violations s))
+    s.golden.checksum;
+  List.iteri
+    (fun i pt ->
+      Printf.bprintf b
+        "%s\n\
+        \    { \"event\": %d, \"lost_acked\": %d, \"misplaced_keys\": %d, \
+         \"dup_resolved\": %d, \"state_ok\": %b }"
+        (if i = 0 then "" else ",")
+        pt.event pt.lost pt.misplaced pt.dups pt.state_ok)
+    s.points;
+  if s.points <> [] then Buffer.add_string b "\n  ";
+  Buffer.add_string b "]\n}\n";
   Buffer.contents b
 
 let pp_report ppf r =
@@ -588,9 +1341,33 @@ let pp_report ppf r =
     p.shards p.clients r.served r.issued r.shed r.rounds p.config.Config.name
     p.keyspace p.theta p.queue_cap p.seed Time.pp r.makespan r.throughput_mops
     Time.pp r.p50 Time.pp r.p99 Time.pp r.p999 Time.pp r.lat_max;
+  List.iter
+    (fun (t : topology_change) ->
+      Fmt.pf ppf
+        "@,%s %d -> %d shards after round %d: %.2f%% of keyspace moved, %d \
+         keys over %d migration rounds"
+        (match t.change with `Grow -> "grow" | `Shrink -> "shrink")
+        t.from_shards t.to_shards t.at_round
+        (100.0 *. t.moved_fraction)
+        t.moved_keys t.migration_rounds)
+    r.topology;
+  if r.keys_moved > 0 || r.mig_events > 0 then
+    Fmt.pf ppf
+      "@,\
+       migration: %d keys (%d bytes) handed off in %a simulated, %d \
+       persistency events, %d duplicate(s) resolved, %d misplaced key(s)"
+      r.keys_moved (16 * r.keys_moved) Time.pp r.migration_time r.mig_events
+      r.dup_resolved r.misplaced_keys;
   if r.restores <> [] then begin
-    Fmt.pf ppf "@,power failure after round %d:"
-      (match p.crash_at with Some c -> c | None -> -1);
+    (match (p.crash_shard, p.crash_at) with
+    | Some k, Some c ->
+        Fmt.pf ppf
+          "@,shard %d power failure after round %d (the rest kept serving):" k
+          c
+    | None, Some c -> Fmt.pf ppf "@,power failure after round %d:" c
+    | _, None ->
+        Fmt.pf ppf "@,power failure mid-migration (persistency event %d):"
+          (match p.crash_mig_event with Some e -> e | None -> 0));
     List.iter
       (fun (rr : restore) ->
         Fmt.pf ppf
@@ -603,6 +1380,10 @@ let pp_report ppf r =
       r.restores;
     Fmt.pf ppf "@,total acked updates lost: %d" r.lost_acked
   end;
+  if p.crash_shard <> None || r.availability < 1.0 then
+    Fmt.pf ppf
+      "@,availability %.6f (%d request(s) crash-shed while a shard was dark)"
+      r.availability r.crash_shed;
   let lint_e =
     List.fold_left (fun n (s : shard_stats) -> n + s.lint_errors) 0 r.per_shard
   in
@@ -613,4 +1394,22 @@ let pp_report ppf r =
   in
   if p.lint then
     Fmt.pf ppf "@,lint: %d error(s), %d advisory(ies) across %d shard buses"
-      lint_e lint_a p.shards
+      lint_e lint_a
+      (List.length r.per_shard)
+
+let pp_sweep ppf s =
+  let bad = sweep_violations s in
+  Fmt.pf ppf
+    "@[<v>mid-migration crash sweep: %d of %d migration persistency events \
+     injected, %d violation(s)@]"
+    (List.length s.points) s.total_events (List.length bad);
+  List.iter
+    (fun pt ->
+      Fmt.pf ppf
+        "@,\
+        \  VIOLATION at event %d: lost %d, misplaced %d, dups %d, state_ok %b"
+        pt.event pt.lost pt.misplaced pt.dups pt.state_ok)
+    bad;
+  if bad = [] then
+    Fmt.pf ppf
+      "@,every injected failure recovered lossless with unique ownership"

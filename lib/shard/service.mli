@@ -8,21 +8,36 @@
     (and counts) requests beyond its capacity.
 
     The round protocol is what makes parallel execution deterministic:
-    request generation and routing happen on the coordinating domain,
-    each worker then serves only its own shard's batch (no shared
-    mutable state), and [Domain.join] inside [Parallel.map] orders every
-    worker write before the coordinator reads results. Simulated time,
-    not wall-clock, is the only clock in the report, so JSON output is
-    byte-identical across [--jobs] widths.
+    request generation, routing, topology changes and key migration all
+    happen on the coordinating domain, each worker then serves only its
+    own shard's batch (no shared mutable state), and [Domain.join]
+    inside [Parallel.map] orders every worker write before the
+    coordinator reads results. Simulated time, not wall-clock, is the
+    only clock in the report, so JSON output is byte-identical across
+    [--jobs] widths.
 
-    A mid-run power failure ([crash_at]) exercises the paper's Figure-4
-    save path on every shard: price the save against the residual-energy
-    window ({!Wsp_core.System.save_budget} at the shard's dirty
-    footprint), flush-on-fail, crash, re-attach all N heaps and re-adopt
-    every tree through {!Wsp_store.Avl.attach}'s validating path. Each
-    shard keeps a volatile model of its acknowledged writes, and the
-    post-restore audit counts acked updates the recovered tree lost —
-    which must be zero under WSP. *)
+    {2 Online topology changes}
+
+    [grow_at]/[shrink_at] change the ring mid-run. The moved keys drain
+    from source to destination heap in bounded per-round batches while
+    clients keep issuing, under a double-ownership handoff: each key is
+    persisted at the destination (and fenced) {e before} the source
+    tombstones it, and a volatile pending table routes the key to the
+    source until its handoff lands. A power failure at any persistency
+    event of the migration recovers to a lossless directory with every
+    key owned by exactly one shard — {!crash_sweep} proves it point by
+    point.
+
+    {2 Power failures}
+
+    [crash_at] alone power-fails the whole service at a round boundary
+    (every shard runs the paper's Figure-4 save, synchronously).
+    [crash_shard] narrows the failure to one shard: it saves, restores,
+    and catches up on its backlog while the other N−1 shards keep
+    serving; the report books the availability dip. Each shard keeps a
+    volatile model of its acknowledged writes, and the post-restore
+    audit counts acked updates the recovered tree lost — which must be
+    zero under WSP. *)
 
 open Wsp_sim
 open Wsp_nvheap
@@ -44,7 +59,20 @@ type params = {
   seed : int;
   crash_at : int option;
       (** Power-fail after this 0-based round (clamped to the end of
-          the run): WSP save, crash, restore of every shard. *)
+          the run): the whole service, or just [crash_shard]. *)
+  crash_shard : int option;
+      (** Stable id of the one shard [crash_at] takes down; the other
+          shards keep serving while it restores. Requires [crash_at]. *)
+  grow_at : int option;
+      (** Add a shard after this round and start draining the moved
+          keys (deferred past any migration already in flight). *)
+  shrink_at : int option;
+      (** Remove the highest-index shard after this round; it drains
+          its whole keyspace share, then retires. *)
+  migrate_batch : int;  (** Max key handoffs per source per round. *)
+  crash_mig_event : int option;
+      (** Power-fail the whole service at this migration persistency
+          event (0-based) — the sweep's injection hook. *)
   lint : bool;
       (** Stream the static persistency analyzer off each shard's bus. *)
   record_lookups : bool;
@@ -54,7 +82,8 @@ type params = {
 
 val default : params
 (** 16 shards × 256 clients, 100k requests over a 20k keyspace at
-    YCSB skew, plain-WSP ({!Config.fof}) heaps, no crash. *)
+    YCSB skew, plain-WSP ({!Config.fof}) heaps, no crash, no topology
+    change, 64-key migration batches. *)
 
 type restore = {
   shard : int;
@@ -67,15 +96,33 @@ type restore = {
   lost_acked : int;  (** Acknowledged updates the restore lost. *)
 }
 
+type topology_change = {
+  change : [ `Grow | `Shrink ];
+  at_round : int;  (** Round after which the ring changed. *)
+  from_shards : int;
+  to_shards : int;
+  moved_fraction : float;  (** Keyspace share the ring re-owned. *)
+  mutable moved_keys : int;  (** Keys actually handed off. *)
+  mutable migration_rounds : int;  (** Rounds the drain was active. *)
+}
+
 type shard_stats = {
-  shard : int;
+  shard : int;  (** Stable id, constant across renumbering. *)
   served : int;
   shed : int;
+  crash_shed : int;
+      (** Arrivals lost to a full backlog while powered off (or still
+          backlogged when the run ended). *)
   lookups : int;
   hits : int;
   inserts : int;
   deletes : int;
   final_keys : int;
+  migrated_in : int;  (** Keys received in topology handoffs. *)
+  migrated_out : int;  (** Keys surrendered in topology handoffs. *)
+  retired : bool;  (** Shrink victim, fully drained and stopped. *)
+  downtime : Time.t;  (** Simulated time spent powered off. *)
+  down_rounds : int;  (** Whole rounds missed while powered off. *)
   busy : Time.t;  (** Total simulated serving time. *)
   p50 : Time.t;  (** Per-operation service latency percentiles. *)
   p99 : Time.t;
@@ -97,18 +144,32 @@ type report = {
   issued : int;
   served : int;
   shed : int;
+  crash_shed : int;  (** Total arrivals lost to powered-off shards. *)
   rounds : int;
   makespan : Time.t;
-      (** Σ over rounds of the slowest shard's round time — the
-          simulated wall-clock of the parallel service. *)
+      (** Σ over rounds of the slowest shard's round time, plus
+          migration time — the simulated wall-clock of the service. *)
   throughput_mops : float;  (** Served ops per simulated second, /1e6. *)
+  availability : float;
+      (** 1 − (shard-down time / total shard time): the dip one shard's
+          power failure costs the fleet. 1.0 when nothing went down. *)
   p50 : Time.t;  (** Global service-latency percentiles. *)
   p99 : Time.t;
   p999 : Time.t;
   lat_max : Time.t;
   lost_acked : int;  (** Total across restores; 0 in a correct run. *)
-  restores : restore list;  (** One per shard when [crash_at] fired. *)
-  per_shard : shard_stats list;  (** In shard order. *)
+  keys_moved : int;  (** Keys handed off by all topology changes. *)
+  migration_time : Time.t;  (** Simulated time spent draining. *)
+  mig_events : int;  (** Persistency events during migration steps. *)
+  dup_resolved : int;
+      (** Double-owned keys a crash recovery resolved in favour of the
+          destination. *)
+  misplaced_keys : int;
+      (** Keys not resident where the directory routes them; 0 in a
+          correct run. *)
+  topology : topology_change list;  (** In firing order. *)
+  restores : restore list;  (** One per shard per power failure. *)
+  per_shard : shard_stats list;  (** In stable-id order. *)
   checksum : int64;
       (** Order-sensitive digest of every shard's final key→value
           contents, shard 0 first — equal checksums mean equal final
@@ -125,9 +186,46 @@ val run : ?jobs:int -> params -> report
 (** Drives the full closed loop. [jobs] caps worker domains exactly as
     {!Wsp_sim.Parallel.map} does; the report is identical at any width. *)
 
+(** {2 Checker-driven mid-migration crash sweep} *)
+
+type sweep_point = {
+  event : int;  (** Migration persistency event the failure hit. *)
+  lost : int;  (** Acked writes lost — must be 0. *)
+  misplaced : int;  (** Keys not owned exactly once — must be 0. *)
+  dups : int;  (** Handoffs recovery resolved toward the destination. *)
+  state_ok : bool;
+      (** Final contents, lookup answers and checksum all equal the
+          crash-free golden run. *)
+}
+
+type sweep = {
+  golden : report;  (** The crash-free reference run. *)
+  total_events : int;  (** Migration persistency events available. *)
+  points : sweep_point list;  (** One per injected failure. *)
+}
+
+val crash_sweep : ?jobs:int -> ?points:int -> params -> sweep
+(** Runs the service once crash-free to count the migration's
+    persistency events, then re-runs it with a whole-service power
+    failure injected at up to [points] (default 64, evenly sampled)
+    of those events. Requires [grow_at] or [shrink_at]; overrides any
+    crash settings in [params]. *)
+
+val sweep_violations : sweep -> sweep_point list
+(** The points that lost data, double/zero-owned a key, or diverged
+    from the golden state — empty for a correct migration protocol. *)
+
+(** {2 Output} *)
+
 val to_json : report -> string
 (** Canonical JSON: simulated quantities only (picosecond integers,
-    fixed-precision floats), so equal reports render byte-identically. *)
+    fixed-precision floats), so equal reports render byte-identically.
+    [crash_at]/[crash_shard]/[grow_at]/[shrink_at] render as [null]
+    when unset, never as a sentinel round index. *)
+
+val sweep_to_json : sweep -> string
 
 val pp_report : Format.formatter -> report -> unit
 (** The human summary the CLI prints. *)
+
+val pp_sweep : Format.formatter -> sweep -> unit

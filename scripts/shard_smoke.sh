@@ -26,11 +26,15 @@ echo "== shard: --jobs 4 JSON byte-identical to --jobs 1 =="
 "$SIM" shard $SHARD_ARGS --jobs 1 --json shard-j1.json > /dev/null
 "$SIM" shard $SHARD_ARGS --jobs 4 --json shard-j4.json > /dev/null
 cmp shard-j1.json shard-j4.json
+# No crash requested: the field must render as JSON null, never as a
+# -1 (or any other) sentinel round index.
+grep -q '"crash_at": null,' shard-j1.json
 
 echo "== shard: mid-run power failure restores all shards losslessly =="
 "$SIM" shard $SHARD_ARGS --crash-at 150 --jobs 1 --json shard-crash-j1.json > /dev/null
 "$SIM" shard $SHARD_ARGS --crash-at 150 --jobs 4 --json shard-crash-j4.json > /dev/null
 cmp shard-crash-j1.json shard-crash-j4.json
+grep -q '"crash_at": 150,' shard-crash-j1.json
 grep -q '"lost_acked": 0,' shard-crash-j1.json
 
 echo "== shard: undo-logged heaps crash losslessly too =="

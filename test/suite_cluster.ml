@@ -253,6 +253,63 @@ let fleet_tests =
           (Time.to_ps r.worst) (Time.to_ps r.last_online);
         Alcotest.(check bool) "tail exceeds the head" true
           Time.(r.worst > r.p50));
+    Alcotest.test_case "stagger wider than the horizon is rejected" `Quick
+      (fun () ->
+        (* Failures past the window would silently skew availability
+           toward 1.0 — the storm must refuse, not flatter. *)
+        Alcotest.check_raises "stagger exceeds horizon"
+          (Invalid_argument "Recovery_storm.storm: stagger exceeds horizon")
+          (fun () ->
+            ignore
+              (storm
+                 {
+                   default_fleet with
+                   nodes = 10;
+                   stagger = Time.s 700.0;
+                   horizon = Time.s 600.0;
+                 }));
+        Alcotest.check_raises "negative stagger"
+          (Invalid_argument "Recovery_storm.storm: negative stagger")
+          (fun () ->
+            ignore
+              (storm
+                 { default_fleet with nodes = 10; stagger = Time.s (-1.0) }));
+        Alcotest.check_raises "failures out of range"
+          (Invalid_argument "Recovery_storm.storm: failures out of range")
+          (fun () ->
+            ignore (storm { default_fleet with nodes = 10; failures = 11 })));
+    Alcotest.test_case "partial storm fails only the drawn nodes" `Quick
+      (fun () ->
+        let f = { default_fleet with nodes = 200; failures = 5; seed = 23 } in
+        let r = storm f in
+        Alcotest.(check int) "five failed in-window" 5 r.failed_in_window;
+        let failed =
+          Array.fold_left
+            (fun acc l -> if Time.equal l Time.zero then acc else acc + 1)
+            0 r.latencies
+        in
+        Alcotest.(check int) "five nonzero latencies" 5 failed;
+        (* A 5-node failure against 200 serving nodes barely dents
+           availability; the same fleet's full PSU wave craters it. *)
+        let full = storm { f with failures = 0 } in
+        Alcotest.(check bool)
+          (Printf.sprintf "partial %.4f > full %.4f" r.availability
+             full.availability)
+          true
+          (r.availability > full.availability);
+        Alcotest.(check bool) "partial storm barely dents the fleet" true
+          (r.availability > 0.99));
+    Alcotest.test_case "failures = nodes matches the whole-fleet path" `Quick
+      (fun () ->
+        (* Explicitly failing everyone must reproduce the failures = 0
+           schedule exactly: the selection draw is skipped so the seed's
+           RNG stream is unchanged. *)
+        let f = { default_fleet with nodes = 150; seed = 31 } in
+        let zero = storm f and all = storm { f with failures = 150 } in
+        Alcotest.(check bool) "identical latencies" true
+          (zero.latencies = all.latencies);
+        Alcotest.(check (float 1e-12)) "identical availability"
+          zero.availability all.availability);
   ]
 
 let suite =

@@ -61,7 +61,116 @@ let router_tests =
         Alcotest.check_raises "zero vnodes"
           (Invalid_argument "Router.create: vnodes must be positive")
           (fun () -> ignore (Router.create ~vnodes:0 ~shards:2 ())));
+    Alcotest.test_case "shrinking the ring remaps only the victim's share"
+      `Quick (fun () ->
+        (* The mirror of the growth bound: removing one of 9 shards
+           moves only that shard's ~1/9 of the keyspace. *)
+        let before = Router.create ~shards:9 () in
+        let after, ranges = Router.remove_shard before 8 in
+        let rng = Rng.create ~seed:12 in
+        let n = 50_000 in
+        let moved = ref 0 in
+        for _ = 1 to n do
+          let k = Rng.bits64 rng in
+          if Router.shard_of_key before k <> Router.shard_of_key after k then
+            incr moved
+        done;
+        let fraction = float_of_int !moved /. float_of_int n in
+        Alcotest.(check bool)
+          (Printf.sprintf "moved %.3f, expected ~1/9" fraction)
+          true (fraction < 0.25);
+        (* and the returned arcs measure exactly that movement *)
+        let est = Router.moved_fraction ranges in
+        Alcotest.(check bool)
+          (Printf.sprintf "arc estimate %.3f vs sampled %.3f" est fraction)
+          true
+          (Float.abs (est -. fraction) < 0.02);
+        List.iter
+          (fun (rg : Router.range) ->
+            Alcotest.(check int) "src is the victim" 8 rg.src;
+            Alcotest.(check bool) "dst survives" true (rg.dst >= 0 && rg.dst < 8))
+          ranges);
+    Alcotest.test_case "interior removal renumbers without remapping" `Quick
+      (fun () ->
+        (* Ring points derive from stable labels, not indices: removing
+           an interior shard shifts survivors' indices down by one but
+           must not move any key between surviving shards. *)
+        let before = Router.create ~shards:7 () in
+        let victim = 3 in
+        let after, _ = Router.remove_shard before victim in
+        for i = 0 to 5 do
+          Alcotest.(check int) "label preserved"
+            (Router.label before (if i < victim then i else i + 1))
+            (Router.label after i)
+        done;
+        let rng = Rng.create ~seed:31 in
+        for _ = 1 to 20_000 do
+          let k = Rng.bits64 rng in
+          let o = Router.shard_of_key before k in
+          if o <> victim then
+            Alcotest.(check int) "survivor keeps its keys"
+              (if o < victim then o else o - 1)
+              (Router.shard_of_key after k)
+        done);
+    Alcotest.test_case "remove_shard rejects bad arguments" `Quick (fun () ->
+        Alcotest.check_raises "cannot empty the ring"
+          (Invalid_argument "Router.remove_shard: cannot empty the ring")
+          (fun () -> ignore (Router.remove_shard (Router.create ~shards:1 ()) 0));
+        Alcotest.check_raises "no such shard"
+          (Invalid_argument "Router.remove_shard: no such shard")
+          (fun () -> ignore (Router.remove_shard (Router.create ~shards:3 ()) 5)));
+    Alcotest.test_case "add_shard arcs cover exactly the moved keys" `Quick
+      (fun () ->
+        let before = Router.create ~shards:8 () in
+        let after, ranges = Router.add_shard before in
+        Alcotest.(check int) "one more shard" 9 (Router.shards after);
+        List.iter
+          (fun (rg : Router.range) ->
+            Alcotest.(check int) "dst is the new shard" 8 rg.dst)
+          ranges;
+        let rng = Rng.create ~seed:77 in
+        let n = 50_000 in
+        let moved = ref 0 in
+        for _ = 1 to n do
+          let k = Rng.bits64 rng in
+          if Router.shard_of_key before k <> Router.shard_of_key after k then begin
+            incr moved;
+            Alcotest.(check int) "moved keys land on the new shard" 8
+              (Router.shard_of_key after k)
+          end
+        done;
+        let fraction = float_of_int !moved /. float_of_int n in
+        Alcotest.(check bool)
+          (Printf.sprintf "moved %.3f, expected ~1/9" fraction)
+          true (fraction < 0.25);
+        let est = Router.moved_fraction ranges in
+        Alcotest.(check bool)
+          (Printf.sprintf "arc estimate %.3f vs sampled %.3f" est fraction)
+          true
+          (Float.abs (est -. fraction) < 0.02));
   ]
+
+(* Satellite property: growing the ring and then removing the shard it
+   added must restore the original ownership map exactly — stable
+   labels make topology changes reversible, index renumbering and hash
+   tie-breaks included. *)
+let grow_shrink_roundtrip_test =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name:"grow then shrink round-trips ring ownership"
+       ~count:30
+       QCheck2.Gen.(tup2 (int_range 1 10) (int_range 0 9999))
+       (fun (shards, seed) ->
+         let r0 = Router.create ~shards () in
+         let r1, _ = Router.add_shard r0 in
+         let r2, _ = Router.remove_shard r1 shards in
+         let rng = Rng.create ~seed in
+         let ok = ref true in
+         for _ = 1 to 2_000 do
+           let k = Rng.bits64 rng in
+           if Router.shard_of_key r0 k <> Router.shard_of_key r2 k then
+             ok := false
+         done;
+         !ok))
 
 let client_tests =
   [
@@ -185,6 +294,172 @@ let service_tests =
               0 s.lint_errors;
             Alcotest.(check bool) "bus saw stores" true (s.stores > 0))
           r.Service.per_shard);
+    Alcotest.test_case "growing mid-run migrates and stays correct" `Quick
+      (fun () ->
+        (* The ring grows 3→4 while clients keep issuing; the drained
+           service must answer exactly like the single-shard oracle. *)
+        let p =
+          { (small_params ~shards:3 ~seed:17) with Service.grow_at = Some 20 }
+        in
+        let r = Service.run ~jobs:2 p in
+        Alcotest.(check int) "no acked writes lost" 0 r.Service.lost_acked;
+        Alcotest.(check int) "every key owned where routed" 0
+          r.Service.misplaced_keys;
+        Alcotest.(check int) "four shards reported" 4
+          (List.length r.Service.per_shard);
+        (match r.Service.topology with
+        | [ tc ] ->
+            Alcotest.(check bool) "grew" true (tc.Service.change = `Grow);
+            Alcotest.(check int) "3 -> 4" 4 tc.Service.to_shards;
+            Alcotest.(check int) "keys drained" r.Service.keys_moved
+              tc.Service.moved_keys;
+            Alcotest.(check bool) "moved something" true (tc.Service.moved_keys > 0)
+        | l -> Alcotest.failf "expected 1 topology change, got %d" (List.length l));
+        let oracle = Service.run ~jobs:1 (small_params ~shards:1 ~seed:17) in
+        let get = function Some x -> x | None -> assert false in
+        Alcotest.(check bool) "lookups match the oracle" true
+          (get r.Service.lookup_results = get oracle.Service.lookup_results);
+        Alcotest.(check bool) "final contents match the oracle" true
+          (get r.Service.final_contents = get oracle.Service.final_contents));
+    Alcotest.test_case "shrinking mid-run drains and retires the victim"
+      `Quick (fun () ->
+        let p =
+          { (small_params ~shards:4 ~seed:23) with Service.shrink_at = Some 20 }
+        in
+        let r = Service.run ~jobs:2 p in
+        Alcotest.(check int) "no acked writes lost" 0 r.Service.lost_acked;
+        Alcotest.(check int) "every key owned where routed" 0
+          r.Service.misplaced_keys;
+        let victim =
+          List.find (fun (s : Service.shard_stats) -> s.shard = 3)
+            r.Service.per_shard
+        in
+        Alcotest.(check bool) "victim retired" true victim.Service.retired;
+        Alcotest.(check int) "victim fully drained" 0 victim.Service.final_keys;
+        Alcotest.(check bool) "victim surrendered keys" true
+          (victim.Service.migrated_out > 0);
+        let oracle = Service.run ~jobs:1 (small_params ~shards:1 ~seed:23) in
+        let get = function Some x -> x | None -> assert false in
+        Alcotest.(check bool) "lookups match the oracle" true
+          (get r.Service.lookup_results = get oracle.Service.lookup_results);
+        Alcotest.(check bool) "final contents match the oracle" true
+          (get r.Service.final_contents = get oracle.Service.final_contents));
+    Alcotest.test_case "one shard's power failure spares the rest" `Quick
+      (fun () ->
+        let base = small_params ~shards:4 ~seed:29 in
+        let crashed =
+          Service.run ~jobs:2
+            { base with Service.crash_at = Some 30; crash_shard = Some 2 }
+        in
+        let clean = Service.run ~jobs:2 base in
+        Alcotest.(check int) "no acked writes lost" 0 crashed.Service.lost_acked;
+        Alcotest.(check bool) "availability dipped" true
+          (crashed.Service.availability < 1.0);
+        (match crashed.Service.restores with
+        | [ rr ] -> Alcotest.(check int) "shard 2 restored" 2 rr.Service.shard
+        | l -> Alcotest.failf "expected 1 restore, got %d" (List.length l));
+        Alcotest.(check int) "every arrival accounted"
+          crashed.Service.issued
+          (crashed.Service.served + crashed.Service.shed
+         + crashed.Service.crash_shed);
+        (* The surviving shards must keep serving: within 5% of the
+           crash-free run (the issue's acceptance bound). *)
+        List.iter2
+          (fun (c : Service.shard_stats) (n : Service.shard_stats) ->
+            Alcotest.(check int) "stable id order" n.Service.shard
+              c.Service.shard;
+            if c.Service.shard <> 2 then begin
+              let slack = max 1 (n.Service.served / 20) in
+              Alcotest.(check bool)
+                (Printf.sprintf "shard %d served %d vs %d crash-free"
+                   c.Service.shard c.Service.served n.Service.served)
+                true
+                (abs (c.Service.served - n.Service.served) <= slack);
+              Alcotest.(check bool) "survivor never down" true
+                (Time.equal c.Service.downtime Time.zero)
+            end
+            else
+              Alcotest.(check bool) "victim booked downtime" true
+                Time.(c.Service.downtime > Time.zero))
+          crashed.Service.per_shard clean.Service.per_shard);
+    Alcotest.test_case "whole-service crash mid-migration is lossless"
+      `Quick (fun () ->
+        (* Tiny batches stretch the drain over many rounds so the crash
+           lands while double-ownership handoffs are in flight. *)
+        let p =
+          {
+            (small_params ~shards:3 ~seed:41) with
+            Service.grow_at = Some 10;
+            migrate_batch = 1;
+          }
+        in
+        let crashed = Service.run ~jobs:2 { p with Service.crash_at = Some 14 } in
+        let golden = Service.run ~jobs:2 p in
+        Alcotest.(check int) "no acked writes lost" 0 crashed.Service.lost_acked;
+        Alcotest.(check int) "every key owned where routed" 0
+          crashed.Service.misplaced_keys;
+        let get = function Some x -> x | None -> assert false in
+        Alcotest.(check bool) "final contents match crash-free run" true
+          (get crashed.Service.final_contents = get golden.Service.final_contents));
+    Alcotest.test_case "jobs byte-identity survives topology and crash"
+      `Quick (fun () ->
+        let p =
+          {
+            (small_params ~shards:4 ~seed:53) with
+            Service.grow_at = Some 15;
+            shrink_at = Some 50;
+            crash_at = Some 30;
+            crash_shard = Some 1;
+          }
+        in
+        let run jobs = Service.to_json (Service.run ~jobs p) in
+        Alcotest.(check string) "jobs 1 == jobs 4" (run 1) (run 4));
+    Alcotest.test_case "invalid crash and topology parameters are rejected"
+      `Quick (fun () ->
+        let base = small_params ~shards:2 ~seed:1 in
+        Alcotest.check_raises "crash_shard needs crash_at"
+          (Invalid_argument "Service.run: crash_shard needs crash_at")
+          (fun () ->
+            ignore (Service.run { base with Service.crash_shard = Some 0 }));
+        Alcotest.check_raises "no such shard"
+          (Invalid_argument "Service.run: no such shard")
+          (fun () ->
+            ignore
+              (Service.run
+                 { base with Service.crash_at = Some 5; crash_shard = Some 9 }));
+        Alcotest.check_raises "cannot shrink to nothing"
+          (Invalid_argument "Service.run: cannot shrink a 1-shard service")
+          (fun () ->
+            ignore
+              (Service.run
+                 { (small_params ~shards:1 ~seed:1) with
+                   Service.shrink_at = Some 5 }));
+        Alcotest.check_raises "sweep needs a migration"
+          (Invalid_argument "Service.crash_sweep: needs grow_at or shrink_at")
+          (fun () -> ignore (Service.crash_sweep base)));
+    Alcotest.test_case "crash sweep finds no violation at any event" `Slow
+      (fun () ->
+        let p =
+          {
+            Service.default with
+            Service.shards = 2;
+            clients = 16;
+            requests = 800;
+            keyspace = 200;
+            queue_cap = 16;
+            seed = 61;
+            grow_at = Some 8;
+            migrate_batch = 8;
+            record_lookups = true;
+          }
+        in
+        let sw = Service.crash_sweep ~jobs:2 ~points:6 p in
+        Alcotest.(check bool) "migration produced events" true
+          (sw.Service.total_events > 0);
+        Alcotest.(check bool) "injected some failures" true
+          (List.length sw.Service.points > 0);
+        Alcotest.(check int) "no violations" 0
+          (List.length (Service.sweep_violations sw)));
   ]
 
 (* The headline property: serving through N shards is observably
@@ -216,7 +491,7 @@ let oracle_equivalence_test =
 
 let suite =
   [
-    ("shard.router", router_tests);
+    ("shard.router", router_tests @ [ grow_shrink_roundtrip_test ]);
     ("shard.client", client_tests);
     ("shard.service", service_tests @ [ oracle_equivalence_test ]);
   ]
