@@ -1,8 +1,8 @@
 # Convenience targets. `make bench` gates the microbenchmarks on the
 # tier-1 build + test suite so a perf number is never reported for a
-# broken tree; it writes BENCH_8.json next to this Makefile.
+# broken tree; it writes BENCH_9.json next to this Makefile.
 
-.PHONY: all build test check lint bench shard shard-smoke \
+.PHONY: all build test check lint race-lint bench shard shard-smoke \
   shard-migrate-smoke ci-determinism clean
 
 all: build
@@ -24,6 +24,15 @@ check: build
 # trailing-fence advisories, hence the R3 allowlist.
 lint: build
 	dune exec bin/wsp_sim.exe -- lint --expect R3
+
+# Cross-domain persistency race gate: the concurrent Delay-Free
+# registry under the vector-clock rules R6-R9 (clean and racy, with
+# the racy convictions allowlisted per structure), job-width JSON
+# determinism, and the shard service's race lint — clean migration
+# passes, the tombstone-first sabotage is convicted both statically
+# (R8) and dynamically (crash sweep).
+race-lint: build
+	sh scripts/race_lint.sh
 
 bench: test
 	dune exec bench/main.exe -- --micro --json

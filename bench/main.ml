@@ -9,7 +9,7 @@
      main.exe --full          paper-scale parameters (slow)
      main.exe --micro         run the Bechamel microbenchmarks (alone when
                               no experiment is named)
-     main.exe --micro --json  …and write the estimates to BENCH_8.json
+     main.exe --micro --json  …and write the estimates to BENCH_9.json
 
    Independent experiments fan out over a domain pool (WSP_JOBS caps the
    worker count; WSP_JOBS=1 forces the sequential path). *)
@@ -60,6 +60,40 @@ let analyzer_traces =
 let analyzer_bench_name txns = Printf.sprintf "analyze-%dtx" txns
 
 let lint_bench_txns = 6
+
+(* Concurrent race-lint loads: the full Delay-Free registry (three
+   structures, clean and racy, FoC-UL and FoF) through the driver — the
+   shape `wsp_sim lint --concurrent` runs in CI — plus the Crules
+   engine alone on a prepared multi-domain annotation stream, so the
+   throughput headline divides into events judged per second without
+   the driver's heap setup inside the timed body. *)
+let race_lint_txns = 12
+let crules_bench_items = 10_000
+let crules_bench_domains = 4
+
+(* A deterministic 4-domain mix of writes, release/acquire edges,
+   cross-domain reads, acks and periodic barriers over a 61-object
+   working set — every Crules code path except the per-domain bus
+   streams, which analyze-*tx already price. *)
+let crules_bench_stream =
+  lazy
+    (Array.init crules_bench_items (fun i ->
+         let d = i mod crules_bench_domains in
+         let obj = Int64.of_int (1 + (i mod 61)) in
+         let item : Wsp_analysis.Crules.item =
+           match i mod 8 with
+           | 0 | 5 -> Sync (Write { obj; addr = -1 })
+           | 1 -> Sync (Publish { chan = d })
+           | 2 -> Sync (Acquire { chan = (d + 1) mod crules_bench_domains })
+           | 3 | 6 -> Sync (Read { obj })
+           | 4 -> Sync (Ack { obj })
+           | _ -> if i mod 64 = 7 then Sync Barrier else Sync (Publish { chan = d })
+         in
+         (d, item)))
+
+let crules_machine =
+  lazy
+    (Wsp_analysis.Rules.default_machine ~config:Wsp_nvheap.Config.fof ())
 
 (* Sharded-service load: one closed-loop round trip of the full stack
    (router, admission, AVL-on-pheap service, bus tally) at a size small
@@ -287,6 +321,27 @@ let microbench_tests () =
              (Wsp_analysis.Analyzer.lint ~jobs ~txns:lint_bench_txns
                 ~workloads:Wsp_analysis.Analyzer.registry ())))
   in
+  let crules_engine =
+    Test.make ~name:"crules-10k-sync"
+      (Staged.stage (fun () ->
+           let items = Lazy.force crules_bench_stream in
+           let cs =
+             Wsp_analysis.Crules.create
+               (Lazy.force crules_machine)
+               ~domains:crules_bench_domains
+           in
+           Array.iter
+             (fun (d, item) -> Wsp_analysis.Crules.step cs ~domain:d item)
+             items;
+           ignore (Wsp_analysis.Crules.finish cs)))
+  in
+  let race_lint_registry jobs =
+    Test.make ~name:(Printf.sprintf "race-lint-registry-j%d" jobs)
+      (Staged.stage (fun () ->
+           ignore
+             (Wsp_analysis.Canalyzer.clint ~jobs ~txns:race_lint_txns
+                ~workloads:Wsp_analysis.Canalyzer.cregistry ())))
+  in
   let shard_service shards =
     Test.make ~name:(shard_bench_name shards)
       (Staged.stage (fun () ->
@@ -319,6 +374,7 @@ let microbench_tests () =
   ]
   @ analyze_tests
   @ List.map lint_registry [ 1; 2; 4; 8 ]
+  @ (crules_engine :: List.map race_lint_registry [ 1; 4 ])
   @ List.map shard_service [ 1; 4 ]
   @ [ shard_migrate; storm_fleet ]
 
@@ -329,7 +385,7 @@ let microbench_tests () =
    to the hardware count, which is how j8 stays sane on small boxes.) *)
 let bench_jobs = function
   | "lint-registry-j2" -> 2
-  | "lint-registry-j4" -> 4
+  | "lint-registry-j4" | "race-lint-registry-j4" -> 4
   | "lint-registry-j8" -> 8
   | _ -> 1
 
@@ -391,6 +447,15 @@ let analyzer_events_per_sec results =
       | _ -> None)
   | [] -> None
 
+(* Annotation events judged per second by the cross-domain race engine —
+   vector clocks, object/channel state and the R6-R9 checks, without
+   workload-driver setup. *)
+let race_lint_events_per_sec results =
+  match List.assoc_opt "crules-10k-sync" results with
+  | Some ns when ns > 0.0 ->
+      Some (float_of_int crules_bench_items *. 1e9 /. ns)
+  | _ -> None
+
 let dirty_poll_speedup results =
   match
     (List.assoc_opt "dirty-poll" results, List.assoc_opt "dirty-poll-slow" results)
@@ -440,7 +505,7 @@ let json_escape s =
     s;
   Buffer.contents b
 
-(* BENCH_8.json: the perf trajectory file future PRs diff against. *)
+(* BENCH_9.json: the perf trajectory file future PRs diff against. *)
 let write_json ~path results =
   let oc = open_out path in
   output_string oc "{\n  \"benchmarks\": [\n";
@@ -464,6 +529,10 @@ let write_json ~path results =
   (match analyzer_events_per_sec results with
   | Some eps ->
       Printf.fprintf oc ",\n  \"analyzer_events_per_sec\": %.0f" eps
+  | None -> ());
+  (match race_lint_events_per_sec results with
+  | Some eps ->
+      Printf.fprintf oc ",\n  \"race_lint_events_per_sec\": %.0f" eps
   | None -> ());
   (match shard_requests_per_sec results with
   | Some rps -> Printf.fprintf oc ",\n  \"shard_requests_per_sec\": %.0f" rps
@@ -515,6 +584,10 @@ let run_microbenches ~json () =
   | Some eps ->
       Printf.printf "  analyzer throughput: %.0f trace events/sec\n" eps
   | None -> ());
+  (match race_lint_events_per_sec results with
+  | Some eps ->
+      Printf.printf "  race lint throughput: %.0f interleaved events/sec\n" eps
+  | None -> ());
   (match shard_requests_per_sec results with
   | Some rps ->
       Printf.printf "  shard service: %.0f wall requests/sec (4 shards)\n" rps
@@ -541,7 +614,7 @@ let run_microbenches ~json () =
      "  1000-node storm tail: p50 %.1fs p99 %.1fs, availability %.4f\n" p50 p99
      avail);
   if json then begin
-    let path = "BENCH_8.json" in
+    let path = "BENCH_9.json" in
     write_json ~path results;
     Printf.printf "  wrote %s\n" path
   end

@@ -454,7 +454,7 @@ let lint_cmd =
     let parse s =
       match Rules.rule_of_name s with
       | Some r -> Ok r
-      | None -> Error (`Msg (Printf.sprintf "unknown rule %S (R1..R5)" s))
+      | None -> Error (`Msg (Printf.sprintf "unknown rule %S (R1..R9)" s))
     in
     Arg.conv (parse, fun ppf r -> Fmt.string ppf (Rules.rule_name r))
   in
@@ -521,27 +521,54 @@ let lint_cmd =
                 memory in the trace length. Verdicts and JSON output are \
                 identical to the recorded mode.")
   in
-  let run workload config broken txns jobs live json expect strict psu platform
-      busy seed verbose metrics trace =
+  let concurrent_arg =
+    Arg.(
+      value & flag
+      & info [ "concurrent" ]
+          ~doc:"Run the concurrent registry instead: multi-domain durable \
+                structures analysed by the vector-clock race detector \
+                (rules R6-R9 on top of the per-domain R1-R5 streams).")
+  in
+  let buses_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "buses" ] ~docv:"N"
+          ~doc:"With $(b,--concurrent): raise the logical domain count \
+                above each workload's minimum (more queue producers, more \
+                counter peers).")
+  in
+  let run workload config broken txns jobs live concurrent buses json expect
+      strict psu platform busy seed verbose metrics trace =
     setup_logs verbose;
     with_obs metrics trace @@ fun () ->
+    let module Canalyzer = Wsp_analysis.Canalyzer in
     let jobs = if jobs > 0 then Some jobs else None in
-    match Analyzer.find ?workload ?config () with
-    | [] ->
-        Printf.eprintf "no workload matches the given filters\n";
-        2
-    | workloads ->
-        let reports =
-          Analyzer.lint ?jobs ~live ~fault:broken ~txns ~seed ~psu ~platform
-            ~busy ~workloads ()
-        in
-        Fmt.pr "%a" (Analyzer.pp_human ~expect) reports;
-        (match json with
-        | Some "-" -> print_string (Analyzer.to_json ~expect reports)
-        | Some path -> write_file path (Analyzer.to_json ~expect reports)
-        | None -> ());
-        let errs, advs = Analyzer.errors ~expect reports in
-        if errs > 0 || (strict && advs > 0) then 1 else 0
+    let render reports =
+      Fmt.pr "%a" (Analyzer.pp_human ~expect) reports;
+      (match json with
+      | Some "-" -> print_string (Analyzer.to_json ~expect reports)
+      | Some path -> write_file path (Analyzer.to_json ~expect reports)
+      | None -> ());
+      let errs, advs = Analyzer.errors ~expect reports in
+      if errs > 0 || (strict && advs > 0) then 1 else 0
+    in
+    if concurrent then begin
+      let buses = if buses > 0 then Some buses else None in
+      match Canalyzer.cfind ?workload ?config () with
+      | [] ->
+          Printf.eprintf "no concurrent workload matches the given filters\n";
+          2
+      | workloads -> render (Canalyzer.clint ?jobs ?buses ~txns ~seed ~workloads ())
+    end
+    else
+      match Analyzer.find ?workload ?config () with
+      | [] ->
+          Printf.eprintf "no workload matches the given filters\n";
+          2
+      | workloads ->
+          render
+            (Analyzer.lint ?jobs ~live ~fault:broken ~txns ~seed ~psu ~platform
+               ~busy ~workloads ())
   in
   Cmd.v
     (Cmd.info "lint"
@@ -552,8 +579,9 @@ let lint_cmd =
           executing recovery")
     Term.(
       const run $ workload_arg $ config_arg $ broken_arg $ txns_arg $ jobs_arg
-      $ live_arg $ json_arg $ expect_arg $ strict_arg $ psu_arg $ platform_arg
-      $ busy_arg $ seed_arg $ verbose_arg $ metrics_arg $ trace_arg)
+      $ live_arg $ concurrent_arg $ buses_arg $ json_arg $ expect_arg
+      $ strict_arg $ psu_arg $ platform_arg $ busy_arg $ seed_arg $ verbose_arg
+      $ metrics_arg $ trace_arg)
 
 (* --- shard ------------------------------------------------------------ *)
 
@@ -669,6 +697,24 @@ let shard_cmd =
       & info [ "lint" ]
           ~doc:"Stream the static persistency analyzer off every shard bus.")
   in
+  let race_lint_arg =
+    Arg.(
+      value & flag
+      & info [ "race-lint" ]
+          ~doc:"Stream every shard bus plus the migration protocol's sync \
+                annotations into the cross-domain race detector (rules \
+                R6-R9, one vector-clock domain per shard); exits non-zero \
+                on any cross-domain error.")
+  in
+  let broken_handoff_arg =
+    Arg.(
+      value & flag
+      & info [ "broken-handoff" ]
+          ~doc:"Sabotage the migration engine: tombstone each key at the \
+                source before its destination persist. $(b,--race-lint) \
+                convicts it via R8; $(b,--sweep) loses acked keys. Needs a \
+                topology change.")
+  in
   let jobs_arg =
     Arg.(
       value & opt int 0
@@ -687,8 +733,8 @@ let shard_cmd =
   in
   let run shards clients requests keyspace theta (lookups, inserts, deletes)
       queue_cap config heap_mib crash_at crash_shard grow_at shrink_at
-      migrate_batch sweep sweep_points lint jobs json seed verbose metrics
-      trace =
+      migrate_batch sweep sweep_points lint race_lint broken_handoff jobs json
+      seed verbose metrics trace =
     setup_logs verbose;
     let jobs = if jobs > 0 then Some jobs else None in
     with_obs metrics trace @@ fun () ->
@@ -711,6 +757,8 @@ let shard_cmd =
         shrink_at;
         migrate_batch;
         lint;
+        race_lint;
+        broken_handoff;
       }
     in
     if sweep then begin
@@ -737,7 +785,11 @@ let shard_cmd =
       | Some "-" -> print_string (Service.to_json report)
       | Some path -> write_file path (Service.to_json report)
       | None -> ());
-      if report.Service.lost_acked > 0 || report.Service.misplaced_keys > 0
+      let race_errs, _ = Service.race_errors report in
+      if
+        report.Service.lost_acked > 0
+        || report.Service.misplaced_keys > 0
+        || race_errs > 0
       then 1
       else 0
     end
@@ -751,8 +803,9 @@ let shard_cmd =
       const run $ shards_arg $ clients_arg $ requests_arg $ keyspace_arg
       $ theta_arg $ mix_arg $ queue_cap_arg $ config_arg $ heap_arg
       $ crash_arg $ crash_shard_arg $ grow_arg $ shrink_arg
-      $ migrate_batch_arg $ sweep_arg $ sweep_points_arg $ lint_arg $ jobs_arg
-      $ json_arg $ seed_arg $ verbose_arg $ metrics_arg $ trace_arg)
+      $ migrate_batch_arg $ sweep_arg $ sweep_points_arg $ lint_arg
+      $ race_lint_arg $ broken_handoff_arg $ jobs_arg $ json_arg $ seed_arg
+      $ verbose_arg $ metrics_arg $ trace_arg)
 
 (* --- storm ------------------------------------------------------------ *)
 

@@ -191,9 +191,32 @@ type report = {
 (* Streaming analysis of one workload: no recording is materialised —
    the rule engine rides the heap's event bus while the workload runs.
    Witness indices match recorded-trace indices because the baseline is
-   replayed first, exactly as [Trace.instrument] does. *)
+   replayed first, exactly as [Trace.instrument] does. A bounded ring
+   of the most recent events backs witness rendering: the stream's
+   diagnostic callback quotes each cited event the moment its rule
+   fires, while the index is still resident — so human witnesses carry
+   the same store/flush detail as recorded mode, degrading to bare
+   [#idx] only when a single diagnostic's witness span exceeds the
+   ring. *)
 let stream_one machine w ~fault ~txns ~seed =
   let stream = ref None in
+  let ring = Array.make Crules.ring_size None in
+  let texts = Hashtbl.create 32 in
+  let snapshot d =
+    List.iter
+      (fun i ->
+        if not (Hashtbl.mem texts i) then
+          match ring.(i mod Array.length ring) with
+          | Some (j, ev) when j = i ->
+              Hashtbl.add texts i (Fmt.str "%a" Trace.pp_event ev)
+          | Some _ | None -> ())
+      d.Rules.witness
+  in
+  let feed s ev =
+    let i = Rules.stream_index s in
+    ring.(i mod Array.length ring) <- Some (i, ev);
+    Rules.stream_step s ev
+  in
   let sub = ref None in
   let unsubscribe () =
     match !sub with
@@ -214,13 +237,17 @@ let stream_one machine w ~fault ~txns ~seed =
             Rules.stream_create machine ~line_size:(Nvram.line_size nv)
               ~alloc_base:(Alloc.base al) ~alloc_limit:(Alloc.limit al)
           in
-          Trace.iter_baseline heap (Rules.stream_step s);
-          sub :=
-            Some
-              (Wsp_events.Bus.subscribe (Pheap.bus heap) (Rules.stream_step s));
+          Rules.stream_on_diag s snapshot;
+          Trace.iter_baseline heap (feed s);
+          sub := Some (Wsp_events.Bus.subscribe (Pheap.bus heap) (feed s));
           stream := Some s)
         ~finish:(fun _heap -> unsubscribe ()));
-  Rules.stream_finish (Option.get !stream)
+  let result = Rules.stream_finish (Option.get !stream) in
+  let witness_text =
+    Hashtbl.fold (fun i text acc -> (i, text) :: acc) texts []
+    |> List.sort compare
+  in
+  (result, witness_text)
 
 let lint ?jobs ?(live = false) ?(fault = Checker.No_fault) ?(txns = 32)
     ?(seed = 1) ?psu ?platform ?(busy = false) ~workloads () =
@@ -245,12 +272,12 @@ let lint ?jobs ?(live = false) ?(fault = Checker.No_fault) ?(txns = 32)
     }
   in
   if live then
-    (* No trace exists to render witness indices against; the human
-       report falls back to bare [#idx] references. Diagnostics and
-       stats — everything the JSON carries — are identical to the
-       recorded path. *)
+    (* Diagnostics and stats — everything the JSON carries — are
+       identical to the recorded path; human witnesses come from the
+       streaming ring and degrade to bare [#idx] only past its
+       horizon. *)
     Parallel.map ?jobs
-      (fun w -> make_report w (stream_one (machine_of w) w ~fault ~txns ~seed, []))
+      (fun w -> make_report w (stream_one (machine_of w) w ~fault ~txns ~seed))
       workloads
   else begin
     (* Two phases: each workload's heap simulation runs exactly once,

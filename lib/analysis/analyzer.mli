@@ -68,9 +68,10 @@ val lint :
     engine subscribes to each heap's {!Wsp_nvheap.Pheap.bus} and judges
     events as the workload executes, never materialising a trace —
     constant memory in the trace length. Diagnostics, stats and JSON are
-    identical to the recorded path; only the human report's witness
-    rendering degrades to bare [#idx] references (there is no trace to
-    quote events from). *)
+    identical to the recorded path; human witnesses are quoted from a
+    bounded ring of the {!Crules.ring_size} most recent events and
+    degrade to bare [#idx] references only when a citation has scrolled
+    past that horizon. *)
 
 val errors : expect:Rules.rule list -> report list -> int * int
 (** [(unexpected_errors, unexpected_advisories)]: diagnostics whose rule

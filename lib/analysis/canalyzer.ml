@@ -1,0 +1,177 @@
+open Wsp_sim
+open Wsp_nvheap
+module Checker = Wsp_check.Checker
+module Trace = Wsp_check.Trace
+
+type ctx = {
+  add_heap : domains:int list -> Pheap.t -> unit;
+  set_domain : int -> unit;
+  sync : Crules.sync -> unit;
+}
+
+type cworkload = {
+  cname : string;
+  cconfig : Config.t;
+  cdomains : int;
+  crun : ctx -> domains:int -> txns:int -> seed:int -> unit;
+}
+
+let sync_of_note : Dstruct.note -> Crules.sync = function
+  | Dstruct.Wrote { obj; addr } -> Crules.Write { obj; addr }
+  | Dstruct.Observed { obj } -> Crules.Read { obj }
+  | Dstruct.Acked { obj } -> Crules.Ack { obj }
+  | Dstruct.Published { chan } -> Crules.Publish { chan }
+  | Dstruct.Acquired { chan } -> Crules.Acquire { chan }
+  | Dstruct.Handoff_persisted { obj } -> Crules.Handoff_persist { obj }
+  | Dstruct.Tombstoned { obj } -> Crules.Tombstone { obj }
+
+let heap_size = Units.Size.mib 1
+let log_size = Units.Size.kib 64
+
+let make_heap ~config () = Pheap.create ~config ~size:heap_size ~log_size ()
+
+(* Producers round-robin over domains 0..n-2; the single consumer is
+   domain n-1, acquiring the published tail every third op. *)
+let crun_dqueue ~racy ~config ctx ~domains ~txns ~seed:_ =
+  let heap = make_heap ~config () in
+  let hook n = ctx.sync (sync_of_note n) in
+  let q = Dstruct.Dqueue.create ~hook ~racy heap ~cap:(txns + 1) in
+  (* Setup is mkfs, not under analysis: force it durable and clean. *)
+  Nvram.wbinvd (Pheap.nvram heap);
+  ctx.add_heap ~domains:(List.init domains Fun.id) heap;
+  let consumer = domains - 1 in
+  let producers = domains - 1 in
+  for i = 0 to txns - 1 do
+    ctx.set_domain (i mod producers);
+    ignore (Dstruct.Dqueue.enqueue_expected q);
+    if i mod 3 = 2 then begin
+      ctx.set_domain consumer;
+      ignore (Dstruct.Dqueue.drain q)
+    end
+  done;
+  ctx.set_domain consumer;
+  ignore (Dstruct.Dqueue.drain q)
+
+(* Peer incrementers, one shared cell, rotating through the channel. *)
+let crun_dcounter ~racy ~config ctx ~domains ~txns ~seed:_ =
+  let heap = make_heap ~config () in
+  let hook n = ctx.sync (sync_of_note n) in
+  let c = Dstruct.Dcounter.create ~hook ~racy heap in
+  Nvram.wbinvd (Pheap.nvram heap);
+  ctx.add_heap ~domains:(List.init domains Fun.id) heap;
+  for i = 0 to txns - 1 do
+    ctx.set_domain (i mod domains);
+    Dstruct.Dcounter.incr c
+  done
+
+(* Source domain 0 populates its heap, a barrier models the round join
+   that starts the migration, then each key moves to destination
+   domain 1 — the shard handoff protocol in miniature. *)
+let crun_handoff ~racy ~config ctx ~domains:_ ~txns ~seed:_ =
+  let src = make_heap ~config () in
+  let dst = make_heap ~config () in
+  let hook n = ctx.sync (sync_of_note n) in
+  let slots = max 1 (min txns 64) in
+  let h = Dstruct.Handoff.create ~hook ~racy ~src ~dst ~slots () in
+  Nvram.wbinvd (Pheap.nvram src);
+  Nvram.wbinvd (Pheap.nvram dst);
+  ctx.add_heap ~domains:[ 0 ] src;
+  ctx.add_heap ~domains:[ 1 ] dst;
+  ctx.set_domain 0;
+  for key = 0 to slots - 1 do
+    Dstruct.Handoff.put h ~key
+  done;
+  (* The coordination point between the populate phase and the
+     migration — without it every cross-heap read would be racy. *)
+  ctx.sync Crules.Barrier;
+  let switch = function `Src -> ctx.set_domain 0 | `Dst -> ctx.set_domain 1 in
+  for key = 0 to slots - 1 do
+    Dstruct.Handoff.move ~switch h ~key
+  done
+
+let cregistry =
+  let configs = [ Config.foc_ul; Config.fof ] in
+  let entry name ~domains crun =
+    List.map
+      (fun config ->
+        {
+          cname = name ^ "/" ^ Analyzer.config_slug config;
+          cconfig = config;
+          cdomains = domains;
+          crun = crun ~config;
+        })
+      configs
+  in
+  entry "dqueue" ~domains:3 (fun ~config -> crun_dqueue ~racy:false ~config)
+  @ entry "dqueue-racy" ~domains:3 (fun ~config ->
+        crun_dqueue ~racy:true ~config)
+  @ entry "dcounter" ~domains:2 (fun ~config ->
+        crun_dcounter ~racy:false ~config)
+  @ entry "dcounter-racy" ~domains:2 (fun ~config ->
+        crun_dcounter ~racy:true ~config)
+  @ entry "handoff" ~domains:2 (fun ~config -> crun_handoff ~racy:false ~config)
+  @ entry "handoff-racy" ~domains:2 (fun ~config ->
+        crun_handoff ~racy:true ~config)
+
+let cfind ?workload ?config () =
+  List.filter
+    (fun w ->
+      let structure =
+        match String.index_opt w.cname '/' with
+        | Some i -> String.sub w.cname 0 i
+        | None -> w.cname
+      in
+      (match workload with None -> true | Some f -> f = structure || f = w.cname)
+      && match config with None -> true | Some c -> Analyzer.config_slug w.cconfig = c)
+    cregistry
+
+let run_one ?buses w ~txns ~seed =
+  let domains =
+    (* [handoff]'s protocol is a pair by construction; the others
+       absorb extra buses as more producers / peers. *)
+    if String.length w.cname >= 7 && String.sub w.cname 0 7 = "handoff" then
+      w.cdomains
+    else max w.cdomains (Option.value buses ~default:0)
+  in
+  let machine = Rules.default_machine ~config:w.cconfig () in
+  let cs = Crules.create machine ~domains in
+  let cur = ref 0 in
+  let subs = ref [] in
+  let ctx =
+    {
+      add_heap =
+        (fun ~domains:ds heap ->
+          let nv = Pheap.nvram heap in
+          let al = Pheap.allocator heap in
+          List.iter
+            (fun d ->
+              Crules.register cs ~domain:d ~line_size:(Nvram.line_size nv)
+                ~alloc_base:(Alloc.base al) ~alloc_limit:(Alloc.limit al);
+              Trace.iter_baseline heap (fun ev ->
+                  Crules.step cs ~domain:d (Crules.Bus ev)))
+            ds;
+          subs :=
+            Wsp_events.Bus.subscribe (Pheap.bus heap) (fun ev ->
+                Crules.step cs ~domain:!cur (Crules.Bus ev))
+            :: !subs);
+      set_domain = (fun d -> cur := d);
+      sync = (fun sy -> Crules.step cs ~domain:!cur (Crules.Sync sy));
+    }
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter Wsp_events.Bus.unsubscribe !subs;
+      subs := [])
+    (fun () -> w.crun ctx ~domains ~txns ~seed);
+  let result = Crules.finish cs in
+  let witness_text = Crules.witness_text cs result in
+  {
+    Analyzer.workload = w.cname;
+    config_name = Analyzer.config_slug w.cconfig;
+    fault = Checker.No_fault;
+    result;
+    witness_text;
+  }
+
+let clint ?jobs ?buses ?(txns = 24) ?(seed = 1) ~workloads () =
+  Parallel.map ?jobs (fun w -> run_one ?buses w ~txns ~seed) workloads

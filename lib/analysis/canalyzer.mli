@@ -1,0 +1,57 @@
+(** The concurrent lint driver: a registry of deterministic
+    multi-domain workloads over the {!Wsp_nvheap.Dstruct} durable
+    structures, analysed live by {!Crules} — the cross-certification
+    twin of the dynamic {!Wsp_check.Dcheck} crash sweeps, exactly as
+    {!Analyzer} is to {!Wsp_check.Checker}.
+
+    Every workload is single-OS-thread deterministic: logical domains
+    are interleaved by the driver, which re-attributes heap bus events
+    by switching the current domain between operations. Reports reuse
+    {!Analyzer.report}, so JSON/human rendering and the [--expect]
+    exit-code logic are shared with the single-trace lint — and remain
+    byte-identical at any [--jobs] width. *)
+
+(** The execution context a concurrent workload drives:
+    [add_heap ~domains heap] registers the heap's geometry for each
+    listed domain, replays the allocation baseline to them and routes
+    subsequent bus events to the {e current} domain — call it after the
+    structure is created so the baseline covers its blocks;
+    [set_domain] switches the current domain; [sync] feeds a
+    cross-domain edge or durability annotation at the current
+    domain. *)
+type ctx = {
+  add_heap : domains:int list -> Wsp_nvheap.Pheap.t -> unit;
+  set_domain : int -> unit;
+  sync : Crules.sync -> unit;
+}
+
+type cworkload = {
+  cname : string;  (** ["dqueue-racy/foc-ul"] — structure slash config. *)
+  cconfig : Wsp_nvheap.Config.t;
+  cdomains : int;  (** Minimum logical domains the driver needs. *)
+  crun : ctx -> domains:int -> txns:int -> seed:int -> unit;
+}
+
+val cregistry : cworkload list
+(** The three Delay-Free structures, clean and racy, under FoC-UL and
+    FoF: [dqueue] (producers + consumer on one heap), [dcounter]
+    (peer incrementers behind a release/acquire channel) and [handoff]
+    (two heaps, one migration coordinator pair). *)
+
+val cfind : ?workload:string -> ?config:string -> unit -> cworkload list
+(** Same filter semantics as {!Analyzer.find}. *)
+
+val clint :
+  ?jobs:int ->
+  ?buses:int ->
+  ?txns:int ->
+  ?seed:int ->
+  workloads:cworkload list ->
+  unit ->
+  Analyzer.report list
+(** Runs each workload under a fresh {!Crules} stream, fanning out over
+    {!Wsp_sim.Parallel.map}. [buses] raises the domain count above each
+    workload's minimum (extra producers for [dqueue], extra peers for
+    [dcounter]; [handoff] keeps its pair). Defaults: 24 operations,
+    seed 1. Reports come back in workload order regardless of
+    [jobs]. *)

@@ -29,7 +29,11 @@ type severity = Error | Advisory
 
 let severity_name = function Error -> "error" | Advisory -> "advisory"
 
-type rule = R1 | R2 | R3 | R4 | R5
+(* R1–R5 are judged by this engine over a single trace; R6–R9 are the
+   concurrent rules {!Crules} judges over domain-tagged multi-trace
+   streams. They share one rule id space so reports, [--expect]
+   allowlists and JSON rendering treat both families uniformly. *)
+type rule = R1 | R2 | R3 | R4 | R5 | R6 | R7 | R8 | R9
 
 let rule_name = function
   | R1 -> "R1"
@@ -37,6 +41,10 @@ let rule_name = function
   | R3 -> "R3"
   | R4 -> "R4"
   | R5 -> "R5"
+  | R6 -> "R6"
+  | R7 -> "R7"
+  | R8 -> "R8"
+  | R9 -> "R9"
 
 let rule_slug = function
   | R1 -> "unflushed-commit"
@@ -44,6 +52,10 @@ let rule_slug = function
   | R3 -> "redundant-flush-fence"
   | R4 -> "heap-lifetime"
   | R5 -> "fof-reliance-gap"
+  | R6 -> "durability-race"
+  | R7 -> "ack-before-persist"
+  | R8 -> "handoff-order-violation"
+  | R9 -> "unpublished-fence-reliance"
 
 let rule_of_name s =
   match String.uppercase_ascii (String.trim s) with
@@ -52,6 +64,10 @@ let rule_of_name s =
   | "R3" -> Some R3
   | "R4" -> Some R4
   | "R5" -> Some R5
+  | "R6" -> Some R6
+  | "R7" -> Some R7
+  | "R8" -> Some R8
+  | "R9" -> Some R9
   | _ -> None
 
 type diagnostic = {
@@ -99,9 +115,12 @@ type st = {
   pending_headers : (int, unit) Hashtbl.t;
   mutable in_rollback : bool;
   mutable tx_heap_journal : Alloc.event list;  (* newest first *)
+  mutable on_diag : diagnostic -> unit;
 }
 
-let emit st d = st.diags <- d :: st.diags
+let emit st d =
+  st.diags <- d :: st.diags;
+  st.on_diag d
 
 let diag ?line ?txid ?wasted_ns st rule severity witness fmt =
   Fmt.kstr
@@ -369,7 +388,16 @@ let check_fof_budget st =
 (* --- entry points ---------------------------------------------------- *)
 
 let severity_rank = function Error -> 0 | Advisory -> 1
-let rule_rank = function R1 -> 1 | R2 -> 2 | R3 -> 3 | R4 -> 4 | R5 -> 5
+let rule_rank = function
+  | R1 -> 1
+  | R2 -> 2
+  | R3 -> 3
+  | R4 -> 4
+  | R5 -> 5
+  | R6 -> 6
+  | R7 -> 7
+  | R8 -> 8
+  | R9 -> 9
 
 let diag_key d =
   ( severity_rank d.severity,
@@ -378,7 +406,12 @@ let diag_key d =
     Option.value d.line ~default:(-1),
     d.message )
 
+let compare_diagnostics a b = compare (diag_key a) (diag_key b)
+
 type stream = { st : st; mutable idx : int }
+
+let stream_pdag s = s.st.pdag
+let stream_index s = s.idx
 
 let stream_create m ~line_size ~alloc_base ~alloc_limit =
   let st =
@@ -400,9 +433,12 @@ let stream_create m ~line_size ~alloc_base ~alloc_limit =
       pending_headers = Hashtbl.create 64;
       in_rollback = false;
       tx_heap_journal = [];
+      on_diag = (fun _ -> ());
     }
   in
   { st; idx = 0 }
+
+let stream_on_diag s f = s.st.on_diag <- f
 
 let stream_step s ev =
   step s.st s.idx ev;

@@ -54,10 +54,15 @@ type severity = Error | Advisory
 
 val severity_name : severity -> string
 
-type rule = R1 | R2 | R3 | R4 | R5
+type rule = R1 | R2 | R3 | R4 | R5 | R6 | R7 | R8 | R9
+(** R1–R5 are single-trace rules this engine emits; R6–R9 are the
+    cross-domain persistency-race rules {!Crules} emits (durability
+    race, ack-before-persist, handoff-order violation, and
+    unpublished-fence reliance). One id space, so [--expect] and report
+    rendering treat both families uniformly. *)
 
 val rule_name : rule -> string
-(** ["R1"].. ["R5"] — the ids the CLI's [--expect] flag takes. *)
+(** ["R1"].. ["R9"] — the ids the CLI's [--expect] flag takes. *)
 
 val rule_slug : rule -> string
 val rule_of_name : string -> rule option
@@ -84,6 +89,12 @@ type stats = {
 
 type result = { diagnostics : diagnostic list; stats : stats }
 
+val compare_diagnostics : diagnostic -> diagnostic -> int
+(** The canonical report order ([analyze]'s sort): severity first, then
+    first witness index, rule rank, line, message. Exposed so {!Crules}
+    can merge per-domain results and re-sort on rebased global
+    indices. *)
+
 val analyze : machine -> Wsp_check.Trace.recording -> result
 (** One pass, O(events); diagnostics are sorted canonically (errors
     first, then by witness position) so reports are deterministic. *)
@@ -108,7 +119,23 @@ val stream_step : stream -> Wsp_check.Trace.event -> unit
 (** Judges one event; events are implicitly numbered in arrival order,
     matching recorded-trace indices. *)
 
+val stream_on_diag : stream -> (diagnostic -> unit) -> unit
+(** Installs a callback fired the moment a diagnostic is raised (during
+    a [stream_step] or inside [stream_finish]). The live analyzer uses
+    it to quote witness events from its recent-event ring while the
+    cited indices are still resident, instead of discovering citations
+    only at [stream_finish] when early events have scrolled away. *)
+
 val stream_finish : stream -> result
 (** End-of-trace obligations (undrained commit records, the R5 energy
     budget), then the canonical sort. The stream must not be fed
     afterwards. *)
+
+val stream_pdag : stream -> Pdag.t
+(** The stream's persist-before frontier. {!Crules} queries it to
+    decide whether an annotated object's backing line is
+    persist-ordered at a sync point, instead of running a second
+    frontier over the same events. *)
+
+val stream_index : stream -> int
+(** Events fed so far — the index the next [stream_step] will get. *)

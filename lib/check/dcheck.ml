@@ -1,0 +1,227 @@
+open Wsp_nvheap
+module Units = Wsp_sim.Units
+
+type structure = Queue | Counter | Handoff
+
+let structure_name = function
+  | Queue -> "dqueue"
+  | Counter -> "dcounter"
+  | Handoff -> "handoff"
+
+let structure_of_name = function
+  | "dqueue" -> Some Queue
+  | "dcounter" -> Some Counter
+  | "handoff" -> Some Handoff
+  | _ -> None
+
+type verdict = {
+  structure : structure;
+  config : Config.t;
+  racy : bool;
+  points : int;
+  losses : int;
+  torn : int;
+  first_bad : int option;
+}
+
+let clean v = v.losses = 0 && v.torn = 0
+
+exception Crash_now
+
+let heap_size = Units.Size.mib 1
+let log_size = Units.Size.kib 64
+
+let make_heap ~config () =
+  let nvram = Nvram.create ~size:heap_size () in
+  let len = Units.Size.to_bytes heap_size in
+  let heap = Pheap.create_in ~config ~log_size ~nvram ~base:0 ~len () in
+  (nvram, heap)
+
+let reattach ~config nvram =
+  let len = Units.Size.to_bytes heap_size in
+  Pheap.attach_in ~config ~log_size ~nvram ~base:0 ~len ()
+
+(* Counts memory events across every heap of a run; when armed with a
+   crash point, fails power immediately at that event. Disarmed before
+   the post-crash WSP save so the save's own flush traffic doesn't
+   re-trigger. *)
+type trigger = { mutable seen : int; mutable stop_at : int; mutable armed : bool }
+
+let watch trig bus =
+  Wsp_events.Bus.subscribe bus (fun ev ->
+      match (ev : Event.t) with
+      | Event.Mem _ ->
+          if trig.armed then begin
+            trig.seen <- trig.seen + 1;
+            if trig.seen = trig.stop_at then raise Crash_now
+          end
+      | Event.Log _ | Event.Tx _ | Event.Wb _ | Event.Heap _ -> ())
+
+(* One run of a structure's driver: build fresh heaps, execute the op
+   sequence under an ack-tracking hook, optionally crash at event
+   [stop_at], then power-cycle and audit the survivors. *)
+type outcome = { mem_events : int; loss : bool; tear : bool }
+
+let power_cycle ~config nvrams =
+  (* Flush-on-fail rides the residual-energy save; flush-on-commit
+     gets nothing — same semantics as the transactional Checker. *)
+  List.iter
+    (fun (_, heap) ->
+      if not config.Config.flush_on_commit then Pheap.wsp_flush heap;
+      Pheap.crash heap)
+    nvrams;
+  List.map (fun (nvram, _) -> reattach ~config nvram) nvrams
+
+let run_queue ~config ~racy ~ops ~stop_at =
+  let nvram, heap = make_heap ~config () in
+  let trig = { seen = 0; stop_at; armed = false } in
+  let sub = watch trig (Pheap.bus heap) in
+  let acked = Hashtbl.create 16 in
+  let hook = function
+    | Dstruct.Acked { obj } -> Hashtbl.replace acked (Int64.to_int obj) ()
+    | Dstruct.Wrote _ | Dstruct.Observed _ | Dstruct.Published _
+    | Dstruct.Acquired _ | Dstruct.Handoff_persisted _ | Dstruct.Tombstoned _
+      ->
+        ()
+  in
+  let exec () =
+    let q = Dstruct.Dqueue.create ~hook ~racy heap ~cap:(ops + 1) in
+    trig.armed <- true;
+    for i = 0 to ops - 1 do
+      ignore (Dstruct.Dqueue.enqueue_expected q);
+      if i mod 3 = 2 then ignore (Dstruct.Dqueue.drain q)
+    done;
+    ignore (Dstruct.Dqueue.drain q)
+  in
+  let crashed = (try exec (); false with Crash_now -> true) in
+  trig.armed <- false;
+  Wsp_events.Bus.unsubscribe sub;
+  if not crashed then { mem_events = trig.seen; loss = false; tear = false }
+  else begin
+    let heap' = List.hd (power_cycle ~config [ (nvram, heap) ]) in
+    let q = Dstruct.Dqueue.attach heap' in
+    let tl = Dstruct.Dqueue.tail q and hd = Dstruct.Dqueue.head q in
+    let loss = ref false and tear = ref false in
+    for seq = hd to tl - 1 do
+      if Dstruct.Dqueue.slot_value q ~seq <> Dstruct.Dqueue.expected ~seq then
+        if Hashtbl.mem acked seq then loss := true else tear := true
+    done;
+    Hashtbl.iter
+      (fun seq () -> if seq >= tl then loss := true)
+      acked;
+    { mem_events = trig.seen; loss = !loss; tear = !tear }
+  end
+
+let run_counter ~config ~racy ~ops ~stop_at =
+  let nvram, heap = make_heap ~config () in
+  let trig = { seen = 0; stop_at; armed = false } in
+  let sub = watch trig (Pheap.bus heap) in
+  let acked = ref 0 in
+  let hook = function
+    | Dstruct.Acked _ -> incr acked
+    | Dstruct.Wrote _ | Dstruct.Observed _ | Dstruct.Published _
+    | Dstruct.Acquired _ | Dstruct.Handoff_persisted _ | Dstruct.Tombstoned _
+      ->
+        ()
+  in
+  let exec () =
+    let c = Dstruct.Dcounter.create ~hook ~racy heap in
+    trig.armed <- true;
+    for _ = 1 to ops do
+      Dstruct.Dcounter.incr c
+    done
+  in
+  let crashed = (try exec (); false with Crash_now -> true) in
+  trig.armed <- false;
+  Wsp_events.Bus.unsubscribe sub;
+  if not crashed then { mem_events = trig.seen; loss = false; tear = false }
+  else begin
+    let heap' = List.hd (power_cycle ~config [ (nvram, heap) ]) in
+    let c = Dstruct.Dcounter.attach heap' in
+    let loss = Int64.to_int (Dstruct.Dcounter.value c) < !acked in
+    { mem_events = trig.seen; loss; tear = false }
+  end
+
+let run_handoff ~config ~racy ~ops ~stop_at =
+  let src_pair = make_heap ~config () in
+  let dst_pair = make_heap ~config () in
+  let _, src = src_pair and _, dst = dst_pair in
+  let trig = { seen = 0; stop_at; armed = false } in
+  let sub_s = watch trig (Pheap.bus src) in
+  let sub_d = watch trig (Pheap.bus dst) in
+  let put_acked = Hashtbl.create 16 in
+  let hook = function
+    | Dstruct.Acked { obj } -> Hashtbl.replace put_acked (Int64.to_int obj) ()
+    | Dstruct.Wrote _ | Dstruct.Observed _ | Dstruct.Published _
+    | Dstruct.Acquired _ | Dstruct.Handoff_persisted _ | Dstruct.Tombstoned _
+      ->
+        ()
+  in
+  let exec () =
+    let h = Dstruct.Handoff.create ~hook ~racy ~src ~dst ~slots:ops () in
+    trig.armed <- true;
+    for key = 0 to ops - 1 do
+      Dstruct.Handoff.put h ~key
+    done;
+    for key = 0 to ops - 1 do
+      Dstruct.Handoff.move h ~key
+    done
+  in
+  let crashed = (try exec (); false with Crash_now -> true) in
+  trig.armed <- false;
+  Wsp_events.Bus.unsubscribe sub_s;
+  Wsp_events.Bus.unsubscribe sub_d;
+  if not crashed then { mem_events = trig.seen; loss = false; tear = false }
+  else begin
+    match power_cycle ~config [ src_pair; dst_pair ] with
+    | [ src'; dst' ] ->
+        let h = Dstruct.Handoff.attach ~src:src' ~dst:dst' () in
+        let loss = ref false and tear = ref false in
+        Hashtbl.iter
+          (fun key () ->
+            let e = Dstruct.Handoff.expected ~key in
+            let s = Dstruct.Handoff.src_value h ~key in
+            let d = Dstruct.Handoff.dst_value h ~key in
+            if s <> e && d <> e then
+              if s = 0L && d = 0L then loss := true else tear := true)
+          put_acked;
+        { mem_events = trig.seen; loss = !loss; tear = !tear }
+    | _ -> assert false
+  end
+
+let sweep structure ~config ~racy ~ops =
+  let run =
+    match structure with
+    | Queue -> run_queue
+    | Counter -> run_counter
+    | Handoff -> run_handoff
+  in
+  (* Golden run: stop_at past any event count, so it never fires. *)
+  let golden = run ~config ~racy ~ops ~stop_at:max_int in
+  let points = golden.mem_events in
+  let losses = ref 0 and torn = ref 0 and first_bad = ref None in
+  for k = 1 to points do
+    let o = run ~config ~racy ~ops ~stop_at:k in
+    if o.loss then incr losses;
+    if o.tear then incr torn;
+    if (o.loss || o.tear) && !first_bad = None then first_bad := Some k
+  done;
+  {
+    structure;
+    config;
+    racy;
+    points;
+    losses = !losses;
+    torn = !torn;
+    first_bad = !first_bad;
+  }
+
+let pp_verdict ppf v =
+  Fmt.pf ppf "%s/%s%s: %d points, %d losses, %d torn%a" (structure_name v.structure)
+    v.config.Config.name
+    (if v.racy then " (racy)" else "")
+    v.points v.losses v.torn
+    (fun ppf -> function
+      | None -> ()
+      | Some k -> Fmt.pf ppf " (first at #%d)" k)
+    v.first_bad

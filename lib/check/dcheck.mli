@@ -1,0 +1,46 @@
+(** Dynamic crash-sweep certification of the {!Wsp_nvheap.Dstruct}
+    durable structures — the runtime twin of the static race rules
+    R6–R9.
+
+    One golden run of a deterministic driver counts the structure's
+    memory events; then the whole run is repeated once per crash point,
+    failing power immediately before that event: a plain power cut
+    under flush-on-commit, a WSP save ([wsp_flush]) then the cut under
+    flush-on-fail — the same semantics as {!Checker}. After re-attach
+    and recovery, the audit compares the surviving state against what
+    the run had acked by the crash instant:
+
+    - {e loss}: an acked object the recovered state no longer shows
+      (R7's dynamic shadow, and R8's when a handoff drops a key from
+      both heaps);
+    - {e torn}: recovered state that is visible — covered by a
+      published index — but holds the wrong value, the racy queue's
+      signature under flush-on-fail, where the publish was saved but
+      the payload store was never issued (R9's dynamic shadow). *)
+
+open Wsp_nvheap
+
+type structure = Queue | Counter | Handoff
+
+val structure_name : structure -> string
+val structure_of_name : string -> structure option
+
+type verdict = {
+  structure : structure;
+  config : Config.t;
+  racy : bool;
+  points : int;  (** Crash points swept (= golden-run memory events). *)
+  losses : int;  (** Points whose audit found an acked object gone. *)
+  torn : int;  (** Points whose audit found visible-but-wrong state. *)
+  first_bad : int option;  (** Earliest convicting point, if any. *)
+}
+
+val clean : verdict -> bool
+(** No losses and nothing torn. *)
+
+val sweep : structure -> config:Config.t -> racy:bool -> ops:int -> verdict
+(** Deterministic: same arguments, same verdict. [ops] is the driver's
+    operation count (queue enqueues, counter increments, handoff
+    keys). *)
+
+val pp_verdict : Format.formatter -> verdict -> unit

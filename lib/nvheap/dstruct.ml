@@ -1,0 +1,274 @@
+type note =
+  | Wrote of { obj : int64; addr : int }
+  | Observed of { obj : int64 }
+  | Acked of { obj : int64 }
+  | Published of { chan : int }
+  | Acquired of { chan : int }
+  | Handoff_persisted of { obj : int64 }
+  | Tombstoned of { obj : int64 }
+
+type hook = note -> unit
+
+let no_hook = ignore
+
+let persist ph ~addr =
+  let nv = Pheap.nvram ph in
+  Nvram.clflush nv ~addr;
+  Nvram.fence nv
+
+module Dqueue = struct
+  (* Layout at [base]: [cap; tail; head; slot 0 .. slot cap-1], one
+     64-bit word each. [tail]/[head] are monotonic sequence counts;
+     slot index = seq mod cap. *)
+  type t = {
+    ph : Pheap.t;
+    base : int;
+    qcap : int;
+    racy : bool;
+    hook : hook;
+    mutable deferred : int option;  (** racy: slot flush owed from the
+                                        previous enqueue *)
+  }
+
+  let cap_addr t = t.base
+  let tail_addr t = t.base + 8
+  let head_addr t = t.base + 16
+  let slot_addr t seq = t.base + 24 + (seq mod t.qcap * 8)
+  let expected ~seq = Int64.of_int (((seq + 1) * 2654435761) lor 1)
+
+  let create ?(hook = no_hook) ?(racy = false) ph ~cap =
+    if cap <= 0 then invalid_arg "Dqueue.create: cap must be positive";
+    let base = Pheap.alloc ph ((3 + cap) * 8) in
+    let t = { ph; base; qcap = cap; racy; hook; deferred = None } in
+    Pheap.write_u64 ph ~addr:(cap_addr t) (Int64.of_int cap);
+    Pheap.write_u64 ph ~addr:(tail_addr t) 0L;
+    Pheap.write_u64 ph ~addr:(head_addr t) 0L;
+    persist ph ~addr:(cap_addr t);
+    persist ph ~addr:(tail_addr t);
+    persist ph ~addr:(head_addr t);
+    Pheap.set_root ph base;
+    (* The root slot is a plain cached store — persist the publication
+       or a flush-on-commit crash forgets where the ring lives. *)
+    persist ph ~addr:(Pheap.base ph);
+    t
+
+  let attach ?(hook = no_hook) ph =
+    let base = Pheap.root ph in
+    if base = 0 then invalid_arg "Dqueue.attach: heap has no root";
+    let cap = Int64.to_int (Pheap.read_u64 ph ~addr:base) in
+    if cap <= 0 then invalid_arg "Dqueue.attach: corrupt capacity";
+    { ph; base; qcap = cap; racy = false; hook; deferred = None }
+
+  let tail t = Int64.to_int (Pheap.read_u64 t.ph ~addr:(tail_addr t))
+  let head t = Int64.to_int (Pheap.read_u64 t.ph ~addr:(head_addr t))
+  let cap t = t.qcap
+  let slot_value t ~seq = Pheap.read_u64 t.ph ~addr:(slot_addr t seq)
+
+  let enqueue t v =
+    let seq = tail t in
+    if seq - head t >= t.qcap then invalid_arg "Dqueue.enqueue: full";
+    let obj = Int64.of_int seq in
+    let slot = slot_addr t seq in
+    if t.racy then begin
+      (* Owed slot persist from the previous racy enqueue — this is
+         where the sabotaged protocol finally flushes, one op late. *)
+      (match t.deferred with
+      | Some a ->
+          persist t.ph ~addr:a;
+          t.deferred <- None
+      | None -> ());
+      (* The bug: publish the advanced tail, then store the slot. *)
+      Pheap.write_u64 t.ph ~addr:(tail_addr t) (Int64.of_int (seq + 1));
+      persist t.ph ~addr:(tail_addr t);
+      t.hook (Published { chan = 0 });
+      Pheap.write_u64 t.ph ~addr:slot v;
+      t.hook (Wrote { obj; addr = slot });
+      t.deferred <- Some slot;
+      t.hook (Acked { obj })
+    end
+    else begin
+      Pheap.write_u64 t.ph ~addr:slot v;
+      t.hook (Wrote { obj; addr = slot });
+      persist t.ph ~addr:slot;
+      Pheap.write_u64 t.ph ~addr:(tail_addr t) (Int64.of_int (seq + 1));
+      persist t.ph ~addr:(tail_addr t);
+      t.hook (Published { chan = 0 });
+      t.hook (Acked { obj })
+    end;
+    seq
+
+  let enqueue_expected t = enqueue t (expected ~seq:(tail t))
+
+  let drain t =
+    t.hook (Acquired { chan = 0 });
+    let tl = tail t and hd = head t in
+    let out = ref [] in
+    for seq = tl - 1 downto hd do
+      t.hook (Observed { obj = Int64.of_int seq });
+      out := slot_value t ~seq :: !out
+    done;
+    if tl > hd then begin
+      Pheap.write_u64 t.ph ~addr:(head_addr t) (Int64.of_int tl);
+      persist t.ph ~addr:(head_addr t)
+    end;
+    !out
+end
+
+module Dcounter = struct
+  type t = { ph : Pheap.t; base : int; racy : bool; hook : hook }
+
+  let obj = 1L
+  let chan = 0
+
+  let create ?(hook = no_hook) ?(racy = false) ph =
+    let base = Pheap.alloc ph 8 in
+    let t = { ph; base; racy; hook } in
+    Pheap.write_u64 ph ~addr:base 0L;
+    persist ph ~addr:base;
+    Pheap.set_root ph base;
+    persist ph ~addr:(Pheap.base ph);
+    t
+
+  let attach ?(hook = no_hook) ph =
+    let base = Pheap.root ph in
+    if base = 0 then invalid_arg "Dcounter.attach: heap has no root";
+    { ph; base; racy = false; hook }
+
+  let value t = Pheap.read_u64 t.ph ~addr:t.base
+
+  let incr t =
+    t.hook (Acquired { chan });
+    let v = value t in
+    t.hook (Observed { obj });
+    Pheap.write_u64 t.ph ~addr:t.base (Int64.add v 1L);
+    t.hook (Wrote { obj; addr = t.base });
+    if t.racy then begin
+      (* The bug: the increment is acked and the lock released with
+         the store still sitting dirty in cache — and never flushed. *)
+      t.hook (Acked { obj });
+      t.hook (Published { chan })
+    end
+    else begin
+      persist t.ph ~addr:t.base;
+      t.hook (Acked { obj });
+      t.hook (Published { chan })
+    end
+end
+
+module Handoff = struct
+  type t = {
+    src : Pheap.t;
+    dst : Pheap.t;
+    src_base : int;
+    dst_base : int;
+    nslots : int;
+    racy : bool;
+    hook : hook;
+  }
+
+  let expected ~key = Int64.of_int (((key + 1) * 7919) lor 1)
+  let src_addr t key = t.src_base + (key * 8)
+  let dst_addr t key = t.dst_base + (key * 8)
+
+  let zero_cells ph base n =
+    for i = 0 to n - 1 do
+      Pheap.write_u64 ph ~addr:(base + (i * 8)) 0L;
+      persist ph ~addr:(base + (i * 8))
+    done
+
+  let create ?(hook = no_hook) ?(racy = false) ~src ~dst ~slots () =
+    if slots <= 0 then invalid_arg "Handoff.create: slots must be positive";
+    let src_base = Pheap.alloc src ((slots + 1) * 8) in
+    let dst_base = Pheap.alloc dst ((slots + 1) * 8) in
+    (* Cell 0 holds the slot count so [attach] can recover geometry. *)
+    Pheap.write_u64 src ~addr:src_base (Int64.of_int slots);
+    persist src ~addr:src_base;
+    Pheap.write_u64 dst ~addr:dst_base (Int64.of_int slots);
+    persist dst ~addr:dst_base;
+    let t =
+      {
+        src;
+        dst;
+        src_base = src_base + 8;
+        dst_base = dst_base + 8;
+        nslots = slots;
+        racy;
+        hook;
+      }
+    in
+    zero_cells src t.src_base slots;
+    zero_cells dst t.dst_base slots;
+    Pheap.set_root src src_base;
+    persist src ~addr:(Pheap.base src);
+    Pheap.set_root dst dst_base;
+    persist dst ~addr:(Pheap.base dst);
+    t
+
+  let attach ?(hook = no_hook) ~src ~dst () =
+    let src_base = Pheap.root src and dst_base = Pheap.root dst in
+    if src_base = 0 || dst_base = 0 then
+      invalid_arg "Handoff.attach: heap has no root";
+    let n = Int64.to_int (Pheap.read_u64 src ~addr:src_base) in
+    let n' = Int64.to_int (Pheap.read_u64 dst ~addr:dst_base) in
+    if n <= 0 || n <> n' then invalid_arg "Handoff.attach: corrupt geometry";
+    {
+      src;
+      dst;
+      src_base = src_base + 8;
+      dst_base = dst_base + 8;
+      nslots = n;
+      racy = false;
+      hook;
+    }
+
+  let slots t = t.nslots
+  let src_value t ~key = Pheap.read_u64 t.src ~addr:(src_addr t key)
+  let dst_value t ~key = Pheap.read_u64 t.dst ~addr:(dst_addr t key)
+
+  let check_key t key =
+    if key < 0 || key >= t.nslots then invalid_arg "Handoff: key out of range"
+
+  let put t ~key =
+    check_key t key;
+    let obj = Int64.of_int key in
+    let a = src_addr t key in
+    Pheap.write_u64 t.src ~addr:a (expected ~key);
+    t.hook (Wrote { obj; addr = a });
+    persist t.src ~addr:a;
+    t.hook (Acked { obj })
+
+  let persist_half t ~switch ~key v =
+    let obj = Int64.of_int key in
+    switch `Dst;
+    let a = dst_addr t key in
+    Pheap.write_u64 t.dst ~addr:a v;
+    t.hook (Wrote { obj; addr = a });
+    persist t.dst ~addr:a;
+    t.hook (Handoff_persisted { obj })
+
+  let retire_half t ~switch ~key =
+    let obj = Int64.of_int key in
+    switch `Src;
+    let a = src_addr t key in
+    Pheap.write_u64 t.src ~addr:a 0L;
+    persist t.src ~addr:a;
+    t.hook (Tombstoned { obj })
+
+  let move ?(switch = fun _ -> ()) t ~key =
+    check_key t key;
+    let obj = Int64.of_int key in
+    switch `Dst;
+    let v = src_value t ~key in
+    t.hook (Observed { obj });
+    if t.racy then begin
+      (* The bug: the source retires its copy before the destination
+         persist exists — the value survives only in this volatile
+         binding, which no WSP save can reach. *)
+      retire_half t ~switch ~key;
+      persist_half t ~switch ~key v
+    end
+    else begin
+      persist_half t ~switch ~key v;
+      retire_half t ~switch ~key
+    end
+end

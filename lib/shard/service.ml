@@ -2,6 +2,7 @@ open Wsp_sim
 open Wsp_nvheap
 module Bus = Wsp_events.Bus
 module Rules = Wsp_analysis.Rules
+module Crules = Wsp_analysis.Crules
 module System = Wsp_core.System
 module Avl = Wsp_store.Avl
 
@@ -25,6 +26,8 @@ type params = {
   migrate_batch : int;
   crash_mig_event : int option;
   lint : bool;
+  race_lint : bool;
+  broken_handoff : bool;
   record_lookups : bool;
 }
 
@@ -49,6 +52,8 @@ let default =
     migrate_batch = 64;
     crash_mig_event = None;
     lint = false;
+    race_lint = false;
+    broken_handoff = false;
     record_lookups = false;
   }
 
@@ -128,6 +133,7 @@ type report = {
   restores : restore list;
   per_shard : shard_stats list;
   checksum : int64;
+  race : Rules.result option;
   lookup_results : (int * int64 option) array option;
   final_contents : (int64 * int64) array option;
 }
@@ -192,6 +198,10 @@ type shard = {
   mutable lint_errors : int;
   mutable lint_advisories : int;
   mutable lookup_log : (int * int64 option) list;  (* newest first *)
+  mutable rbuf : Crules.item list;
+      (* race-lint backlog, newest first: each shard's bus tap and the
+         serve loop push here on the shard's own worker domain; only
+         the coordinator drains, after the round join. *)
 }
 
 (* One draining source of one topology change. The queue snapshots the
@@ -207,6 +217,7 @@ type migration = {
 type state = {
   p : params;
   ctl : mig_ctl;
+  race : Crules.stream option;  (* the cross-domain race detector *)
   mutable router : Router.t;
   mutable ring : shard array;  (* router index -> shard *)
   mutable roster : shard list;  (* every shard ever, in stable-id order *)
@@ -284,13 +295,25 @@ let attach_lint config heap =
   let sub = Bus.subscribe (Pheap.bus heap) (Rules.stream_step stream) in
   (stream, sub)
 
-let make_shard p ctl id =
+let make_shard p ctl ~race id =
   let len = Units.Size.to_bytes p.shard_heap in
   let nvram = Nvram.create ~size:p.shard_heap () in
   let heap =
     Pheap.create_in ~config:p.config ~log_size:p.log_size ~nvram ~base:0 ~len ()
   in
   let tree = Avl.create heap in
+  (* Register this shard's domain with the race detector before the bus
+     tap goes live: the allocation baseline (the tree's root block)
+     replays directly — the stream is idle on the coordinating domain
+     whenever a shard is born — and only post-setup traffic buffers. *)
+  (match race with
+  | Some cs ->
+      let al = Pheap.allocator heap in
+      Crules.register cs ~domain:id ~line_size:(Nvram.line_size nvram)
+        ~alloc_base:(Alloc.base al) ~alloc_limit:(Alloc.limit al);
+      Wsp_check.Trace.iter_baseline heap (fun ev ->
+          Crules.step cs ~domain:id (Crules.Bus ev))
+  | None -> ());
   let counts =
     {
       stores = 0;
@@ -306,38 +329,46 @@ let make_shard p ctl id =
   watch_bus heap counts;
   watch_mig ctl heap;
   let lint = if p.lint then Some (attach_lint p.config heap) else None in
-  {
-    id;
-    nvram;
-    heap;
-    tree;
-    model = Hashtbl.create 1024;
-    batch = Array.make p.queue_cap (0, Client.Lookup 0L);
-    batch_len = 0;
-    backlog = Array.make p.queue_cap (0, Client.Lookup 0L);
-    backlog_len = 0;
-    is_down = false;
-    down_until = Time.zero;
-    downtime = Time.zero;
-    down_rounds = 0;
-    retired = false;
-    served = 0;
-    shed = 0;
-    crash_shed = 0;
-    migrated_in = 0;
-    migrated_out = 0;
-    lookups = 0;
-    hits = 0;
-    inserts = 0;
-    deletes = 0;
-    lat = Array.make 1024 0;
-    lat_len = 0;
-    counts;
-    lint;
-    lint_errors = 0;
-    lint_advisories = 0;
-    lookup_log = [];
-  }
+  let sh =
+    {
+      id;
+      nvram;
+      heap;
+      tree;
+      model = Hashtbl.create 1024;
+      batch = Array.make p.queue_cap (0, Client.Lookup 0L);
+      batch_len = 0;
+      backlog = Array.make p.queue_cap (0, Client.Lookup 0L);
+      backlog_len = 0;
+      is_down = false;
+      down_until = Time.zero;
+      downtime = Time.zero;
+      down_rounds = 0;
+      retired = false;
+      served = 0;
+      shed = 0;
+      crash_shed = 0;
+      migrated_in = 0;
+      migrated_out = 0;
+      lookups = 0;
+      hits = 0;
+      inserts = 0;
+      deletes = 0;
+      lat = Array.make 1024 0;
+      lat_len = 0;
+      counts;
+      lint;
+      lint_errors = 0;
+      lint_advisories = 0;
+      lookup_log = [];
+      rbuf = [];
+    }
+  in
+  if race <> None then
+    ignore
+      (Bus.subscribe (Pheap.bus heap) (fun ev ->
+           sh.rbuf <- Crules.Bus ev :: sh.rbuf));
+  sh
 
 let push_lat sh v =
   if sh.lat_len = Array.length sh.lat then begin
@@ -351,11 +382,39 @@ let push_lat sh v =
 let transactional config =
   config.Config.logging <> Config.No_log || config.Config.stm
 
+(* ---- race-lint plumbing ------------------------------------------ *)
+
+(* Feeding order is the happens-before model: within one shard the rbuf
+   preserves program order; across shards only the coordinator's drain
+   points order anything, and a [Barrier] is emitted exactly where the
+   real code has a global sync — the [Parallel.map] round join and a
+   whole-service crash recovery. *)
+let race_push sh item = sh.rbuf <- item :: sh.rbuf
+
+let race_drain st =
+  match st.race with
+  | None -> ()
+  | Some cs ->
+      List.iter
+        (fun sh ->
+          match sh.rbuf with
+          | [] -> ()
+          | items ->
+              sh.rbuf <- [];
+              List.iter (Crules.step cs ~domain:sh.id) (List.rev items))
+        st.roster
+
+let race_barrier st =
+  match st.race with
+  | None -> ()
+  | Some cs -> Crules.step cs ~domain:0 (Crules.Sync Crules.Barrier)
+
 (* Serves a shard's admitted batch in issue order; runs on the shard's
    worker domain and touches only this shard's state. Returns the
    simulated time the batch took on this shard. *)
 let serve_shard p sh =
   let tx = transactional p.config in
+  let race = p.race_lint in
   let t0 = Pheap.clock sh.heap in
   for i = 0 to sh.batch_len - 1 do
     let serial, op = sh.batch.(i) in
@@ -363,19 +422,29 @@ let serve_shard p sh =
     (match op with
     | Client.Lookup key ->
         let r = Avl.find sh.tree key in
+        if race then race_push sh (Crules.Sync (Crules.Read { obj = key }));
         if Option.is_some r then sh.hits <- sh.hits + 1;
         sh.lookups <- sh.lookups + 1;
         if p.record_lookups then sh.lookup_log <- (serial, r) :: sh.lookup_log
     | Client.Insert (key, value) ->
+        (* The annotation brackets the write with its ack: the Write
+           lands before the transaction's commit record so the seal
+           tracking can watch it settle; the Ack is the round reply. *)
+        if race then
+          race_push sh (Crules.Sync (Crules.Write { obj = key; addr = -1 }));
         if tx then Pheap.with_tx sh.heap (fun () -> Avl.insert sh.tree ~key ~value)
         else Avl.insert sh.tree ~key ~value;
+        if race then race_push sh (Crules.Sync (Crules.Ack { obj = key }));
         Hashtbl.replace sh.model key value;
         sh.inserts <- sh.inserts + 1
     | Client.Delete key ->
+        if race then
+          race_push sh (Crules.Sync (Crules.Write { obj = key; addr = -1 }));
         let removed =
           if tx then Pheap.with_tx sh.heap (fun () -> Avl.delete sh.tree key)
           else Avl.delete sh.tree key
         in
+        if race then race_push sh (Crules.Sync (Crules.Ack { obj = key }));
         if removed then Hashtbl.remove sh.model key;
         sh.deletes <- sh.deletes + 1);
     sh.served <- sh.served + 1;
@@ -492,6 +561,7 @@ let wake sh =
    persisted and fenced first. *)
 let move_key st m key =
   let tx = transactional st.p.config in
+  let race = st.p.race_lint in
   let src = m.src in
   match Avl.find src.tree key with
   | None ->
@@ -499,13 +569,43 @@ let move_key st m key =
       Hashtbl.remove st.pending key
   | Some value ->
       let dst = st.ring.(Router.shard_of_key st.router key) in
-      if tx then Pheap.with_tx dst.heap (fun () -> Avl.insert dst.tree ~key ~value)
-      else Avl.insert dst.tree ~key ~value;
-      mig_checkpoint st.ctl;
-      let _removed =
-        if tx then Pheap.with_tx src.heap (fun () -> Avl.delete src.tree key)
-        else Avl.delete src.tree key
+      (* The destination observes the source's state (a cross-domain
+         read the round barrier must dominate), re-writes it, and only
+         its published persist licenses the source tombstone. *)
+      let persist_half () =
+        if race then begin
+          race_push dst (Crules.Sync (Crules.Read { obj = key }));
+          race_push dst (Crules.Sync (Crules.Write { obj = key; addr = -1 }))
+        end;
+        (if tx then
+           Pheap.with_tx dst.heap (fun () -> Avl.insert dst.tree ~key ~value)
+         else Avl.insert dst.tree ~key ~value);
+        if race then begin
+          race_push dst (Crules.Sync (Crules.Handoff_persist { obj = key }));
+          race_drain st
+        end
       in
+      let retire_half () =
+        if race then race_push src (Crules.Sync (Crules.Tombstone { obj = key }));
+        let _removed =
+          if tx then Pheap.with_tx src.heap (fun () -> Avl.delete src.tree key)
+          else Avl.delete src.tree key
+        in
+        if race then race_drain st
+      in
+      if st.p.broken_handoff then begin
+        (* Sabotage: tombstone first. A power failure at the checkpoint
+           between the halves holds the key nowhere — the value only
+           survives in this volatile binding. *)
+        retire_half ();
+        mig_checkpoint st.ctl;
+        persist_half ()
+      end
+      else begin
+        persist_half ();
+        mig_checkpoint st.ctl;
+        retire_half ()
+      end;
       (match Hashtbl.find_opt src.model key with
       | Some v ->
           Hashtbl.remove src.model key;
@@ -542,6 +642,7 @@ let settle_migrations st =
    again). Every key ends owned by exactly one shard. *)
 let recover_migrations st =
   let tx = transactional st.p.config in
+  let race = st.p.race_lint in
   List.iter
     (fun m ->
       let src = m.src in
@@ -557,6 +658,11 @@ let recover_migrations st =
             let dst = st.ring.(Router.shard_of_key st.router k) in
             if dst == src then None
             else if Avl.mem dst.tree k then begin
+              (* The handoff's first half landed before the failure; the
+                 WSP save made it durable, so this tombstone is ordered
+                 behind a published destination persist — R8-clean. *)
+              if race then
+                race_push src (Crules.Sync (Crules.Tombstone { obj = k }));
               let _removed =
                 if tx then
                   Pheap.with_tx src.heap (fun () -> Avl.delete src.tree k)
@@ -582,6 +688,7 @@ let recover_migrations st =
       m.queue <- Array.of_list remaining;
       m.pos <- 0)
     st.migrations;
+  race_drain st;
   settle_migrations st
 
 (* Whole-service power failure: every powered shard runs the Figure-4
@@ -594,6 +701,11 @@ let crash_service ?jobs st =
     List.filter (fun sh -> (not sh.retired) && not sh.is_down) st.roster
   in
   let rs = Parallel.map ?jobs ~chunk:1 (save_crash_attach st.p) live in
+  (* The fleet went down and came back as one — the restore point is a
+     global sync edge, and the save's flush traffic has to reach the
+     detector before recovery's tombstones are judged. *)
+  race_drain st;
+  race_barrier st;
   recover_migrations st;
   let rs =
     List.map2
@@ -613,6 +725,8 @@ let crash_one st sh =
   if sh.retired then
     invalid_arg "Service.run: crash_shard target already retired";
   let r = save_crash_attach st.p sh in
+  (* One shard saved and restored; no global edge, just its events. *)
+  race_drain st;
   let lost = audit_shard sh in
   st.restores <- st.restores @ [ { r with lost_acked = lost } ];
   sh.is_down <- true;
@@ -710,7 +824,7 @@ let start_grow st round =
   let router', ranges = Router.add_shard st.router in
   let id = st.next_id in
   st.next_id <- id + 1;
-  let sh = make_shard st.p st.ctl id in
+  let sh = make_shard st.p st.ctl ~race:st.race id in
   st.roster <- st.roster @ [ sh ];
   st.router <- router';
   st.ring <- Array.append st.ring [| sh |];
@@ -831,6 +945,8 @@ let validate p =
       if p.grow_at = None && p.shrink_at = None then
         invalid_arg "Service.run: crash_mig_event needs a topology change"
   | None -> ());
+  if p.broken_handoff && p.grow_at = None && p.shrink_at = None then
+    invalid_arg "Service.run: broken_handoff needs a topology change";
   (match p.crash_shard with
   | Some k ->
       if p.crash_at = None then
@@ -862,11 +978,19 @@ let run ?jobs p =
       tripped = false;
     }
   in
-  let shards0 = Array.init p.shards (fun i -> make_shard p ctl i) in
+  let race =
+    if p.race_lint then
+      (* Domain ids are stable shard ids; a grow adds exactly one. *)
+      let domains = p.shards + match p.grow_at with Some _ -> 1 | None -> 0 in
+      Some (Crules.create (Rules.default_machine ~config:p.config ()) ~domains)
+    else None
+  in
+  let shards0 = Array.init p.shards (fun i -> make_shard p ctl ~race i) in
   let st =
     {
       p;
       ctl;
+      race;
       router = Router.create ~vnodes:p.vnodes ~shards:p.shards ();
       ring = shards0;
       roster = Array.to_list shards0;
@@ -948,6 +1072,10 @@ let run ?jobs p =
           st.downtime_ps <- st.downtime_ps + Time.to_ps delta
         end)
       active;
+    (* [Parallel.map]'s joins ordered every worker's round behind this
+       point — the one real happens-before edge each round has. *)
+    race_drain st;
+    race_barrier st;
     apply_migrations ?jobs st;
     (match p.grow_at with
     | Some r when r = round -> want_grow := true
@@ -1012,6 +1140,13 @@ let run ?jobs p =
   end;
   drain ();
   List.iter finish_lint st.roster;
+  let race_result =
+    match st.race with
+    | None -> None
+    | Some cs ->
+        race_drain st;
+        Some (Crules.finish cs)
+  in
   (* Every key must sit exactly where the directory would route it;
      with [pending] drained that is the ring's answer, and a retired
      shard must be empty. *)
@@ -1127,6 +1262,7 @@ let run ?jobs p =
     restores = st.restores;
     per_shard;
     checksum = contents_checksum st.roster;
+    race = race_result;
     lookup_results;
     final_contents;
   }
@@ -1194,6 +1330,23 @@ let crash_sweep ?jobs ?(points = 64) p =
 
 (* ---- output ------------------------------------------------------- *)
 
+(* The race verdict counts only the cross-domain rules: the embedded
+   per-domain R1–R5 streams also surface in [race], but those belong to
+   [--lint] and must not flip a race-lint exit code. *)
+let race_errors (r : report) =
+  match r.race with
+  | None -> (0, 0)
+  | Some res ->
+      List.fold_left
+        (fun (e, a) (d : Rules.diagnostic) ->
+          match d.Rules.rule with
+          | Rules.R6 | Rules.R7 | Rules.R8 | Rules.R9 -> (
+              match d.Rules.severity with
+              | Rules.Error -> (e + 1, a)
+              | Rules.Advisory -> (e, a + 1))
+          | Rules.R1 | Rules.R2 | Rules.R3 | Rules.R4 | Rules.R5 -> (e, a))
+        (0, 0) res.Rules.diagnostics
+
 let json_opt_int = function None -> "null" | Some v -> string_of_int v
 
 (* Canonical JSON: picosecond integers and fixed-precision floats only
@@ -1246,6 +1399,21 @@ let to_json r =
     (Time.to_ps r.lat_max) r.lost_acked r.keys_moved (16 * r.keys_moved)
     (Time.to_ps r.migration_time) r.mig_events r.dup_resolved r.misplaced_keys
     r.checksum;
+  (match r.race with
+  | None -> Buffer.add_string b "  \"race_lint\": null,\n"
+  | Some res ->
+      let count rule =
+        List.length
+          (List.filter
+             (fun (d : Rules.diagnostic) -> d.Rules.rule = rule)
+             res.Rules.diagnostics)
+      in
+      let errs, advs = race_errors r in
+      Printf.bprintf b
+        "  \"race_lint\": { \"errors\": %d, \"advisories\": %d, \"r6\": %d, \
+         \"r7\": %d, \"r8\": %d, \"r9\": %d, \"events\": %d },\n"
+        errs advs (count Rules.R6) (count Rules.R7) (count Rules.R8)
+        (count Rules.R9) res.Rules.stats.Rules.events);
   Buffer.add_string b "  \"topology\": [";
   List.iteri
     (fun i (t : topology_change) ->
@@ -1395,7 +1563,31 @@ let pp_report ppf r =
   if p.lint then
     Fmt.pf ppf "@,lint: %d error(s), %d advisory(ies) across %d shard buses"
       lint_e lint_a
-      (List.length r.per_shard)
+      (List.length r.per_shard);
+  match r.race with
+  | None -> ()
+  | Some res ->
+      let errs, advs = race_errors r in
+      let convicted =
+        List.filter_map
+          (fun (d : Rules.diagnostic) ->
+            match (d.Rules.rule, d.Rules.severity) with
+            | (Rules.R6 | Rules.R7 | Rules.R8 | Rules.R9), Rules.Error ->
+                Some (Rules.rule_name d.Rules.rule)
+            | (Rules.R6 | Rules.R7 | Rules.R8 | Rules.R9), Rules.Advisory
+            | ( (Rules.R1 | Rules.R2 | Rules.R3 | Rules.R4 | Rules.R5),
+                (Rules.Error | Rules.Advisory) ) ->
+                None)
+          res.Rules.diagnostics
+        |> List.sort_uniq Stdlib.compare
+      in
+      Fmt.pf ppf
+        "@,race lint: %d error(s), %d advisory(ies) over %d interleaved events%a"
+        errs advs res.Rules.stats.Rules.events
+        (fun ppf -> function
+          | [] -> ()
+          | rs -> Fmt.pf ppf " (%s)" (String.concat ", " rs))
+        convicted
 
 let pp_sweep ppf s =
   let bad = sweep_violations s in

@@ -75,6 +75,19 @@ type params = {
           event (0-based) — the sweep's injection hook. *)
   lint : bool;
       (** Stream the static persistency analyzer off each shard's bus. *)
+  race_lint : bool;
+      (** Stream every shard bus plus the migration protocol's sync
+          annotations into the {!Wsp_analysis.Crules} cross-domain race
+          detector: one vector-clock domain per stable shard id, a
+          happens-before barrier at each round join, and
+          handoff/tombstone edges at each migration step. Rules R6–R9
+          judge the interleaved stream; the verdict lands in
+          [report.race]. *)
+  broken_handoff : bool;
+      (** Test-only sabotage: migrate each key tombstone-first, so the
+          value survives only in a volatile binding between the halves.
+          R8 convicts it statically; {!crash_sweep} loses acked keys at
+          the inter-half crash points. Requires a topology change. *)
   record_lookups : bool;
       (** Keep every lookup's (serial, result) — the oracle-equivalence
           hook for tests; costs memory, off by default. *)
@@ -174,6 +187,10 @@ type report = {
       (** Order-sensitive digest of every shard's final key→value
           contents, shard 0 first — equal checksums mean equal final
           states. *)
+  race : Wsp_analysis.Rules.result option;
+      (** When [race_lint]: the merged cross-domain analysis — R6–R9
+          over the interleaved stream plus each domain's embedded R1–R5
+          verdicts, witnesses rebased to global interleaved indices. *)
   lookup_results : (int * int64 option) array option;
       (** When [record_lookups]: every lookup's (issue serial, answer),
           sorted by serial — shard-count invariant when nothing sheds. *)
@@ -214,6 +231,12 @@ val crash_sweep : ?jobs:int -> ?points:int -> params -> sweep
 val sweep_violations : sweep -> sweep_point list
 (** The points that lost data, double/zero-owned a key, or diverged
     from the golden state — empty for a correct migration protocol. *)
+
+val race_errors : report -> int * int
+(** [(errors, advisories)] among the cross-domain rules R6–R9 only —
+    the race-lint exit-code inputs. [(0, 0)] when [race_lint] was
+    off; R1–R5 diagnostics the embedded per-domain streams raised are
+    excluded (they belong to [lint]). *)
 
 (** {2 Output} *)
 

@@ -6,4 +6,5 @@ let () =
    @ Suite_nvdimm.suite @ Suite_nvheap.suite @ Suite_store.suite
    @ Suite_structures.suite @ Suite_core.suite @ Suite_cluster.suite
    @ Suite_extensions.suite @ Suite_ablation.suite @ Suite_check.suite
-   @ Suite_analysis.suite @ Suite_shard.suite @ Suite_experiments.suite)
+   @ Suite_analysis.suite @ Suite_crules.suite @ Suite_shard.suite
+   @ Suite_experiments.suite)
