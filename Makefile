@@ -1,9 +1,9 @@
 # Convenience targets. `make bench` gates the microbenchmarks on the
 # tier-1 build + test suite so a perf number is never reported for a
-# broken tree; it writes BENCH_9.json next to this Makefile.
+# broken tree; it writes BENCH_10.json next to this Makefile.
 
 .PHONY: all build test check lint race-lint bench shard shard-smoke \
-  shard-migrate-smoke ci-determinism clean
+  shard-migrate-smoke reloc-smoke ci-determinism clean
 
 all: build
 
@@ -56,6 +56,14 @@ shard-smoke: build
 # and the combined worst case is job-width deterministic.
 shard-migrate-smoke: build
 	sh scripts/shard_migrate_smoke.sh
+
+# Relocatable-image gate: image-shipping migration is golden-equal to
+# the key drain (and job-width deterministic), the mid-migration crash
+# sweep holds with shipping in flight, and the checker and static
+# analyzer agree on the msync backend — clean registry cleared, broken
+# fences convicted by both.
+reloc-smoke: build
+	sh scripts/reloc_smoke.sh
 
 # Determinism gate: the checker's incremental engine must produce
 # byte-identical JSON to the full-replay reference, lint must produce

@@ -9,7 +9,7 @@
      main.exe --full          paper-scale parameters (slow)
      main.exe --micro         run the Bechamel microbenchmarks (alone when
                               no experiment is named)
-     main.exe --micro --json  …and write the estimates to BENCH_9.json
+     main.exe --micro --json  …and write the estimates to BENCH_10.json
 
    Independent experiments fan out over a domain pool (WSP_JOBS caps the
    worker count; WSP_JOBS=1 forces the sequential path). *)
@@ -129,6 +129,38 @@ let shard_migrate_params () =
   }
 
 let shard_migrate_name = "shard-2k-migrate"
+
+(* The same grow + shrink loop migrating by relocatable heap image —
+   quiesce, save, wire round-trip, restore at a staging base, swizzle,
+   once per migration — instead of the key-by-key drain. The ratio
+   against shard-2k-migrate is what image shipping costs (or saves) at
+   this scale. *)
+let shard_image_migrate_name = "shard-2k-migrate-image"
+
+(* A saved source heap for the image round-trip body: ~500 live AVL
+   nodes in a 256 KiB region, built once outside the timed region. *)
+let image_bench_heap =
+  lazy
+    (let heap =
+       Wsp_nvheap.Pheap.create ~log_size:(Units.Size.kib 16)
+         ~size:(Units.Size.kib 256) ()
+     in
+     let tree = Wsp_store.Avl.create heap in
+     for i = 0 to 499 do
+       Wsp_store.Avl.insert tree ~key:(Int64.of_int (i * 37))
+         ~value:(Int64.of_int i)
+     done;
+     heap)
+
+let image_bench_base = 4096
+let image_roundtrip_name = "image-roundtrip-256k"
+
+(* Wire bytes of one saved image, for the MB/s headline. *)
+let image_bench_bytes =
+  lazy
+    (Bytes.length
+       (Wsp_nvheap.Image.to_bytes
+          (Wsp_nvheap.Image.save (Lazy.force image_bench_heap))))
 
 (* Simulated-throughput scaling measured once outside the timed region:
    the shard count divides the per-round makespan, so this is the
@@ -352,6 +384,39 @@ let microbench_tests () =
       (Staged.stage (fun () ->
            ignore (Wsp_shard.Service.run ~jobs:1 (shard_migrate_params ()))))
   in
+  let shard_image_migrate =
+    Test.make ~name:shard_image_migrate_name
+      (Staged.stage (fun () ->
+           ignore
+             (Wsp_shard.Service.run ~jobs:1
+                {
+                  (shard_migrate_params ()) with
+                  Wsp_shard.Service.migrate_mode = `Image;
+                })))
+  in
+  (* The whole image-shipping pipeline — save, serialize, validate,
+     DMA-adopt at a shifted base, swizzle — against the prebuilt
+     500-node heap. *)
+  let image_roundtrip =
+    let src = Lazy.force image_bench_heap in
+    Test.make ~name:image_roundtrip_name
+      (Staged.stage (fun () ->
+           let image =
+             Wsp_nvheap.Image.of_bytes
+               (Wsp_nvheap.Image.to_bytes (Wsp_nvheap.Image.save src))
+           in
+           let nvram =
+             Wsp_nvheap.Nvram.create
+               ~size:
+                 (Units.Size.bytes
+                    (image_bench_base + Wsp_nvheap.Image.region_len image))
+               ()
+           in
+           let heap =
+             Wsp_nvheap.Image.restore_at image ~nvram ~base:image_bench_base ()
+           in
+           ignore (Wsp_store.Avl.attach_relocated heap ~delta:image_bench_base)))
+  in
   let storm_fleet =
     Test.make ~name:"storm-1k-fleet"
       (Staged.stage (fun () ->
@@ -376,7 +441,7 @@ let microbench_tests () =
   @ List.map lint_registry [ 1; 2; 4; 8 ]
   @ (crules_engine :: List.map race_lint_registry [ 1; 4 ])
   @ List.map shard_service [ 1; 4 ]
-  @ [ shard_migrate; storm_fleet ]
+  @ [ shard_migrate; shard_image_migrate; image_roundtrip; storm_fleet ]
 
 (* Every microbenchmark body runs on the calling domain; the checker ones
    pin ~jobs:1 explicitly. A benchmark that fans out records its own
@@ -483,6 +548,25 @@ let shard_migration_overhead results =
   | Some mig, Some plain when plain > 0.0 -> Some (mig /. plain)
   | _ -> None
 
+(* Image shipping relative to the key drain over the same grow + shrink
+   schedule — above 1.0 the wire round-trip dominates, below it the
+   batched handoffs do. *)
+let image_migration_ratio results =
+  match
+    ( List.assoc_opt shard_image_migrate_name results,
+      List.assoc_opt shard_migrate_name results )
+  with
+  | Some img, Some drain when drain > 0.0 -> Some (img /. drain)
+  | _ -> None
+
+(* Wall megabytes per second through the full save → wire → validate →
+   restore → swizzle pipeline. *)
+let image_roundtrip_mbps results =
+  match List.assoc_opt image_roundtrip_name results with
+  | Some ns when ns > 0.0 ->
+      Some (float_of_int (Lazy.force image_bench_bytes) *. 1e9 /. ns /. 1e6)
+  | _ -> None
+
 (* Nodes swept per wall second by the fleet storm — the sweep is
    O(nodes × slots), so this bounds how big a fleet the CLI verb can
    sweep interactively. *)
@@ -505,7 +589,7 @@ let json_escape s =
     s;
   Buffer.contents b
 
-(* BENCH_9.json: the perf trajectory file future PRs diff against. *)
+(* BENCH_10.json: the perf trajectory file future PRs diff against. *)
 let write_json ~path results =
   let oc = open_out path in
   output_string oc "{\n  \"benchmarks\": [\n";
@@ -545,6 +629,12 @@ let write_json ~path results =
   | None -> ());
   (match Lazy.force shard_crash_availability with
   | Some a -> Printf.fprintf oc ",\n  \"shard_crash_availability\": %.6f" a
+  | None -> ());
+  (match image_migration_ratio results with
+  | Some r -> Printf.fprintf oc ",\n  \"image_migration_ratio\": %.2f" r
+  | None -> ());
+  (match image_roundtrip_mbps results with
+  | Some m -> Printf.fprintf oc ",\n  \"image_roundtrip_mbps\": %.1f" m
   | None -> ());
   (match storm_nodes_per_sec results with
   | Some nps -> Printf.fprintf oc ",\n  \"storm_nodes_per_sec\": %.0f" nps
@@ -606,6 +696,14 @@ let run_microbenches ~json () =
       Printf.printf
         "  availability with one of four shards power-failed: %.4f\n" a
   | None -> ());
+  (match image_migration_ratio results with
+  | Some r ->
+      Printf.printf "  image-shipping migration vs key drain: %.2fx wall\n" r
+  | None -> ());
+  (match image_roundtrip_mbps results with
+  | Some m ->
+      Printf.printf "  image save->wire->restore->swizzle: %.1f MB/s\n" m
+  | None -> ());
   (match storm_nodes_per_sec results with
   | Some nps -> Printf.printf "  fleet storm sweep: %.0f nodes/sec\n" nps
   | None -> ());
@@ -614,7 +712,7 @@ let run_microbenches ~json () =
      "  1000-node storm tail: p50 %.1fs p99 %.1fs, availability %.4f\n" p50 p99
      avail);
   if json then begin
-    let path = "BENCH_9.json" in
+    let path = "BENCH_10.json" in
     write_json ~path results;
     Printf.printf "  wrote %s\n" path
   end

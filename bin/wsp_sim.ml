@@ -261,8 +261,8 @@ let window_cmd =
 (* --- check ------------------------------------------------------------ *)
 
 (* The certification matrix names configurations by what they promise:
-   undo and redo must recover from the drained bytes alone; wsp relies
-   on the flush-on-fail save. Shared by check, lint and shard. *)
+   undo, redo and msync must recover from the drained bytes alone; wsp
+   relies on the flush-on-fail save. Shared by check, lint and shard. *)
 let config_of_name = function
   | "undo" -> Some Config.foc_ul
   | "redo" -> Some Config.foc_stm
@@ -274,7 +274,8 @@ let config_conv =
     match config_of_name s with
     | Some c -> Ok c
     | None ->
-        Error (`Msg (Printf.sprintf "unknown config %S (undo|redo|wsp)" s))
+        Error
+          (`Msg (Printf.sprintf "unknown config %S (undo|redo|wsp|msync)" s))
   in
   Arg.conv (parse, fun ppf (c : Config.t) -> Fmt.string ppf c.Config.name)
 
@@ -314,8 +315,8 @@ let check_cmd =
     Arg.(
       value & opt_all config_conv []
       & info [ "config" ] ~docv:"CONFIG"
-          ~doc:"Persistence configuration(s) (undo, redo, wsp; default: all \
-                three).")
+          ~doc:"Persistence configuration(s) (undo, redo, wsp, msync; \
+                default: all four).")
   in
   let points_arg =
     Arg.(
@@ -384,7 +385,8 @@ let check_cmd =
     let jobs = if jobs > 0 then Some jobs else None in
     let workloads = if workloads = [] then Checker.all_kinds else workloads in
     let configs =
-      if configs = [] then [ Config.foc_ul; Config.foc_stm; Config.fof ]
+      if configs = [] then
+        [ Config.foc_ul; Config.foc_stm; Config.fof; Config.msync ]
       else configs
     in
     let engine =
@@ -472,7 +474,7 @@ let lint_cmd =
       & opt (some string) None
       & info [ "config" ] ~docv:"CONFIG"
           ~doc:"Limit to one configuration slug (foc-ul, foc-stm, fof, \
-                fof-ul, fof-stm).")
+                fof-ul, fof-stm, msync).")
   in
   let broken_arg =
     Arg.(
@@ -631,7 +633,8 @@ let shard_cmd =
     Arg.(
       value & opt config_conv Config.fof
       & info [ "config" ] ~docv:"CONFIG"
-          ~doc:"Persistence configuration per shard heap (undo, redo, wsp).")
+          ~doc:"Persistence configuration per shard heap (undo, redo, wsp, \
+                msync).")
   in
   let heap_arg =
     Arg.(
@@ -673,6 +676,19 @@ let shard_cmd =
       value & opt int 64
       & info [ "migrate-batch" ] ~docv:"N"
           ~doc:"Maximum key handoffs per draining shard per round.")
+  in
+  let migrate_mode_arg =
+    Arg.(
+      value
+      & opt (enum [ ("drain", `Drain); ("image", `Image) ]) `Drain
+      & info [ "migrate-mode" ] ~docv:"MODE"
+          ~doc:
+            "How topology changes move data: $(b,drain) hands keys off out \
+             of the live source tree; $(b,image) ships each source's whole \
+             heap as a relocatable image to a staging node (restored at a \
+             different base, pointers swizzled) and hands keys off out of \
+             the restored replica, reconciling post-ship writes. Both modes \
+             converge to the same final directory.")
   in
   let sweep_arg =
     Arg.(
@@ -733,8 +749,8 @@ let shard_cmd =
   in
   let run shards clients requests keyspace theta (lookups, inserts, deletes)
       queue_cap config heap_mib crash_at crash_shard grow_at shrink_at
-      migrate_batch sweep sweep_points lint race_lint broken_handoff jobs json
-      seed verbose metrics trace =
+      migrate_batch migrate_mode sweep sweep_points lint race_lint
+      broken_handoff jobs json seed verbose metrics trace =
     setup_logs verbose;
     let jobs = if jobs > 0 then Some jobs else None in
     with_obs metrics trace @@ fun () ->
@@ -756,6 +772,7 @@ let shard_cmd =
         grow_at;
         shrink_at;
         migrate_batch;
+        migrate_mode;
         lint;
         race_lint;
         broken_handoff;
@@ -803,9 +820,9 @@ let shard_cmd =
       const run $ shards_arg $ clients_arg $ requests_arg $ keyspace_arg
       $ theta_arg $ mix_arg $ queue_cap_arg $ config_arg $ heap_arg
       $ crash_arg $ crash_shard_arg $ grow_arg $ shrink_arg
-      $ migrate_batch_arg $ sweep_arg $ sweep_points_arg $ lint_arg
-      $ race_lint_arg $ broken_handoff_arg $ jobs_arg $ json_arg $ seed_arg
-      $ verbose_arg $ metrics_arg $ trace_arg)
+      $ migrate_batch_arg $ migrate_mode_arg $ sweep_arg $ sweep_points_arg
+      $ lint_arg $ race_lint_arg $ broken_handoff_arg $ jobs_arg $ json_arg
+      $ seed_arg $ verbose_arg $ metrics_arg $ trace_arg)
 
 (* --- storm ------------------------------------------------------------ *)
 
@@ -852,6 +869,15 @@ let storm_cmd =
                 fleet (the classic PSU wave), $(docv) < nodes for a partial \
                 storm against a fleet that keeps serving.")
   in
+  let spares_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "spares" ] ~docv:"N"
+          ~doc:"Failed machines that never come back: the first $(docv) \
+                failures restore on spare nodes by pulling the dead node's \
+                whole NVRAM image through a back-end slot (image-shipping \
+                failover) instead of restoring from local NVDIMMs.")
+  in
   let json_arg =
     Arg.(
       value
@@ -870,6 +896,7 @@ let storm_cmd =
       \  \"horizon_ps\": %d,\n\
       \  \"failures\": %d,\n\
       \  \"failed_in_window\": %d,\n\
+      \  \"spare_failovers\": %d,\n\
       \  \"seed\": %d,\n\
       \  \"restore_latency_ps\": { \"p50\": %d, \"p99\": %d, \"max\": %d, \
        \"mean\": %d },\n\
@@ -878,11 +905,12 @@ let storm_cmd =
        }"
       r.fleet.nodes (Time.to_ps r.fleet.stagger) r.fleet.restore_concurrency
       (Time.to_ps r.fleet.horizon) r.fleet.failures r.failed_in_window
-      r.fleet.seed (Time.to_ps r.p50) (Time.to_ps r.p99) (Time.to_ps r.worst)
+      r.spare_failovers r.fleet.seed (Time.to_ps r.p50) (Time.to_ps r.p99)
+      (Time.to_ps r.worst)
       (Time.to_ps r.mean) r.availability (Time.to_ps r.last_online)
   in
-  let run servers state_gib outage nodes stagger slots horizon failures json
-      seed metrics trace =
+  let run servers state_gib outage nodes stagger slots horizon failures spares
+      json seed metrics trace =
     with_obs metrics trace @@ fun () ->
     let open Wsp_cluster.Recovery_storm in
     let params =
@@ -902,6 +930,7 @@ let storm_cmd =
           restore_concurrency = slots;
           horizon = Time.s horizon;
           failures;
+          spares;
           seed;
         }
       in
@@ -923,8 +952,8 @@ let storm_cmd =
        ~doc:"Model a correlated recovery storm (rack- or fleet-scale)")
     Term.(
       const run $ servers_arg $ state_arg $ outage_arg $ nodes_arg
-      $ stagger_arg $ slots_arg $ horizon_arg $ failures_arg $ json_arg
-      $ seed_arg $ metrics_arg $ trace_arg)
+      $ stagger_arg $ slots_arg $ horizon_arg $ failures_arg $ spares_arg
+      $ json_arg $ seed_arg $ metrics_arg $ trace_arg)
 
 let () =
   let info =

@@ -137,7 +137,9 @@ let checker_workload kind config =
   }
 
 let registry =
-  let main_configs = [ Config.foc_ul; Config.foc_stm; Config.fof ] in
+  let main_configs =
+    [ Config.foc_ul; Config.foc_stm; Config.fof; Config.msync ]
+  in
   List.concat_map
     (fun kind -> List.map (checker_workload kind) main_configs)
     Checker.all_kinds
@@ -164,7 +166,7 @@ let registry =
             (fun ~fault ~txns ~seed ~observe ~finish ->
               run_avl ~config ~fault ~txns ~seed ~observe ~finish);
         })
-      [ Config.foc_ul; Config.fof ]
+      [ Config.foc_ul; Config.fof; Config.msync ]
 
 let find ?workload ?config () =
   List.filter

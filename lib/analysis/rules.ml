@@ -33,7 +33,7 @@ let severity_name = function Error -> "error" | Advisory -> "advisory"
    concurrent rules {!Crules} judges over domain-tagged multi-trace
    streams. They share one rule id space so reports, [--expect]
    allowlists and JSON rendering treat both families uniformly. *)
-type rule = R1 | R2 | R3 | R4 | R5 | R6 | R7 | R8 | R9
+type rule = R1 | R2 | R3 | R4 | R5 | R6 | R7 | R8 | R9 | R10
 
 let rule_name = function
   | R1 -> "R1"
@@ -45,6 +45,7 @@ let rule_name = function
   | R7 -> "R7"
   | R8 -> "R8"
   | R9 -> "R9"
+  | R10 -> "R10"
 
 let rule_slug = function
   | R1 -> "unflushed-commit"
@@ -56,6 +57,7 @@ let rule_slug = function
   | R7 -> "ack-before-persist"
   | R8 -> "handoff-order-violation"
   | R9 -> "unpublished-fence-reliance"
+  | R10 -> "unsettled-page-commit"
 
 let rule_of_name s =
   match String.uppercase_ascii (String.trim s) with
@@ -68,6 +70,7 @@ let rule_of_name s =
   | "R7" -> Some R7
   | "R8" -> Some R8
   | "R9" -> Some R9
+  | "R10" -> Some R10
   | _ -> None
 
 type diagnostic = {
@@ -104,6 +107,8 @@ type st = {
   mutable cur_tx : int64 option;
   mutable undo_payload : (int64 * int list) option;
       (* Commit-event written_lines awaiting their k_commit append *)
+  mutable msync_payload : (int64 * int list) option;
+      (* Commit-event written_lines awaiting the page-journal truncation *)
   redo_acc : (int, int64) Hashtbl.t;
       (* line -> last committing txid since the last truncation *)
   mutable open_commit : (int * int64 option) option;
@@ -128,7 +133,9 @@ let diag ?line ?txid ?wasted_ns st rule severity witness fmt =
       emit st { rule; severity; message; line; txid; witness; wasted_ns })
     fmt
 
-let flush_on_commit st = st.m.config.Config.flush_on_commit
+let flush_on_commit st = Config.flush_on_commit st.m.config
+let msync st = st.m.config.Config.backend = Config.Msync
+let durable_without_wsp st = Config.is_durable_without_wsp st.m.config
 let logging st = st.m.config.Config.logging
 
 (* --- R1: written lines persist-ordered before the commit record ----- *)
@@ -137,7 +144,7 @@ let logging st = st.m.config.Config.logging
    witness; the message carries the total count. [lines] holds
    line-aligned byte addresses (the {!Txn.Commit} payload), converted
    to cache-line numbers here. *)
-let check_commit_lines st ~commit_idx ~txid ~what lines =
+let check_commit_lines ?(rule = R1) st ~commit_idx ~txid ~what lines =
   let lines = List.map (Pdag.line_of st.pdag) lines in
   let offending =
     List.filter_map
@@ -161,7 +168,7 @@ let check_commit_lines st ~commit_idx ~txid ~what lines =
         | None -> "never flushed"
         | Some _ -> "flushed but not fenced"
       in
-      diag st ~line ?txid R1 Error witness
+      diag st ~line ?txid rule Error witness
         "%d of %d written line(s) not persist-ordered before %s (line %d %s)"
         (List.length offending) (List.length lines) what line how
 
@@ -219,10 +226,11 @@ let heap_event st ~idx ev =
       st.allocated <- IntMap.remove addr st.allocated;
       st.freed <- IntMap.add addr (size, idx) st.freed
   | Alloc.Header_write { addr } -> Hashtbl.replace st.pending_headers addr ());
-  (* Journal payload-lifetime changes for undo-abort reversal. *)
+  (* Journal payload-lifetime changes for abort reversal: undo logging
+     and msync both roll allocator state back in place on abort. *)
   match ev with
   | (Alloc.Alloc _ | Alloc.Free _)
-    when logging st = Config.Undo && Option.is_some st.cur_tx ->
+    when (logging st = Config.Undo || msync st) && Option.is_some st.cur_tx ->
       st.tx_heap_journal <- ev :: st.tx_heap_journal
   | Alloc.Alloc _ | Alloc.Free _ | Alloc.Header_write _ -> ()
 
@@ -309,18 +317,24 @@ let step st i (ev : Trace.event) =
       | Txn.Commit { txid; written_lines } -> (
           st.txns <- st.txns + 1;
           st.tx_heap_journal <- [];
-          match logging st with
-          | Config.Undo ->
-              if flush_on_commit st then
-                st.undo_payload <- Some (txid, written_lines)
-          | Config.Redo ->
-              if flush_on_commit st then
-                List.iter
-                  (fun line -> Hashtbl.replace st.redo_acc line txid)
-                  written_lines
-          | Config.No_log -> ())
+          if msync st then
+            (* Settled at the page-journal truncation closing this
+               commit (R10) — the in-place apply happens after the
+               seal, so checking at the seal would be too early. *)
+            st.msync_payload <- Some (txid, written_lines)
+          else
+            match logging st with
+            | Config.Undo ->
+                if flush_on_commit st then
+                  st.undo_payload <- Some (txid, written_lines)
+            | Config.Redo ->
+                if flush_on_commit st then
+                  List.iter
+                    (fun line -> Hashtbl.replace st.redo_acc line txid)
+                    written_lines
+            | Config.No_log -> ())
       | Txn.Abort _ ->
-          if logging st = Config.Undo then begin
+          if logging st = Config.Undo || msync st then begin
             revert_heap_journal st;
             st.in_rollback <- true
           end;
@@ -330,7 +344,7 @@ let step st i (ev : Trace.event) =
       | Rawlog.Append { kind; n_values = _ } ->
           r2_trigger st ~idx:i ~because:"a later log append";
           leave_rollback st;
-          if kind = Txn.k_commit && flush_on_commit st then begin
+          if kind = Txn.k_commit && durable_without_wsp st then begin
             (match (logging st, st.undo_payload) with
             | Config.Undo, Some (txid, lines) ->
                 st.undo_payload <- None;
@@ -344,7 +358,16 @@ let step st i (ev : Trace.event) =
       | Rawlog.Truncate ->
           r2_trigger st ~idx:i ~because:"log truncation";
           leave_rollback st;
-          if logging st = Config.Redo && flush_on_commit st then begin
+          if msync st then (
+            (* The truncation discards the page journal: every in-place
+               line it protected must have settled by now (R10). *)
+            match st.msync_payload with
+            | Some (txid, lines) ->
+                st.msync_payload <- None;
+                check_commit_lines st ~rule:R10 ~commit_idx:i
+                  ~txid:(Some txid) ~what:"its page-journal truncation" lines
+            | None -> ())
+          else if logging st = Config.Redo && flush_on_commit st then begin
             let lines =
               Hashtbl.fold (fun line _ acc -> line :: acc) st.redo_acc []
               |> List.sort compare
@@ -357,7 +380,7 @@ let step st i (ev : Trace.event) =
 (* --- R5: flush-on-fail reliance ------------------------------------- *)
 
 let check_fof_budget st =
-  if not (flush_on_commit st) then begin
+  if not (durable_without_wsp st) then begin
     let footprint = Pdag.max_footprint_bytes st.pdag in
     if st.m.wsp_save_broken && footprint > 0 then
       diag st R5 Error
@@ -398,6 +421,7 @@ let rule_rank = function
   | R7 -> 7
   | R8 -> 8
   | R9 -> 9
+  | R10 -> 10
 
 let diag_key d =
   ( severity_rank d.severity,
@@ -425,6 +449,7 @@ let stream_create m ~line_size ~alloc_base ~alloc_limit =
       txns = 0;
       cur_tx = None;
       undo_payload = None;
+      msync_payload = None;
       redo_acc = Hashtbl.create 256;
       open_commit = None;
       r2_nt_last = -1;
@@ -447,12 +472,13 @@ let stream_step s ev =
 let stream_finish s =
   let st = s.st in
   r2_trigger st ~idx:(-1) ~because:"the end of the trace";
-  (* Under flush-on-commit every non-temporal store is a log record
-     written for durability; data still pending in the write-combining
-     buffers at the end of the trace was never drained by a working
-     fence and dies with the power. Catches journalled (non-
-     transactional) protocols R2's commit-record tracking cannot see. *)
-  (if flush_on_commit st && Pdag.nt_pending st.pdag > 0 then
+  (* Under a backend durable without WSP every non-temporal store is a
+     log record written for durability; data still pending in the
+     write-combining buffers at the end of the trace was never drained
+     by a working fence and dies with the power. Catches journalled
+     (non-transactional) protocols R2's commit-record tracking cannot
+     see. *)
+  (if durable_without_wsp st && Pdag.nt_pending st.pdag > 0 then
      let witness =
        if Pdag.nt_last st.pdag >= 0 then [ Pdag.nt_last st.pdag ] else []
      in

@@ -31,7 +31,12 @@
     machine's WSP save is sabotaged ([wsp_save_broken]) while dirty data
     exists, or {!Wsp_core.System.save_budget} says the PSU's worst-case
     residual window cannot cover the Figure-4 save path at that
-    footprint. *)
+    footprint.
+
+    {b R10 — unsettled page commit} (error, msync backend only): an
+    in-place line applied by a sealed msync epoch is not persist-ordered
+    before the truncation that discards the page journal protecting
+    it — the msync analogue of R1's settling obligation. *)
 
 open Wsp_nvheap
 
@@ -54,15 +59,15 @@ type severity = Error | Advisory
 
 val severity_name : severity -> string
 
-type rule = R1 | R2 | R3 | R4 | R5 | R6 | R7 | R8 | R9
-(** R1–R5 are single-trace rules this engine emits; R6–R9 are the
-    cross-domain persistency-race rules {!Crules} emits (durability
+type rule = R1 | R2 | R3 | R4 | R5 | R6 | R7 | R8 | R9 | R10
+(** R1–R5 and R10 are single-trace rules this engine emits; R6–R9 are
+    the cross-domain persistency-race rules {!Crules} emits (durability
     race, ack-before-persist, handoff-order violation, and
     unpublished-fence reliance). One id space, so [--expect] and report
     rendering treat both families uniformly. *)
 
 val rule_name : rule -> string
-(** ["R1"].. ["R9"] — the ids the CLI's [--expect] flag takes. *)
+(** ["R1"].. ["R10"] — the ids the CLI's [--expect] flag takes. *)
 
 val rule_slug : rule -> string
 val rule_of_name : string -> rule option

@@ -63,11 +63,12 @@ let watch trig bus =
 type outcome = { mem_events : int; loss : bool; tear : bool }
 
 let power_cycle ~config nvrams =
-  (* Flush-on-fail rides the residual-energy save; flush-on-commit
-     gets nothing — same semantics as the transactional Checker. *)
+  (* Flush-on-fail rides the residual-energy save; backends durable
+     without WSP get nothing — same semantics as the transactional
+     Checker. *)
   List.iter
     (fun (_, heap) ->
-      if not config.Config.flush_on_commit then Pheap.wsp_flush heap;
+      if not (Config.is_durable_without_wsp config) then Pheap.wsp_flush heap;
       Pheap.crash heap)
     nvrams;
   List.map (fun (nvram, _) -> reattach ~config nvram) nvrams

@@ -102,6 +102,12 @@ type fleet_params = {
          classic PSU wave; k < nodes = k nodes drawn at random fail
          while the rest keep serving — single-node failures against a
          live fleet, the WSP regime. *)
+  spares : int;
+      (* Failed machines that are not coming back: the first this-many
+         failures (in failure order) restore on a spare node instead,
+         which must pull the dead node's whole NVRAM image through a
+         back-end slot (plus the missed updates) rather than restoring
+         from local NVDIMMs. Zero = every node restores in place. *)
   seed : int;
 }
 
@@ -113,6 +119,7 @@ let default_fleet =
     restore_concurrency = 32;
     horizon = Time.s 600.0;
     failures = 0;
+    spares = 0;
     seed = 1;
   }
 
@@ -132,6 +139,7 @@ type fleet_result = {
       (* Nodes whose failure landed inside the horizon; with stagger
          validated <= horizon this is every drawn failure, and the
          denominator above is honest. *)
+  spare_failovers : int;  (* failures that restored on a spare node *)
   last_online : Time.t;  (* when the final node is back, from t = 0 *)
 }
 
@@ -151,6 +159,7 @@ let storm f =
     invalid_arg "Recovery_storm.storm: stagger exceeds horizon";
   if f.failures < 0 || f.failures > f.nodes then
     invalid_arg "Recovery_storm.storm: failures out of range";
+  if f.spares < 0 then invalid_arg "Recovery_storm.storm: negative spares";
   let reg = Wsp_obs.Metrics.ambient () in
   Wsp_obs.Metrics.Counter.incr
     (Wsp_obs.Metrics.counter reg "cluster.storm.fleet_runs");
@@ -184,6 +193,15 @@ let storm f =
     p.replay_factor *. missed_bytes p
     /. Units.Bandwidth.to_bytes_per_s p.backend_bandwidth
   in
+  (* A spare failover ships the dead node's whole NVRAM image through
+     its slot on top of the missed updates — the image-migration cost —
+     but skips the local NVDIMM restore (the spare has no image of its
+     own to load). *)
+  let catchup_spare =
+    p.replay_factor
+    *. (missed_bytes p +. float_of_int (Units.Size.to_bytes p.state_per_server))
+    /. Units.Bandwidth.to_bytes_per_s p.backend_bandwidth
+  in
   let local = Time.to_s p.nvdimm_restore in
   (* FIFO in failure order; ties broken by node index so the schedule
      is deterministic for a given seed. *)
@@ -196,16 +214,21 @@ let storm f =
   let slot_free = Array.make f.restore_concurrency 0.0 in
   let latencies = Array.make f.nodes Time.zero in
   let last = ref 0.0 in
+  let spare_failovers = Stdlib.min f.spares nfail in
+  let rank = ref 0 in
   Array.iter
     (fun i ->
-      (* Local NVDIMM restore runs before the node asks for a slot. *)
-      let ready = fail_at.(i) +. local in
+      let on_spare = !rank < spare_failovers in
+      incr rank;
+      (* Local NVDIMM restore runs before the node asks for a slot; a
+         spare failover has no local image and goes straight to one. *)
+      let ready = fail_at.(i) +. (if on_spare then 0.0 else local) in
       let slot = ref 0 in
       for s = 1 to f.restore_concurrency - 1 do
         if slot_free.(s) < slot_free.(!slot) then slot := s
       done;
       let start = Float.max ready slot_free.(!slot) in
-      let finish = start +. catchup in
+      let finish = start +. (if on_spare then catchup_spare else catchup) in
       slot_free.(!slot) <- finish;
       latencies.(i) <- Time.s (finish -. fail_at.(i));
       if finish > !last then last := finish)
@@ -244,14 +267,18 @@ let storm f =
     mean = Time.s (List.fold_left ( +. ) 0.0 samples /. float_of_int nfail);
     availability;
     failed_in_window;
+    spare_failovers;
     last_online = Time.s !last;
   }
 
 let pp_fleet_result ppf r =
   Fmt.pf ppf
-    "%d nodes (%d failed in-window), %a stagger, %d restore slots: restore \
+    "%d nodes (%d failed in-window%a), %a stagger, %d restore slots: restore \
      p50=%a p99=%a max=%a mean=%a; availability %.4f over %a; all online at %a"
-    r.fleet.nodes r.failed_in_window Time.pp r.fleet.stagger
+    r.fleet.nodes r.failed_in_window
+    (fun ppf n ->
+      if n > 0 then Fmt.pf ppf ", %d restored on spares via full images" n)
+    r.spare_failovers Time.pp r.fleet.stagger
     r.fleet.restore_concurrency Time.pp r.p50 Time.pp r.p99 Time.pp r.worst
     Time.pp r.mean r.availability Time.pp r.fleet.horizon Time.pp r.last_online
 

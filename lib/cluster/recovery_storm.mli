@@ -81,6 +81,12 @@ type fleet_params = {
           whole-fleet PSU wave; [k < nodes] draws k random nodes to
           fail while the rest of the fleet keeps serving — the
           single-node-failure regime WSP makes cheap. *)
+  spares : int;
+      (** Failed machines that never come back: the first this-many
+          failures (in failure order) restore on spare nodes, which
+          must pull the dead node's whole NVRAM image through a
+          back-end slot — the image-shipping failover path — instead
+          of restoring from local NVDIMMs. *)
   seed : int;  (** Stagger schedule seed — runs are reproducible. *)
 }
 
@@ -105,6 +111,8 @@ type fleet_result = {
       (** Nodes whose failure landed inside the horizon. Equal to the
           drawn failure count, since [stagger > horizon] is rejected
           rather than allowed to hide failures past the window. *)
+  spare_failovers : int;
+      (** Failures that restored on a spare via a full shipped image. *)
   last_online : Time.t;
       (** When the final node is back in service, measured from the
           start of the outage. *)

@@ -71,5 +71,36 @@ val recover_node :
     transfer. Default network bandwidth 1 GiB/s. After return the node
     is live and exactly consistent with the primary. *)
 
+(** {2 Restore on a different node}
+
+    Image-shipping failover: when a failed machine is not coming back,
+    a spare adopts the dead node's (stale but intact) NVRAM image and
+    catches up from a live peer's log — the whole-image analogue of
+    {!recover_node}. *)
+
+val add_spare : t -> int
+(** Registers a cold spare (empty, not serving) and returns its id. *)
+
+type failover = {
+  spare : int;
+  mode : [ `Image_catch_up | `Image_plus_full ];
+      (** [`Image_catch_up]: the adopted image plus the peer-log delta
+          sufficed. [`Image_plus_full]: the outage outlived the log
+          retention, so the spare re-cloned a live peer wholesale. *)
+  image_bytes : int;  (** The dead node's shipped image. *)
+  transferred_bytes : int;  (** Image plus catch-up (or full) traffic. *)
+  duration : Time.t;
+  missed_updates : int;  (** Sequence gap the image was behind. *)
+}
+
+val failover_node :
+  ?network_bandwidth:Units.Bandwidth.t -> t -> failed:int -> spare:int ->
+  failover
+(** Ships the failed node's image to [spare], catches it up, brings it
+    live, and retires the failed node from the roster permanently.
+    Raises [Invalid_argument] if the failed node is live or the spare
+    already serves. After return the spare is exactly consistent with
+    the primary. *)
+
 val consistent : t -> bool
 (** All live replicas hold identical state. *)

@@ -1,29 +1,45 @@
 open Wsp_sim
 
 type logging = No_log | Undo | Redo
+type backend = Store | Commit_seal | Msync
 
 type t = {
   name : string;
   logging : logging;
   stm : bool;
-  flush_on_commit : bool;
+  backend : backend;
 }
 
-let foc_stm = { name = "FoC + STM"; logging = Redo; stm = true; flush_on_commit = true }
-let foc_ul = { name = "FoC + UL"; logging = Undo; stm = false; flush_on_commit = true }
-let fof_stm = { name = "FoF + STM"; logging = Redo; stm = true; flush_on_commit = false }
-let fof_ul = { name = "FoF + UL"; logging = Undo; stm = false; flush_on_commit = false }
-let fof = { name = "FoF"; logging = No_log; stm = false; flush_on_commit = false }
+let foc_stm = { name = "FoC + STM"; logging = Redo; stm = true; backend = Commit_seal }
+let foc_ul = { name = "FoC + UL"; logging = Undo; stm = false; backend = Commit_seal }
+let fof_stm = { name = "FoF + STM"; logging = Redo; stm = true; backend = Store }
+let fof_ul = { name = "FoF + UL"; logging = Undo; stm = false; backend = Store }
+let fof = { name = "FoF"; logging = No_log; stm = false; backend = Store }
+let msync = { name = "Msync"; logging = No_log; stm = false; backend = Msync }
 let all = [ foc_stm; foc_ul; fof_stm; fof_ul; fof ]
+let all_backends = all @ [ msync ]
+
+(* Page granularity of the failure-atomic msync backend: dirty tracking,
+   journalling and commit all operate on aligned 256-byte pages (32
+   words) — small enough that single-word transactions don't journal a
+   whole 4 KiB OS page in the simulator's cost model. *)
+let msync_page = 256
+
+let backend_name = function
+  | Store -> "store"
+  | Commit_seal -> "commit-seal"
+  | Msync -> "msync"
+
+let flush_on_commit t = t.backend = Commit_seal
 
 let normalize s =
   String.lowercase_ascii (String.concat "" (String.split_on_char ' ' s))
 
 let by_name s =
   let s = normalize s in
-  List.find_opt (fun c -> normalize c.name = s) all
+  List.find_opt (fun c -> normalize c.name = s) all_backends
 
-let is_durable_without_wsp t = t.flush_on_commit
+let is_durable_without_wsp t = t.backend <> Store
 
 module Costs = struct
   type costs = {

@@ -1,7 +1,7 @@
-(** The five persistence configurations of Figure 5.
+(** The five persistence configurations of Figure 5, plus the
+    failure-atomic msync backend.
 
-    Two axes: {e when} transient state reaches NVRAM (flush-on-commit at
-    every transaction, vs. flush-on-fail once at power failure), and
+    Two axes: {e when} transient state reaches NVRAM (the backend), and
     {e what bookkeeping} runs during execution (full STM instrumentation
     with redo logging, plain undo logging, or nothing). *)
 
@@ -9,13 +9,23 @@ open Wsp_sim
 
 type logging = No_log | Undo | Redo
 
+(** When data becomes durable:
+    - [Store]: never synchronously — durability relies on the WSP
+      flush-on-fail save at power loss.
+    - [Commit_seal]: at every transaction commit — fenced non-temporal
+      log appends plus cache-line flushes of updated data
+      (flush-on-commit, the Mnemosyne discipline).
+    - [Msync]: at every transaction commit via a failure-atomic msync:
+      writes are buffered in tracked dirty pages, journalled as whole
+      pages, sealed, then applied and flushed in place (the
+      Snapshot-style page-granularity design). *)
+type backend = Store | Commit_seal | Msync
+
 type t = {
   name : string;
   logging : logging;
   stm : bool;  (** Read/write-set instrumentation and validation. *)
-  flush_on_commit : bool;
-      (** Synchronous durability at commit: fenced non-temporal log
-          appends plus cache-line flushes of updated data. *)
+  backend : backend;  (** When updates reach NVRAM durably. *)
 }
 
 val foc_stm : t
@@ -34,14 +44,29 @@ val fof_ul : t
 val fof : t
 (** Flush-on-fail, no transactions or logging: plain WSP operation. *)
 
+val msync : t
+(** Failure-atomic msync: no logging instrumentation during execution;
+    per-page dirty tracking with a double-buffered page commit. *)
+
 val all : t list
-(** In the paper's legend order. *)
+(** The five paper configurations, in the paper's legend order. *)
+
+val all_backends : t list
+(** [all] plus the msync backend — one representative per backend. *)
+
+val msync_page : int
+(** Aligned page size (bytes) of msync dirty tracking and journalling. *)
+
+val backend_name : backend -> string
+
+val flush_on_commit : t -> bool
+(** [backend = Commit_seal]. *)
 
 val by_name : string -> t option
 
 val is_durable_without_wsp : t -> bool
 (** Whether committed transactions survive a power failure {e without}
-    the WSP cache flush (true only for flush-on-commit configurations). *)
+    the WSP cache flush (true for commit-seal and msync backends). *)
 
 (** {1 Cost model}
 

@@ -313,3 +313,24 @@ let pending_nt t = List.rev (Queue.fold (fun acc e -> e :: acc) [] t.wc_pending)
 let blit_backing t ~addr ~len dst ~dst_off =
   check_range t addr len;
   Bytes.blit t.backing addr dst dst_off len
+
+let load_backing t ~addr src =
+  let len = Bytes.length src in
+  check_range t addr len;
+  Bytes.blit src 0 t.backing addr len;
+  (* Any cached state overlapping the range is now stale and must not
+     be written back over the freshly loaded bytes. *)
+  let first = addr / t.line_size and last = (addr + len - 1) / t.line_size in
+  for line = first to last do
+    Hashtbl.remove t.dirty line
+  done;
+  if not (Queue.is_empty t.wc_pending) then begin
+    let keep =
+      Queue.fold
+        (fun acc (a, v) ->
+          if a >= addr && a < addr + len then acc else (a, v) :: acc)
+        [] t.wc_pending
+    in
+    Queue.clear t.wc_pending;
+    List.iter (fun e -> Queue.add e t.wc_pending) (List.rev keep)
+  end

@@ -204,3 +204,10 @@ val pending_nt : t -> (int * int64) list
 
 val blit_backing : t -> addr:int -> len:int -> Bytes.t -> dst_off:int -> unit
 (** Copies [len] backing bytes at [addr] into [dst]. *)
+
+val load_backing : t -> addr:int -> Bytes.t -> unit
+(** Writes [src] directly into the persistent backing at [addr] — a
+    DMA-style load, as when a shipped heap image is adopted by a node.
+    Cached state overlapping the range (dirty-overlay lines, pending
+    non-temporal stores) is invalidated, not written back. Charges no
+    time and publishes no events. *)

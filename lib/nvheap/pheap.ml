@@ -60,18 +60,58 @@ let alloc t n =
     n
 
 let free t addr =
+  if Txn.buffers_writes t.txn then
+    Txn.note_free t.txn ~addr ~size:(Alloc.payload_size t.allocator addr);
   Alloc.free t.allocator
     ~on_header_write:(fun ~addr -> Txn.log_header_write t.txn ~addr)
     addr
 
 let read_u64 t ~addr = Txn.read_u64 t.txn ~addr
 let write_u64 t ~addr v = Txn.write_u64 t.txn ~addr v
-let with_tx t f = Txn.with_tx t.txn f
 let begin_tx t = Txn.begin_tx t.txn
 let commit t = Txn.commit t.txn
-let abort t = Txn.abort t.txn
-let set_root t addr = write_u64 t ~addr:(t.base + root_slot) (Int64.of_int addr)
-let root t = Int64.to_int (read_u64 t ~addr:(t.base + root_slot))
+
+(* Abort rolls allocator header writes back in NVRAM (undo and msync
+   backends), but the allocator's volatile free-list index still
+   reflects the allocations the transaction made — it would hand out
+   rolled-back split blocks whose headers now read as garbage. Rebuild
+   the index from the (post-rollback) headers, as recovery does. *)
+let abort t =
+  Txn.abort t.txn;
+  Alloc.recover t.allocator
+
+let with_tx t f =
+  match Txn.with_tx t.txn f with
+  | result -> result
+  | exception exn ->
+      (* Txn.with_tx already aborted; re-sync the allocator index. *)
+      Alloc.recover t.allocator;
+      raise exn
+(* The root slot stores a tagged base-relative word: [(offset << 1) | 1]
+   for a published root, 0 for none. Base-relative makes the published
+   root invariant under image relocation; the tag keeps "no root"
+   distinguishable from a genuine offset-0 root (the old absolute
+   encoding conflated both as 0). *)
+let set_root t addr =
+  let word =
+    if addr = 0 then 0L
+    else begin
+      if addr < t.base || addr >= t.heap_base + t.heap_size then
+        invalid_arg "Pheap.set_root: address outside region";
+      Int64.of_int (((addr - t.base) lsl 1) lor 1)
+    end
+  in
+  write_u64 t ~addr:(t.base + root_slot) word
+
+let root_opt t =
+  let word = read_u64 t ~addr:(t.base + root_slot) in
+  if Int64.equal word 0L then None
+  else if Int64.equal (Int64.logand word 1L) 1L then
+    Some (t.base + Int64.to_int (Int64.shift_right_logical word 1))
+  else
+    invalid_arg "Pheap.root: untagged (corrupt or pre-relocatable) root slot"
+
+let root t = match root_opt t with Some addr -> addr | None -> 0
 let crash t =
   Nvram.crash t.nvram;
   Txn.on_crash t.txn
@@ -81,7 +121,9 @@ let recover t =
   Txn.recover t.txn;
   Alloc.recover t.allocator
 
+let quiesce t = Txn.quiesce t.txn
 let heap_base t = t.heap_base
 let heap_size t = t.heap_size
 let base t = t.base
 let region_len t = t.heap_base + t.heap_size - t.base
+let log_bytes t = t.heap_base - t.base - root_area

@@ -100,9 +100,18 @@ val abort : t -> unit
 (** {1 Root object} *)
 
 val set_root : t -> int -> unit
-(** Publishes the address applications start recovery from (0 = none). *)
+(** Publishes the address applications start recovery from (0 = none).
+    The slot stores a tagged {e base-relative} word, so a published
+    root survives image relocation unchanged and a genuine offset-0
+    root is distinguishable from "none". Raises [Invalid_argument] for
+    a non-zero address outside the region. *)
 
 val root : t -> int
+(** The published root as an absolute address, 0 for none. *)
+
+val root_opt : t -> int option
+(** The published root as an absolute address; [None] when unset.
+    Raises [Invalid_argument] on an untagged (corrupt) root word. *)
 
 (** {1 Failure and recovery} *)
 
@@ -117,6 +126,11 @@ val recover : t -> unit
 (** Post-crash software recovery: transaction log repair, then allocator
     index rebuild. *)
 
+val quiesce : t -> unit
+(** Flushes protected data (flush-on-commit) and empties the log. Log
+    records embed absolute addresses, so this is the precondition for
+    {!Image.save}. Raises [Invalid_argument] inside a transaction. *)
+
 val heap_base : t -> int
 val heap_size : t -> int
 
@@ -125,3 +139,7 @@ val base : t -> int
 
 val region_len : t -> int
 (** Total bytes of the region: root area + log + heap. *)
+
+val log_bytes : t -> int
+(** Bytes of the log area — what [log_size] resolved to at format
+    time; an {!attach_in} of the same region must be given this. *)

@@ -12,6 +12,12 @@
       writes in place. Recovery replays committed transactions and drops
       uncommitted ones.
     - {b No logging}: plain loads and stores (the WSP configuration).
+    - {b Msync backend} (orthogonal to the logging axis): data writes
+      are buffered in tracked dirty pages; commit journals whole-page
+      post-images with fenced non-temporal appends, seals the epoch,
+      then applies and flushes in place — a double-buffered
+      failure-atomic msync. Allocator headers, written in place by the
+      allocator, are covered by durable undo records instead.
 
     Transactions are single-threaded (the paper's benchmarks are too);
     the STM machinery still performs read-set validation so its costs are
@@ -72,6 +78,11 @@ val k_undo : int
 val k_redo : int
 val k_commit : int
 
+val k_page : int
+(** A whole-page post-image journalled by the msync backend's commit:
+    values are the page's base address followed by its
+    [Config.msync_page / 8] words. *)
+
 val redo_truncate_interval : int
 (** Redo (FoC) logs are truncated, with data flushes, every this many
     writing commits. *)
@@ -89,6 +100,16 @@ val with_tx : t -> (unit -> 'a) -> 'a
 val read_u64 : t -> addr:int -> int64
 val write_u64 : t -> addr:int -> int64 -> unit
 
+val buffers_writes : t -> bool
+(** Whether data writes are currently buffered (msync backend, inside a
+    transaction) — when true, {!note_free} must be told about payload
+    frees. *)
+
+val note_free : t -> addr:int -> size:int -> unit
+(** Drops buffered writes covered by a freed payload block
+    [\[addr, addr+size)]: they are dead, and applying them at commit
+    would store into a freed block. No-op unless {!buffers_writes}. *)
+
 val log_header_write : t -> addr:int -> unit
 (** Hook for allocator metadata: undo-logs the word about to change when
     undo logging is active (no-op otherwise). Pass as [on_header_write]
@@ -99,8 +120,16 @@ val on_crash : t -> unit
     power. Called by {!Pheap.crash}; {!recover} then repairs NVRAM. *)
 
 val recover : t -> unit
-(** Post-crash repair: rolls back (undo) or replays (redo) according to
-    the log, then truncates it. Safe to call on a clean heap. *)
+(** Post-crash repair: rolls back (undo) or replays (redo/page journal)
+    according to the log, then truncates it. Safe to call on a clean
+    heap. *)
+
+val quiesce : t -> unit
+(** Empties the log outside any transaction (flushing the data it
+    protects first, under flush-on-commit). Log records embed absolute
+    addresses, so a quiesced log is a precondition for saving a
+    relocatable heap image. Raises [Invalid_argument] inside a
+    transaction. *)
 
 val committed_count : t -> int
 val aborted_count : t -> int

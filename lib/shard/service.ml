@@ -24,6 +24,7 @@ type params = {
   grow_at : int option;
   shrink_at : int option;
   migrate_batch : int;
+  migrate_mode : [ `Drain | `Image ];
   crash_mig_event : int option;
   lint : bool;
   race_lint : bool;
@@ -50,6 +51,7 @@ let default =
     grow_at = None;
     shrink_at = None;
     migrate_batch = 64;
+    migrate_mode = `Drain;
     crash_mig_event = None;
     lint = false;
     race_lint = false;
@@ -128,6 +130,9 @@ type report = {
   migration_time : Time.t;
   mig_events : int;
   dup_resolved : int;
+  images_shipped : int;
+  image_bytes : int;
+  image_deltas : int;
   misplaced_keys : int;
   topology : topology_change list;
   restores : restore list;
@@ -198,6 +203,11 @@ type shard = {
   mutable lint_errors : int;
   mutable lint_advisories : int;
   mutable lookup_log : (int * int64 option) list;  (* newest first *)
+  mutable wset : (int64, unit) Hashtbl.t option;
+      (* Keys written since this shard's heap image was shipped; [Some]
+         only while an image migration is staging from this shard. The
+         worker domain writes it, the coordinator reads it — ordered by
+         the round join like all other shard state. *)
   mutable rbuf : Crules.item list;
       (* race-lint backlog, newest first: each shard's bus tap and the
          serve loop push here on the shard's own worker domain; only
@@ -206,12 +216,17 @@ type shard = {
 
 (* One draining source of one topology change. The queue snapshots the
    moved keys at change time; [pending] routing keeps later writes for
-   those keys arriving at the source until each key's handoff lands. *)
+   those keys arriving at the source until each key's handoff lands.
+   Under [`Image] migration, [staged] is the source's relocatable heap
+   image restored (at a different base) on a staging node: handoffs
+   read values out of the restored replica, reconciling each against
+   the live source for writes that raced the ship. *)
 type migration = {
   src : shard;
   topo : topology_change;
   mutable queue : int64 array;
   mutable pos : int;
+  mutable staged : Avl.t option;
 }
 
 type state = {
@@ -234,6 +249,9 @@ type state = {
   mutable shed : int;
   mutable crash_shed : int;
   mutable dup_resolved : int;
+  mutable images_shipped : int;
+  mutable image_bytes : int;
+  mutable image_deltas : int;
 }
 
 let watch_bus heap counts =
@@ -361,6 +379,7 @@ let make_shard p ctl ~race id =
       lint_errors = 0;
       lint_advisories = 0;
       lookup_log = [];
+      wset = None;
       rbuf = [];
     }
   in
@@ -379,8 +398,13 @@ let push_lat sh v =
   sh.lat.(sh.lat_len) <- v;
   sh.lat_len <- sh.lat_len + 1
 
+(* Configurations whose durability needs transaction brackets: the
+   logging and STM ones, and the msync backend (whose failure atomicity
+   is the commit's page journal). Plain flush-on-fail serves bare. *)
 let transactional config =
-  config.Config.logging <> Config.No_log || config.Config.stm
+  config.Config.logging <> Config.No_log
+  || config.Config.stm
+  || config.Config.backend = Config.Msync
 
 (* ---- race-lint plumbing ------------------------------------------ *)
 
@@ -436,6 +460,9 @@ let serve_shard p sh =
         else Avl.insert sh.tree ~key ~value;
         if race then race_push sh (Crules.Sync (Crules.Ack { obj = key }));
         Hashtbl.replace sh.model key value;
+        (match sh.wset with
+        | Some ws -> Hashtbl.replace ws key ()
+        | None -> ());
         sh.inserts <- sh.inserts + 1
     | Client.Delete key ->
         if race then
@@ -446,6 +473,9 @@ let serve_shard p sh =
         in
         if race then race_push sh (Crules.Sync (Crules.Ack { obj = key }));
         if removed then Hashtbl.remove sh.model key;
+        (match sh.wset with
+        | Some ws -> Hashtbl.replace ws key ()
+        | None -> ());
         sh.deletes <- sh.deletes + 1);
     sh.served <- sh.served + 1;
     push_lat sh (Time.to_ps (Time.sub (Pheap.clock sh.heap) c0))
@@ -553,6 +583,60 @@ let wake sh =
 
 (* ---- migration engine -------------------------------------------- *)
 
+(* Image shipping: the staging node restores at a different base than
+   every source (sources sit at 0), so each ship exercises the full
+   relocation path — base-relative root, swizzled node pointers. *)
+let staging_base = 4096
+
+(* Ships the source's whole heap as a relocatable image to a staging
+   node: quiesce + save, serialise to wire form, validate and adopt on
+   a fresh NVRAM at a different base, swizzle the tree's absolute
+   pointers. The staging node has no bus subscribers, so its traffic
+   costs neither migration events nor report counters — like the
+   destination machine's, its work is off the source fleet's books. *)
+let ship_image st m =
+  let image = Image.save m.src.heap in
+  let wire = Image.to_bytes image in
+  let image = Image.of_bytes wire in
+  let len = staging_base + Image.region_len image in
+  let nvram = Nvram.create ~size:(Units.Size.bytes len) () in
+  let heap =
+    Image.restore_at ~config:st.p.config image ~nvram ~base:staging_base ()
+  in
+  let tree =
+    Avl.attach_relocated heap ~delta:(staging_base - Image.src_base image)
+  in
+  st.images_shipped <- st.images_shipped + 1;
+  st.image_bytes <- st.image_bytes + Bytes.length wire;
+  m.staged <- Some tree;
+  (* Post-ship client writes to still-pending keys must supersede the
+     shipped copies; the serve loop records them here from now on. *)
+  m.src.wset <- Some (Hashtbl.create 64)
+
+let ensure_staged st m =
+  if st.p.migrate_mode = `Image && m.staged = None then ship_image st m
+
+(* The value a handoff moves. Draining reads the live source. Image
+   mode reads the staged replica — the restored, swizzled copy is the
+   ground truth a real destination node would have — except for keys a
+   client wrote after the ship (the pending table keeps routing those
+   to the source, and [wset] records them): those take the live value,
+   and each such reconciliation is counted. *)
+let handoff_value st m key =
+  match (st.p.migrate_mode, m.staged) with
+  | `Drain, _ | `Image, None -> Avl.find m.src.tree key
+  | `Image, Some staged ->
+      let dirty =
+        match m.src.wset with
+        | Some ws -> Hashtbl.mem ws key
+        | None -> false
+      in
+      if dirty then begin
+        st.image_deltas <- st.image_deltas + 1;
+        Avl.find m.src.tree key
+      end
+      else Avl.find staged key
+
 (* One key's failure-atomic handoff: (1) persist at the destination,
    checkpoint; (2) tombstone at the source; (3) move the volatile model
    entry and drop the routing override, checkpoint. A power failure
@@ -563,7 +647,7 @@ let move_key st m key =
   let tx = transactional st.p.config in
   let race = st.p.race_lint in
   let src = m.src in
-  match Avl.find src.tree key with
+  match handoff_value st m key with
   | None ->
       (* deleted by a client while pending; nothing to hand off *)
       Hashtbl.remove st.pending key
@@ -626,6 +710,8 @@ let settle_migrations st =
   st.migrations <- live;
   List.iter
     (fun m ->
+      m.staged <- None;
+      m.src.wset <- None;
       if (not (Array.exists (fun s -> s == m.src) st.ring)) && not m.src.retired
       then begin
         m.src.retired <- true;
@@ -646,6 +732,10 @@ let recover_migrations st =
   List.iter
     (fun m ->
       let src = m.src in
+      (* A staged image (and its write tracking) predates the failure;
+         draining resumes from a freshly shipped post-recovery image. *)
+      m.staged <- None;
+      src.wset <- None;
       let stale =
         Hashtbl.fold
           (fun k sh acc -> if sh == src then k :: acc else acc)
@@ -756,6 +846,7 @@ let apply_migrations ?jobs st =
        List.iter
          (fun m ->
            if not m.src.is_down then begin
+             ensure_staged st m;
              let moved = ref 0 in
              let stalled = ref false in
              while
@@ -814,7 +905,8 @@ let snapshot_migrations st topo srcs =
             (Avl.to_list src.tree)
         in
         if keys = [] then None
-        else Some { src; topo; queue = Array.of_list keys; pos = 0 })
+        else
+          Some { src; topo; queue = Array.of_list keys; pos = 0; staged = None })
       srcs
   in
   st.migrations <- st.migrations @ migs
@@ -1007,6 +1099,9 @@ let run ?jobs p =
       shed = 0;
       crash_shed = 0;
       dup_resolved = 0;
+      images_shipped = 0;
+      image_bytes = 0;
+      image_deltas = 0;
     }
   in
   let gen =
@@ -1257,6 +1352,9 @@ let run ?jobs p =
     migration_time = st.migration_time;
     mig_events = ctl.events;
     dup_resolved = st.dup_resolved;
+    images_shipped = st.images_shipped;
+    image_bytes = st.image_bytes;
+    image_deltas = st.image_deltas;
     misplaced_keys = misplaced;
     topology = st.topology;
     restores = st.restores;
@@ -1344,7 +1442,8 @@ let race_errors (r : report) =
               match d.Rules.severity with
               | Rules.Error -> (e + 1, a)
               | Rules.Advisory -> (e, a + 1))
-          | Rules.R1 | Rules.R2 | Rules.R3 | Rules.R4 | Rules.R5 -> (e, a))
+          | Rules.R1 | Rules.R2 | Rules.R3 | Rules.R4 | Rules.R5 | Rules.R10 ->
+              (e, a))
         (0, 0) res.Rules.diagnostics
 
 let json_opt_int = function None -> "null" | Some v -> string_of_int v
@@ -1372,6 +1471,7 @@ let to_json r =
     \  \"grow_at\": %s,\n\
     \  \"shrink_at\": %s,\n\
     \  \"migrate_batch\": %d,\n\
+    \  \"migrate_mode\": %S,\n\
     \  \"issued\": %d,\n\
     \  \"served\": %d,\n\
     \  \"shed\": %d,\n\
@@ -1388,17 +1488,22 @@ let to_json r =
     \  \"migration_ps\": %d,\n\
     \  \"migration_events\": %d,\n\
     \  \"dup_resolved\": %d,\n\
+    \  \"images_shipped\": %d,\n\
+    \  \"image_bytes\": %d,\n\
+    \  \"image_deltas\": %d,\n\
     \  \"misplaced_keys\": %d,\n\
     \  \"checksum\": \"0x%016Lx\",\n"
     p.shards p.vnodes p.clients p.requests p.keyspace p.theta p.queue_cap
     p.config.Config.name p.seed (json_opt_int p.crash_at)
     (json_opt_int p.crash_shard) (json_opt_int p.grow_at)
-    (json_opt_int p.shrink_at) p.migrate_batch r.issued r.served r.shed
+    (json_opt_int p.shrink_at) p.migrate_batch
+    (match p.migrate_mode with `Drain -> "drain" | `Image -> "image")
+    r.issued r.served r.shed
     r.crash_shed r.rounds (Time.to_ps r.makespan) r.throughput_mops
     r.availability (Time.to_ps r.p50) (Time.to_ps r.p99) (Time.to_ps r.p999)
     (Time.to_ps r.lat_max) r.lost_acked r.keys_moved (16 * r.keys_moved)
-    (Time.to_ps r.migration_time) r.mig_events r.dup_resolved r.misplaced_keys
-    r.checksum;
+    (Time.to_ps r.migration_time) r.mig_events r.dup_resolved r.images_shipped
+    r.image_bytes r.image_deltas r.misplaced_keys r.checksum;
   (match r.race with
   | None -> Buffer.add_string b "  \"race_lint\": null,\n"
   | Some res ->
@@ -1476,13 +1581,16 @@ let sweep_to_json s =
     \  \"config\": %S,\n\
     \  \"grow_at\": %s,\n\
     \  \"shrink_at\": %s,\n\
+    \  \"migrate_mode\": %S,\n\
     \  \"migration_events\": %d,\n\
     \  \"points_run\": %d,\n\
     \  \"violations\": %d,\n\
     \  \"golden_checksum\": \"0x%016Lx\",\n\
     \  \"points\": ["
     p.shards p.config.Config.name (json_opt_int p.grow_at)
-    (json_opt_int p.shrink_at) s.total_events (List.length s.points)
+    (json_opt_int p.shrink_at)
+    (match p.migrate_mode with `Drain -> "drain" | `Image -> "image")
+    s.total_events (List.length s.points)
     (List.length (sweep_violations s))
     s.golden.checksum;
   List.iteri
@@ -1526,6 +1634,12 @@ let pp_report ppf r =
        persistency events, %d duplicate(s) resolved, %d misplaced key(s)"
       r.keys_moved (16 * r.keys_moved) Time.pp r.migration_time r.mig_events
       r.dup_resolved r.misplaced_keys;
+  if r.images_shipped > 0 then
+    Fmt.pf ppf
+      "@,\
+       image shipping: %d relocatable heap image(s), %d wire bytes, %d \
+       post-ship write(s) reconciled"
+      r.images_shipped r.image_bytes r.image_deltas;
   if r.restores <> [] then begin
     (match (p.crash_shard, p.crash_at) with
     | Some k, Some c ->
@@ -1575,7 +1689,8 @@ let pp_report ppf r =
             | (Rules.R6 | Rules.R7 | Rules.R8 | Rules.R9), Rules.Error ->
                 Some (Rules.rule_name d.Rules.rule)
             | (Rules.R6 | Rules.R7 | Rules.R8 | Rules.R9), Rules.Advisory
-            | ( (Rules.R1 | Rules.R2 | Rules.R3 | Rules.R4 | Rules.R5),
+            | ( ( Rules.R1 | Rules.R2 | Rules.R3 | Rules.R4 | Rules.R5
+                | Rules.R10 ),
                 (Rules.Error | Rules.Advisory) ) ->
                 None)
           res.Rules.diagnostics

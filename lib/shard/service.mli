@@ -70,6 +70,17 @@ type params = {
       (** Remove the highest-index shard after this round; it drains
           its whole keyspace share, then retires. *)
   migrate_batch : int;  (** Max key handoffs per source per round. *)
+  migrate_mode : [ `Drain | `Image ];
+      (** How a topology change moves data. [`Drain] hands each key off
+          out of the live source tree. [`Image] first ships the source's
+          whole heap as a relocatable {!Image} to a staging node —
+          quiesce, save, serialise, validate, restore at a {e different}
+          base, swizzle ({!Wsp_store.Avl.attach_relocated}) — then hands
+          keys off out of the restored replica, falling back to the live
+          source only for keys a client wrote after the ship (counted in
+          [image_deltas]). Both modes converge to identical final
+          directories; the double-ownership handoff protocol and its
+          crash-atomicity are shared. *)
   crash_mig_event : int option;
       (** Power-fail the whole service at this migration persistency
           event (0-based) — the sweep's injection hook. *)
@@ -177,6 +188,14 @@ type report = {
   dup_resolved : int;
       (** Double-owned keys a crash recovery resolved in favour of the
           destination. *)
+  images_shipped : int;
+      (** Relocatable heap images shipped to staging nodes ([`Image]
+          mode: one per migration source, plus re-ships after a crash
+          discards a stale staged copy). *)
+  image_bytes : int;  (** Total wire bytes of shipped images. *)
+  image_deltas : int;
+      (** Handoffs that took the live value over the shipped copy
+          because a client write raced the ship. *)
   misplaced_keys : int;
       (** Keys not resident where the directory routes them; 0 in a
           correct run. *)

@@ -55,6 +55,53 @@ let write t addr off v = Pheap.write_u64 t.heap ~addr:(addr + off) v
 let get_root t = Int64.to_int (Pheap.read_u64 t.heap ~addr:t.root_cell)
 let set_root t node = Pheap.write_u64 t.heap ~addr:t.root_cell (Int64.of_int node)
 
+(* Pointer swizzling after image relocation. The published root is
+   base-relative (already correct at the new base); the root cell's
+   content and every node's child pointers are absolute addresses from
+   the source base and must be shifted by [delta]. Each address is
+   validated against the new heap before it is dereferenced — a
+   corrupted image cannot send the walk out of the region — and the
+   visit count is bounded so a cycle terminates in [Invalid_argument]
+   rather than divergence. *)
+let attach_relocated heap ~delta =
+  if delta = 0 then attach heap
+  else begin
+    let who = "Avl.attach_relocated" in
+    let root_cell = Pheap.root heap in
+    if root_cell = 0 then Fmt.invalid_arg "%s: heap has no root" who;
+    validate_root_cell ~who heap root_cell;
+    let t = { heap; root_cell } in
+    let allocator = Pheap.allocator heap in
+    let base = Pheap.heap_base heap in
+    let limit = base + Pheap.heap_size heap in
+    let budget = ref ((Pheap.heap_size heap / node_size) + 1) in
+    let rec go old_node =
+      if old_node = 0 then 0
+      else begin
+        decr budget;
+        if !budget < 0 then
+          Fmt.invalid_arg "%s: node walk exceeds heap capacity (cycle?)" who;
+        let node = old_node + delta in
+        if node < base || node + node_size > limit then
+          Fmt.invalid_arg "%s: relocated node %d outside heap [%d,%d)" who
+            node base limit;
+        if
+          (not (Alloc.is_allocated allocator node))
+          || Alloc.payload_size allocator node < node_size
+        then
+          Fmt.invalid_arg "%s: relocated node %d is not a live node block"
+            who node;
+        let left = Int64.to_int (read t node f_left) in
+        let right = Int64.to_int (read t node f_right) in
+        write t node f_left (Int64.of_int (go left));
+        write t node f_right (Int64.of_int (go right));
+        node
+      end
+    in
+    set_root t (go (get_root t));
+    t
+  end
+
 let height_of t node = if node = 0 then 0 else Int64.to_int (read t node f_height)
 
 let update_height t node =

@@ -29,6 +29,18 @@ val attach_at : Pheap.t -> addr:int -> t
     keep several structures behind one root descriptor. The address is
     validated like {!attach}'s. *)
 
+val attach_relocated : Pheap.t -> delta:int -> t
+(** Re-adopts a tree from a heap image restored [delta] bytes away from
+    where it was saved ([delta = new_base - src_base]), swizzling the
+    absolute intra-heap pointers — root-cell content and node children —
+    in one validated walk. Every shifted address is checked against the
+    new heap's bounds and allocator before it is dereferenced, and the
+    walk is bounded by heap capacity, so a corrupted image fails with
+    [Invalid_argument] instead of reading garbage or diverging. The
+    swizzled pointers are plain (volatile) stores: make them durable
+    with {!Pheap.wsp_flush} or a WSP save if the heap must survive a
+    subsequent power failure. *)
+
 val heap : t -> Pheap.t
 
 val insert : t -> key:int64 -> value:int64 -> unit

@@ -299,25 +299,27 @@ let sabotage_matrix_test =
                let errs, _ = Analyzer.errors ~expect:[] [ r ] in
                (r.Analyzer.workload, errs > 0))
       in
-      (* Broken fences: every flush-on-commit workload must be convicted
-         statically; flush-on-fail never relies on fences. *)
+      (* Broken fences: every workload durable without WSP (commit-seal
+         and msync backends) must be convicted statically; flush-on-fail
+         never relies on fences. *)
       List.iter
         (fun (name, convicted) ->
-          let is_foc =
+          let durable =
             match Analyzer.find ~workload:name () with
-            | [ w ] -> w.Analyzer.config.Config.flush_on_commit
+            | [ w ] -> Config.is_durable_without_wsp w.Analyzer.config
             | _ -> Alcotest.failf "ambiguous workload %s" name
           in
-          if convicted <> is_foc then
-            Alcotest.failf "fences: %s convicted=%b but flush_on_commit=%b"
-              name convicted is_foc)
+          if convicted <> durable then
+            Alcotest.failf
+              "fences: %s convicted=%b but durable_without_wsp=%b" name
+              convicted durable)
         (verdicts Checker.Broken_fences);
       (* Broken WSP save: exactly the flush-on-fail workloads. *)
       List.iter
         (fun (name, convicted) ->
           let is_fof =
             match Analyzer.find ~workload:name () with
-            | [ w ] -> not w.Analyzer.config.Config.flush_on_commit
+            | [ w ] -> not (Config.is_durable_without_wsp w.Analyzer.config)
             | _ -> Alcotest.failf "ambiguous workload %s" name
           in
           if convicted <> is_fof then
@@ -378,7 +380,7 @@ let registry_tests =
     Alcotest.test_case "find filters by structure and config" `Quick
       (fun () ->
         Alcotest.(check int)
-          "hash_table entries" 5
+          "hash_table entries" 6
           (List.length (Analyzer.find ~workload:"hash_table" ()));
         Alcotest.(check bool)
           "config filter" true

@@ -196,7 +196,8 @@ let race_error_rules (report : Analyzer.report) =
     (fun r ->
       match r with
       | Rules.R6 | Rules.R7 | Rules.R8 | Rules.R9 -> true
-      | Rules.R1 | Rules.R2 | Rules.R3 | Rules.R4 | Rules.R5 -> false)
+      | Rules.R1 | Rules.R2 | Rules.R3 | Rules.R4 | Rules.R5 | Rules.R10 ->
+          false)
     (error_rules report.Analyzer.result)
 
 let structure_of_cname cname =
@@ -326,7 +327,8 @@ let shard_race_tests =
                    match d.Rules.rule with
                    | Rules.R8 -> true
                    | Rules.R6 | Rules.R7 | Rules.R9 -> false
-                   | Rules.R1 | Rules.R2 | Rules.R3 | Rules.R4 | Rules.R5 ->
+                   | Rules.R1 | Rules.R2 | Rules.R3 | Rules.R4 | Rules.R5
+                   | Rules.R10 ->
                        d.Rules.severity = Rules.Advisory
                  )
                  r.Rules.diagnostics));

@@ -489,9 +489,84 @@ let oracle_equivalence_test =
          && get sharded.Service.final_contents
             = get oracle.Service.final_contents))
 
+(* Image-shipping migration: instead of draining key by key from the
+   live source tree, the source ships a relocatable heap image to a
+   staging base and handoffs read from the restored replica (falling
+   back to the live tree only for keys written after the ship). A
+   broken relocation would corrupt handed-off values, so golden
+   equality against drain mode is a real end-to-end check. *)
+let migration_mode_tests =
+  [
+    Alcotest.test_case "image-shipping migration matches key drain" `Quick
+      (fun () ->
+        let p =
+          { (small_params ~shards:4 ~seed:17) with Service.grow_at = Some 10 }
+        in
+        let drain = Service.run ~jobs:2 p in
+        let image =
+          Service.run ~jobs:2 { p with Service.migrate_mode = `Image }
+        in
+        Alcotest.(check bool) "shipped at least one image" true
+          (image.Service.images_shipped > 0);
+        Alcotest.(check bool) "wire bytes accounted" true
+          (image.Service.image_bytes > 0);
+        Alcotest.(check int) "drain ships nothing" 0
+          drain.Service.images_shipped;
+        let get = function Some x -> x | None -> assert false in
+        Alcotest.(check bool) "lookups equal" true
+          (get image.Service.lookup_results = get drain.Service.lookup_results);
+        Alcotest.(check bool) "final contents equal" true
+          (get image.Service.final_contents
+          = get drain.Service.final_contents);
+        Alcotest.(check int) "no acked writes lost" 0
+          image.Service.lost_acked;
+        Alcotest.(check int) "every key owned where routed" 0
+          image.Service.misplaced_keys);
+    Alcotest.test_case "image mode report is byte-identical across --jobs"
+      `Quick (fun () ->
+        let p =
+          {
+            (small_params ~shards:3 ~seed:31) with
+            Service.shrink_at = Some 15;
+            migrate_mode = `Image;
+          }
+        in
+        let run jobs = Service.to_json (Service.run ~jobs p) in
+        Alcotest.(check string) "jobs 1 == jobs 4" (run 1) (run 4));
+  ]
+
+(* Both migration modes are the same observable service: for any
+   topology change the image-shipped run answers every lookup and
+   lands every key exactly like the drain run. *)
+let migration_mode_equivalence_test =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name:"image migration == drain migration" ~count:8
+       QCheck2.Gen.(
+         tup3 (int_range 2 6) (int_range 0 999) (oneofl [ `Grow; `Shrink ]))
+       (fun (shards, seed, change) ->
+         let base = small_params ~shards ~seed in
+         let base =
+           match change with
+           | `Grow -> { base with Service.grow_at = Some 20 }
+           | `Shrink -> { base with Service.shrink_at = Some 20 }
+         in
+         let drain = Service.run ~jobs:2 base in
+         let image =
+           Service.run ~jobs:2 { base with Service.migrate_mode = `Image }
+         in
+         let get = function Some x -> x | None -> assert false in
+         image.Service.lost_acked = 0
+         && image.Service.misplaced_keys = 0
+         && get image.Service.lookup_results
+            = get drain.Service.lookup_results
+         && get image.Service.final_contents
+            = get drain.Service.final_contents))
+
 let suite =
   [
     ("shard.router", router_tests @ [ grow_shrink_roundtrip_test ]);
     ("shard.client", client_tests);
     ("shard.service", service_tests @ [ oracle_equivalence_test ]);
+    ( "shard.migration",
+      migration_mode_tests @ [ migration_mode_equivalence_test ] );
   ]

@@ -3,7 +3,8 @@ let () =
     (Suite_sim.suite @ Suite_obs.suite @ Suite_events.suite
    @ Suite_parallel.suite @ Suite_machine.suite
    @ Suite_power.suite
-   @ Suite_nvdimm.suite @ Suite_nvheap.suite @ Suite_store.suite
+   @ Suite_nvdimm.suite @ Suite_nvheap.suite @ Suite_image.suite
+   @ Suite_store.suite
    @ Suite_structures.suite @ Suite_core.suite @ Suite_cluster.suite
    @ Suite_extensions.suite @ Suite_ablation.suite @ Suite_check.suite
    @ Suite_analysis.suite @ Suite_crules.suite @ Suite_shard.suite
